@@ -1,0 +1,145 @@
+package dmfb
+
+// End-to-end tests of the command-line tools: the binaries are built
+// once into a temporary directory and driven the way a user would,
+// including the JSON hand-offs between dmfb-synth, dmfb-place,
+// dmfb-fti, dmfb-sim and dmfb-test.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var cliTools = []string{
+	"dmfb-synth", "dmfb-place", "dmfb-fti", "dmfb-sim", "dmfb-bench", "dmfb-test", "dmfb-route",
+}
+
+// buildCLI compiles every tool once per test binary invocation.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping CLI integration in -short mode")
+	}
+	dir := t.TempDir()
+	for _, tool := range cliTools {
+		out := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
+		cmd.Dir = mustModuleRoot(t)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, msg)
+		}
+	}
+	return dir
+}
+
+func mustModuleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+func run(t *testing.T, bin string, wantOK bool, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if wantOK && err != nil {
+		t.Fatalf("%s %v failed: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	if !wantOK && err == nil {
+		t.Fatalf("%s %v unexpectedly succeeded:\n%s", filepath.Base(bin), args, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	bin := buildCLI(t)
+	work := t.TempDir()
+	schedFile := filepath.Join(work, "schedule.json")
+	placeFile := filepath.Join(work, "placement.json")
+	svgFile := filepath.Join(work, "placement.svg")
+
+	// synth -> schedule.json
+	out := run(t, filepath.Join(bin, "dmfb-synth"), true, "-assay", "pcr", "-o", schedFile)
+	if !strings.Contains(out, "makespan 19s") {
+		t.Errorf("synth output missing makespan:\n%s", out)
+	}
+	if _, err := os.Stat(schedFile); err != nil {
+		t.Fatal(err)
+	}
+
+	// place (two-stage) -> placement.json + svg
+	out = run(t, filepath.Join(bin, "dmfb-place"), true,
+		"-schedule", schedFile, "-placer", "twostage", "-beta", "40",
+		"-o", placeFile, "-svg", svgFile, "-coverage")
+	if !strings.Contains(out, "FTI") || !strings.Contains(out, "mm2") {
+		t.Errorf("place output missing metrics:\n%s", out)
+	}
+	svg, err := os.ReadFile(svgFile)
+	if err != nil || !strings.HasPrefix(string(svg), "<svg") {
+		t.Errorf("SVG not written: %v", err)
+	}
+
+	// fti on the produced placement, with verification.
+	out = run(t, filepath.Join(bin, "dmfb-fti"), true,
+		"-placement", placeFile, "-verify", "-montecarlo", "500")
+	if !strings.Contains(out, "exhaustive fault injection") {
+		t.Errorf("fti output missing verification:\n%s", out)
+	}
+
+	// sim with a fault on the placed design.
+	out = run(t, filepath.Join(bin, "dmfb-sim"), true,
+		"-schedule", schedFile, "-placement", placeFile, "-fault", "2,1,1")
+	if !strings.Contains(out, "assay completed") {
+		t.Errorf("sim did not complete:\n%s", out)
+	}
+
+	// test a healthy and a faulty array (the latter exits non-zero).
+	out = run(t, filepath.Join(bin, "dmfb-test"), true, "-w", "7", "-h", "5")
+	if !strings.Contains(out, "PASS") {
+		t.Errorf("test output missing PASS:\n%s", out)
+	}
+	out = run(t, filepath.Join(bin, "dmfb-test"), false, "-w", "7", "-h", "5", "-fault", "3,2")
+	if !strings.Contains(out, "FAULT at (3,2)") {
+		t.Errorf("fault not localised:\n%s", out)
+	}
+
+	// route two droplets around a dead cell.
+	out = run(t, filepath.Join(bin, "dmfb-route"), true,
+		"-w", "10", "-h", "6", "-d", "0,0:9,0", "-d", "9,5:0,5", "-fault", "5,0")
+	if !strings.Contains(out, "actuation program") {
+		t.Errorf("route output missing actuation:\n%s", out)
+	}
+}
+
+func TestCLIBenchSmoke(t *testing.T) {
+	bin := buildCLI(t)
+	// A fast single experiment; the full suite runs in CI time budgets.
+	out := run(t, filepath.Join(bin, "dmfb-bench"), true, "-exp", "fig7")
+	if !strings.Contains(out, "141.75 mm2") && !strings.Contains(out, "cells") {
+		t.Errorf("bench fig7 output unexpected:\n%s", out)
+	}
+	out = run(t, filepath.Join(bin, "dmfb-bench"), false, "-exp", "no-such-experiment")
+	if !strings.Contains(out, "unknown experiment") {
+		t.Errorf("unknown experiment not rejected:\n%s", out)
+	}
+}
+
+func TestCLIErrorPaths(t *testing.T) {
+	bin := buildCLI(t)
+	if out := run(t, filepath.Join(bin, "dmfb-synth"), false, "-assay", "warp"); !strings.Contains(out, "unknown assay") {
+		t.Errorf("bad assay not rejected:\n%s", out)
+	}
+	if out := run(t, filepath.Join(bin, "dmfb-place"), false, "-placer", "magic"); !strings.Contains(out, "unknown placer") {
+		t.Errorf("bad placer not rejected:\n%s", out)
+	}
+	run(t, filepath.Join(bin, "dmfb-fti"), false) // missing -placement
+	if out := run(t, filepath.Join(bin, "dmfb-route"), false, "-d", "0,0:99,99"); !strings.Contains(out, "off array") {
+		t.Errorf("bad endpoint not rejected:\n%s", out)
+	}
+}

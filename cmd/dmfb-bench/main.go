@@ -1,0 +1,261 @@
+// dmfb-bench regenerates every table and figure of the paper's
+// evaluation (Section 6) with experiment-grade annealing parameters,
+// printing paper-reported values next to measured ones. Runs are
+// seeded and deterministic.
+//
+// Usage:
+//
+//	dmfb-bench                 # all experiments
+//	dmfb-bench -exp table2     # one experiment:
+//	                           # table1 fig5 fig6 baseline fig7 fti fig8 table2 reconfig montecarlo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dmfb"
+)
+
+var seed = flag.Int64("seed", 1, "annealing seed")
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see usage)")
+	flag.Parse()
+
+	experiments := []struct {
+		name string
+		run  func()
+	}{
+		{"table1", table1},
+		{"fig5", fig5},
+		{"fig6", fig6},
+		{"baseline", baseline},
+		{"fig7", fig7},
+		{"fti", ftiExp},
+		{"fig8", fig8},
+		{"table2", table2},
+		{"reconfig", reconfigExp},
+		{"montecarlo", monteCarlo},
+	}
+	found := false
+	for _, e := range experiments {
+		if *exp == "all" || *exp == e.name {
+			found = true
+			fmt.Printf("==================== %s ====================\n", e.name)
+			start := time.Now()
+			e.run()
+			fmt.Printf("(%s in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "dmfb-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-bench:", err)
+		os.Exit(1)
+	}
+	return v
+}
+
+// table1 prints the module catalogue used by the PCR binding.
+func table1() {
+	fmt.Println("Table 1: resource binding in PCR (paper: identical by construction)")
+	g, mix := dmfb.PCRAssay()
+	_ = g
+	sched := must(dmfb.PCRSchedule())
+	fmt.Printf("%-4s %-26s %-8s %s\n", "op", "hardware", "module", "mixing time")
+	for _, it := range sched.BoundItems() {
+		fmt.Printf("%-4s %-26s %-8s %ds\n", it.Op.Name, it.Device.Hardware,
+			it.Device.Size.String()+" cells", it.Device.Duration)
+	}
+	_ = mix
+}
+
+// fig5 prints the PCR sequencing graph.
+func fig5() {
+	fmt.Println("Figure 5: sequencing graph of the PCR mixing stage")
+	g, _ := dmfb.PCRAssay()
+	for _, op := range g.Ops() {
+		succ := g.Succ(op.ID)
+		if len(succ) == 0 {
+			fmt.Printf("  %-4s (%s %s) -> [final mix]\n", op.Name, op.Kind, op.Fluid)
+			continue
+		}
+		for _, s := range succ {
+			fmt.Printf("  %-4s (%s %s) -> %s\n", op.Name, op.Kind, op.Fluid, g.Op(s).Name)
+		}
+	}
+}
+
+// fig6 prints the regenerated module-usage schedule.
+func fig6() {
+	fmt.Println("Figure 6: schedule of module usage (regenerated; the paper does not print its data)")
+	sched := must(dmfb.PCRSchedule())
+	fmt.Print(dmfb.RenderSchedule(sched))
+	fmt.Printf("peak concurrent area: %d cells\n", sched.PeakArea())
+}
+
+// baseline runs the greedy placers (paper Section 6.1: 84 cells / 189 mm²).
+func baseline() {
+	fmt.Println("Baseline greedy placement (paper: 84 cells = 189.00 mm2)")
+	prob := dmfb.PlacementProblemOf(must(dmfb.PCRSchedule()))
+	aware := must(dmfb.PlaceGreedy(prob, true))
+	obliv := must(dmfb.PlaceGreedy(prob, false))
+	fmt.Printf("time-aware greedy:      %3d cells = %7.2f mm2\n",
+		aware.ArrayCells(), dmfb.AreaMM2(aware.ArrayCells()))
+	fmt.Printf("time-oblivious greedy:  %3d cells = %7.2f mm2\n",
+		obliv.ArrayCells(), dmfb.AreaMM2(obliv.ArrayCells()))
+	fmt.Println("(the paper's under-specified greedy falls between these bounds)")
+}
+
+// fig7 runs the area-only SA placer (paper: 63 cells = 141.75 mm², −25% vs baseline).
+func fig7() {
+	fmt.Println("Figure 7: simulated-annealing placement, area only (paper: 7x9 = 63 cells = 141.75 mm2)")
+	prob := dmfb.PlacementProblemOf(must(dmfb.PCRSchedule()))
+	start := time.Now()
+	p, stats, err := dmfb.PlaceAnneal(prob, dmfb.PlacerOptions{Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(dmfb.RenderPlacement(p))
+	fmt.Printf("measured: %d cells = %.2f mm2 (%d evaluations, %d levels, %v)\n",
+		p.ArrayCells(), dmfb.AreaMM2(p.ArrayCells()),
+		stats.Evaluations, stats.Levels, time.Since(start).Round(time.Millisecond))
+	g := must(dmfb.PlaceGreedy(prob, true))
+	fmt.Printf("improvement over greedy baseline: %.1f%% (paper: 25%%)\n",
+		100*(1-float64(p.ArrayCells())/float64(g.ArrayCells())))
+}
+
+// ftiExp computes the FTI of the area-minimal placement (paper: 0.1270).
+func ftiExp() {
+	fmt.Println("FTI of the area-minimal placement (paper: 0.1270, computed in 1.7 s on a Pentium III)")
+	prob := dmfb.PlacementProblemOf(must(dmfb.PCRSchedule()))
+	p, _, err := dmfb.PlaceAnneal(prob, dmfb.PlacerOptions{Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	r := dmfb.ComputeFTI(p)
+	fmt.Printf("measured: %v (computed in %v)\n", r, time.Since(start))
+	fmt.Print(dmfb.RenderCoverage(r))
+}
+
+// fig8 runs the two-stage placer at β=30 (paper: 7x11 = 77 cells =
+// 173.25 mm², FTI 0.8052; +534% FTI for +22.2% area).
+func fig8() {
+	fmt.Println("Figure 8: two-stage fault-tolerant placement, beta=30")
+	fmt.Println("(paper: 77 cells = 173.25 mm2, FTI 0.8052; +534% FTI for +22.2% area)")
+	prob := dmfb.PlacementProblemOf(must(dmfb.PCRSchedule()))
+	res, err := dmfb.PlaceFaultTolerant(prob, dmfb.PlacerOptions{Seed: *seed}, dmfb.FTOptions{Beta: 30})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f1 := dmfb.ComputeFTI(res.Stage1).FTI()
+	f2 := dmfb.ComputeFTI(res.Final).FTI()
+	a1, a2 := res.Stage1.ArrayCells(), res.Final.ArrayCells()
+	fmt.Print(dmfb.RenderPlacement(res.Final))
+	fmt.Printf("stage 1: %d cells = %.2f mm2, FTI %.4f\n", a1, dmfb.AreaMM2(a1), f1)
+	fmt.Printf("final:   %d cells = %.2f mm2, FTI %.4f\n", a2, dmfb.AreaMM2(a2), f2)
+	if f1 > 0 {
+		fmt.Printf("FTI gain: +%.0f%%, area growth: +%.1f%%\n",
+			100*(f2-f1)/f1, 100*(float64(a2)/float64(a1)-1))
+	}
+}
+
+// table2 sweeps β (paper Table 2).
+func table2() {
+	fmt.Println("Table 2: solutions for different beta")
+	fmt.Println("(paper: area 141.75->222.75 mm2, FTI 0.2857->1.0 as beta goes 10->60)")
+	prob := dmfb.PlacementProblemOf(must(dmfb.PCRSchedule()))
+	pts, err := dmfb.BetaSweep(prob, dmfb.PlacerOptions{Seed: *seed},
+		dmfb.FTOptions{Restarts: 3}, []float64{10, 20, 30, 40, 50, 60})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-10s", "beta")
+	for _, p := range pts {
+		fmt.Printf("%10.0f", p.Beta)
+	}
+	fmt.Printf("\n%-10s", "area(mm2)")
+	for _, p := range pts {
+		fmt.Printf("%10.2f", dmfb.AreaMM2(p.Cells))
+	}
+	fmt.Printf("\n%-10s", "FTI")
+	for _, p := range pts {
+		fmt.Printf("%10.4f", p.FTI)
+	}
+	fmt.Println()
+}
+
+// reconfigExp demonstrates on-line recovery (paper Figure 4b / Section 5.1).
+func reconfigExp() {
+	fmt.Println("Partial reconfiguration during field operation (Section 5.1)")
+	sched := must(dmfb.PCRSchedule())
+	prob := dmfb.PlacementProblemOf(sched)
+	res, err := dmfb.PlaceFaultTolerant(prob, dmfb.PlacerOptions{Seed: *seed}, dmfb.FTOptions{Beta: 50})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p := res.Final
+	cov := dmfb.ComputeFTI(p)
+	// Inject a fault into the first covered module cell, mid-assay.
+	array := p.BoundingBox()
+	for y := 0; y < array.H; y++ {
+		for x := 0; x < array.W; x++ {
+			cell := dmfb.Point{X: array.X + x, Y: array.Y + y}
+			if !cov.CoveredAt(x, y) || len(p.ModulesAt(cell)) == 0 {
+				continue
+			}
+			sr := dmfb.Simulate(sched, p, dmfb.SimOptions{},
+				dmfb.FaultInjection{TimeSec: 1, Cell: dmfb.ArrayCell(dmfb.SimOptions{}, cell)})
+			fmt.Printf("fault at array cell %v at t=1s: completed=%v, %d relocation(s), %d transport steps\n",
+				cell, sr.Completed, len(sr.Relocations), sr.TransportSteps)
+			for _, r := range sr.Relocations {
+				fmt.Println(" ", r)
+			}
+			return
+		}
+	}
+	fmt.Println("no covered module cell found")
+}
+
+// monteCarlo validates FTI as a survivability predictor (extension).
+func monteCarlo() {
+	fmt.Println("Monte-Carlo validation: survival rate vs FTI (extension experiment)")
+	prob := dmfb.PlacementProblemOf(must(dmfb.PCRSchedule()))
+	s1, _, err := dmfb.PlaceAnneal(prob, dmfb.PlacerOptions{Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := dmfb.PlaceFaultTolerant(prob, dmfb.PlacerOptions{Seed: *seed}, dmfb.FTOptions{Beta: 60})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, c := range []struct {
+		label string
+		p     *dmfb.Placement
+	}{{"area-minimal", s1}, {"fault-tolerant (beta=60)", res.Final}} {
+		ex := dmfb.ExhaustiveSingleFault(c.p)
+		mc := dmfb.MonteCarloSingleFault(c.p, 10000, *seed)
+		fmt.Printf("%-26s exhaustive: %v\n", c.label, ex)
+		fmt.Printf("%-26s montecarlo: %v\n", c.label, mc)
+		for _, k := range []int{2, 3} {
+			mk := dmfb.MonteCarloMultiFault(c.p, k, 2000, *seed)
+			fmt.Printf("%-26s %d faults:   survived %.4f\n", c.label, k, mk.SurvivalRate())
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// dmfb-fti computes the fault tolerance index of a placement (paper
+// Section 5), prints the C-coverage map, and optionally cross-checks
+// against exhaustive single-fault injection.
+//
+// Usage:
+//
+//	dmfb-fti -placement placement.json
+//	dmfb-fti -placement placement.json -verify -montecarlo 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"dmfb"
+)
+
+func main() {
+	var (
+		in         = flag.String("placement", "", "placement JSON from dmfb-place (required)")
+		verify     = flag.Bool("verify", false, "cross-check with exhaustive fault injection")
+		monteCarlo = flag.Int("montecarlo", 0, "additionally run N random fault trials")
+		seed       = flag.Int64("seed", 1, "Monte-Carlo seed")
+	)
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "dmfb-fti: -placement is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-fti:", err)
+		os.Exit(1)
+	}
+	p, err := dmfb.UnmarshalPlacement(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-fti:", err)
+		os.Exit(1)
+	}
+
+	r := dmfb.ComputeFTI(p)
+	fmt.Print(dmfb.RenderCoverage(r))
+	fmt.Printf("array area: %d cells = %.2f mm2\n", p.ArrayCells(), dmfb.AreaMM2(p.ArrayCells()))
+
+	if *verify {
+		ex := dmfb.ExhaustiveSingleFault(p)
+		fmt.Println("exhaustive fault injection:", ex)
+		if math.Abs(ex.SurvivalRate()-r.FTI()) > 1e-12 {
+			fmt.Fprintln(os.Stderr, "dmfb-fti: MISMATCH between FTI and injection!")
+			os.Exit(1)
+		}
+	}
+	if *monteCarlo > 0 {
+		mc := dmfb.MonteCarloSingleFault(p, *monteCarlo, *seed)
+		fmt.Println("Monte-Carlo fault injection:", mc)
+	}
+}

@@ -1,0 +1,107 @@
+// dmfb-route plans simultaneous droplet transport on an array under
+// the electrowetting separation constraints and compiles the result
+// into an electrode actuation program.
+//
+// Endpoint syntax: -d x1,y1:x2,y2 routes a droplet from (x1,y1) to
+// (x2,y2); repeatable. Faults: -fault x,y.
+//
+// Usage:
+//
+//	dmfb-route -w 12 -h 8 -d 0,0:11,7 -d 11,0:0,7
+//	dmfb-route -w 12 -h 8 -d 0,0:11,0 -fault 5,0 -frames
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmfb"
+)
+
+type endpointList []dmfb.RouteEndpoint
+
+func (e *endpointList) String() string { return fmt.Sprint(*e) }
+
+func (e *endpointList) Set(s string) error {
+	var x1, y1, x2, y2 int
+	if _, err := fmt.Sscanf(s, "%d,%d:%d,%d", &x1, &y1, &x2, &y2); err != nil {
+		return fmt.Errorf("want x1,y1:x2,y2: %v", err)
+	}
+	*e = append(*e, dmfb.RouteEndpoint{
+		From: dmfb.Point{X: x1, Y: y1},
+		To:   dmfb.Point{X: x2, Y: y2},
+	})
+	return nil
+}
+
+type cellList []dmfb.Point
+
+func (c *cellList) String() string { return fmt.Sprint(*c) }
+
+func (c *cellList) Set(s string) error {
+	var x, y int
+	if _, err := fmt.Sscanf(s, "%d,%d", &x, &y); err != nil {
+		return fmt.Errorf("want x,y: %v", err)
+	}
+	*c = append(*c, dmfb.Point{X: x, Y: y})
+	return nil
+}
+
+func main() {
+	var eps endpointList
+	var faults cellList
+	var (
+		w      = flag.Int("w", 12, "array width")
+		h      = flag.Int("h", 8, "array height")
+		frames = flag.Bool("frames", false, "print the electrode actuation program")
+	)
+	flag.Var(&eps, "d", "droplet endpoint x1,y1:x2,y2 (repeatable)")
+	flag.Var(&faults, "fault", "faulty cell x,y (repeatable)")
+	flag.Parse()
+
+	if len(eps) == 0 {
+		fmt.Fprintln(os.Stderr, "dmfb-route: at least one -d endpoint required")
+		os.Exit(2)
+	}
+	chip := dmfb.NewChip(*w, *h)
+	for _, f := range faults {
+		if err := chip.InjectFault(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dmfb-route:", err)
+			os.Exit(1)
+		}
+	}
+
+	plan, err := dmfb.PlanDropletRoutes(chip, eps, dmfb.RouteOptions{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-route:", err)
+		os.Exit(1)
+	}
+	if err := dmfb.ValidateDropletRoutes(chip, eps, plan, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-route: plan failed validation:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d droplet(s) routed in %d control steps (%d ms), %d cell moves\n",
+		len(eps), plan.Makespan, plan.Makespan*10, plan.Steps())
+	for i, path := range plan.Paths {
+		fmt.Printf("  droplet %d: %v", i, path[0])
+		for t := 1; t < len(path); t++ {
+			if path[t] != path[t-1] {
+				fmt.Printf(" %v", path[t])
+			}
+		}
+		fmt.Println()
+	}
+
+	prog, err := dmfb.CompileActuation(plan, *w, *h)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-route:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("actuation program: %d frames, %d ms\n", len(prog.Frames), prog.DurationMS())
+	if *frames {
+		for _, f := range prog.Frames {
+			fmt.Println(" ", f)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// dmfb-sim executes an assay on the chip simulator, optionally
+// injecting cell faults mid-run to exercise on-line partial
+// reconfiguration (paper Section 5.1).
+//
+// Fault syntax: -fault t,x,y injects a fault at schedule second t in
+// placed-array cell (x, y); repeatable.
+//
+// Usage:
+//
+//	dmfb-sim                                   # fault-free PCR on the SA placement
+//	dmfb-sim -placer twostage -fault 1,2,3 -trace
+//	dmfb-sim -schedule s.json -placement p.json -fault 0,0,0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dmfb"
+)
+
+type faultList []dmfb.FaultInjection
+
+func (f *faultList) String() string { return fmt.Sprint(*f) }
+
+func (f *faultList) Set(s string) error {
+	var t, x, y int
+	if _, err := fmt.Sscanf(s, "%d,%d,%d", &t, &x, &y); err != nil {
+		return fmt.Errorf("want t,x,y: %v", err)
+	}
+	*f = append(*f, dmfb.FaultInjection{
+		TimeSec: t,
+		Cell:    dmfb.ArrayCell(dmfb.SimOptions{}, dmfb.Point{X: x, Y: y}),
+	})
+	return nil
+}
+
+func main() {
+	var faults faultList
+	var (
+		schedFile = flag.String("schedule", "", "schedule JSON (default: built-in PCR)")
+		placeFile = flag.String("placement", "", "placement JSON (default: place with -placer)")
+		placer    = flag.String("placer", "sa", "placer when no -placement given: greedy | sa | twostage")
+		beta      = flag.Float64("beta", 30, "fault-tolerance weight for twostage")
+		seed      = flag.Int64("seed", 1, "annealing seed")
+		trace     = flag.Bool("trace", false, "log every droplet action")
+	)
+	flag.Var(&faults, "fault", "inject fault: t,x,y (repeatable; x,y in placed-array cells)")
+	flag.Parse()
+
+	sched, p, err := load(*schedFile, *placeFile, *placer, *beta, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Print(dmfb.RenderPlacement(p))
+	res := dmfb.Simulate(sched, p, dmfb.SimOptions{Trace: *trace}, faults...)
+	for _, e := range res.Events {
+		fmt.Println(" ", e)
+	}
+	if !res.Completed {
+		fmt.Printf("ASSAY FAILED: %s\n", res.FailReason)
+		os.Exit(1)
+	}
+	fmt.Printf("assay completed: %d s of operations + %d transport steps (%d ms)\n",
+		res.MakespanSec, res.TransportSteps, res.TransportMS)
+	fmt.Printf("products: %s\n", strings.Join(res.ProductFluids, "; "))
+	if len(res.Relocations) > 0 {
+		fmt.Printf("partial reconfigurations: %d\n", len(res.Relocations))
+		for _, r := range res.Relocations {
+			fmt.Println(" ", r)
+		}
+	}
+}
+
+func load(schedFile, placeFile, placer string, beta float64, seed int64) (*dmfb.Schedule, *dmfb.Placement, error) {
+	var sched *dmfb.Schedule
+	var err error
+	if schedFile == "" {
+		sched, err = dmfb.PCRSchedule()
+	} else {
+		var data []byte
+		if data, err = os.ReadFile(schedFile); err == nil {
+			sched, err = dmfb.UnmarshalSchedule(data, dmfb.Table1Library())
+		}
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if placeFile != "" {
+		data, err := os.ReadFile(placeFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		p, err := dmfb.UnmarshalPlacement(data)
+		return sched, p, err
+	}
+
+	prob := dmfb.PlacementProblemOf(sched)
+	opts := dmfb.PlacerOptions{Seed: seed}
+	switch placer {
+	case "greedy":
+		p, err := dmfb.PlaceGreedy(prob, true)
+		return sched, p, err
+	case "sa":
+		p, _, err := dmfb.PlaceAnneal(prob, opts)
+		return sched, p, err
+	case "twostage":
+		res, err := dmfb.PlaceFaultTolerant(prob, opts, dmfb.FTOptions{Beta: beta})
+		if err != nil {
+			return nil, nil, err
+		}
+		return sched, res.Final, nil
+	}
+	return nil, nil, fmt.Errorf("unknown placer %q", placer)
+}

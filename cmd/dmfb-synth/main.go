@@ -1,0 +1,85 @@
+// dmfb-synth runs architectural-level synthesis: it binds a bioassay's
+// sequencing graph to module-library devices and schedules it under an
+// area budget, printing a Gantt chart and optionally writing the
+// schedule as JSON for dmfb-place.
+//
+// Usage:
+//
+//	dmfb-synth -assay pcr                  # the paper's PCR case study
+//	dmfb-synth -assay invitro -samples 3 -assays 3
+//	dmfb-synth -graph assay.json -budget 63 -o schedule.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmfb"
+)
+
+func main() {
+	var (
+		assayName = flag.String("assay", "pcr", "built-in assay: pcr | invitro")
+		graphFile = flag.String("graph", "", "sequencing-graph JSON file (overrides -assay)")
+		samples   = flag.Int("samples", 2, "in-vitro: number of samples")
+		assays    = flag.Int("assays", 2, "in-vitro: number of assay types")
+		budget    = flag.Int("budget", 63, "concurrent module area budget in cells (0 = unlimited)")
+		policy    = flag.String("bind", "fastest", "binding policy: fastest | smallest")
+		out       = flag.String("o", "", "write the schedule as JSON to this file")
+	)
+	flag.Parse()
+
+	sched, err := synthesize(*assayName, *graphFile, *samples, *assays, *budget, *policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-synth:", err)
+		os.Exit(1)
+	}
+
+	fmt.Print(dmfb.RenderSchedule(sched))
+	fmt.Printf("peak concurrent module area: %d cells (%.2f mm2)\n",
+		sched.PeakArea(), dmfb.AreaMM2(sched.PeakArea()))
+
+	if *out != "" {
+		data, err := dmfb.MarshalSchedule(sched)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmfb-synth:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dmfb-synth:", err)
+			os.Exit(1)
+		}
+		fmt.Println("schedule written to", *out)
+	}
+}
+
+func synthesize(assayName, graphFile string, samples, assays, budget int, policy string) (*dmfb.Schedule, error) {
+	if graphFile != "" {
+		data, err := os.ReadFile(graphFile)
+		if err != nil {
+			return nil, err
+		}
+		g, err := dmfb.UnmarshalAssay(data)
+		if err != nil {
+			return nil, err
+		}
+		pol := dmfb.BindFastest
+		if policy == "smallest" {
+			pol = dmfb.BindSmallest
+		}
+		b, err := dmfb.Bind(g, dmfb.Table1Library(), pol)
+		if err != nil {
+			return nil, err
+		}
+		return dmfb.ScheduleAssay(g, b, dmfb.ScheduleOptions{AreaBudget: budget})
+	}
+	switch assayName {
+	case "pcr":
+		return dmfb.PCRSchedule()
+	case "invitro":
+		return dmfb.InVitroSchedule(samples, assays, budget)
+	default:
+		return nil, fmt.Errorf("unknown assay %q (want pcr or invitro)", assayName)
+	}
+}

@@ -1,0 +1,179 @@
+// Package anneal is a small, generic simulated-annealing engine
+// implementing the procedure of the paper's Figure 3: geometric
+// cooling (T' = α·T), a fixed number of inner-loop iterations per
+// temperature, Metropolis acceptance (accept when ΔC < 0 or
+// r < exp(−ΔC/T)), and a pluggable stopping criterion so callers can
+// realise the paper's controlling-window rule.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Schedule holds the annealing parameters. The defaults mirror the
+// paper's Section 4(d): T0 = 10000, α = 0.9, and an inner loop of
+// Na = 400 iterations per module.
+type Schedule struct {
+	T0    float64 // initial temperature
+	Alpha float64 // cooling factor, 0 < Alpha < 1
+	Iters int     // inner-loop iterations per temperature level
+	// MaxLevels bounds the number of temperature levels as a safety
+	// net against a stop criterion that never fires. Zero means 1000.
+	MaxLevels int
+}
+
+// Default returns the paper's annealing schedule for nm modules
+// (N = Na × Nm with Na = 400).
+func Default(nm int) Schedule {
+	return Schedule{T0: 10000, Alpha: 0.9, Iters: 400 * nm}
+}
+
+// Validate reports configuration errors.
+func (s Schedule) Validate() error {
+	if s.T0 <= 0 {
+		return fmt.Errorf("anneal: T0 %v must be positive", s.T0)
+	}
+	if s.Alpha <= 0 || s.Alpha >= 1 {
+		return fmt.Errorf("anneal: alpha %v must be in (0,1)", s.Alpha)
+	}
+	if s.Iters <= 0 {
+		return fmt.Errorf("anneal: iters %d must be positive", s.Iters)
+	}
+	return nil
+}
+
+// Level summarises one temperature level for stop decisions and
+// statistics.
+type Level struct {
+	Index    int
+	T        float64
+	Proposed int
+	Accepted int
+	Improved int     // accepted moves with ΔC < 0
+	BestCost float64 // best cost seen so far (global)
+	CurCost  float64 // cost of current state at level end
+}
+
+// AcceptRate returns the fraction of proposals accepted at this level.
+func (l Level) AcceptRate() float64 {
+	if l.Proposed == 0 {
+		return 0
+	}
+	return float64(l.Accepted) / float64(l.Proposed)
+}
+
+// Result reports the annealing outcome.
+type Result[S any] struct {
+	Best     S
+	BestCost float64
+	Levels   []Level
+	// Evaluations is the total number of cost evaluations performed.
+	Evaluations int
+}
+
+// Problem bundles the three callbacks that define an annealing run.
+type Problem[S any] struct {
+	// Cost evaluates a state. Lower is better.
+	Cost func(S) float64
+	// Neighbor proposes a new state from cur at temperature T. It must
+	// not mutate cur.
+	Neighbor func(cur S, T float64, rng *rand.Rand) S
+	// Stop, if non-nil, is consulted after each temperature level;
+	// returning true ends the run. This is where the paper's
+	// "controlling window reached its minimum span" criterion plugs in.
+	Stop func(l Level) bool
+}
+
+// Run executes simulated annealing from the initial state and returns
+// the best state encountered. It panics on an invalid schedule (a
+// static configuration bug) and requires a non-nil rng for
+// reproducibility.
+func Run[S any](initial S, p Problem[S], sched Schedule, rng *rand.Rand) Result[S] {
+	if err := sched.Validate(); err != nil {
+		panic(err)
+	}
+	if rng == nil {
+		panic("anneal: nil rng")
+	}
+	maxLevels := sched.MaxLevels
+	if maxLevels == 0 {
+		maxLevels = 1000
+	}
+
+	cur := initial
+	curCost := p.Cost(cur)
+	best := cur
+	bestCost := curCost
+	res := Result[S]{Evaluations: 1}
+
+	T := sched.T0
+	for level := 0; level < maxLevels; level++ {
+		l := Level{Index: level, T: T}
+		for i := 0; i < sched.Iters; i++ {
+			next := p.Neighbor(cur, T, rng)
+			nextCost := p.Cost(next)
+			res.Evaluations++
+			l.Proposed++
+			dC := nextCost - curCost
+			if dC < 0 || rng.Float64() < math.Exp(-dC/T) {
+				cur = next
+				curCost = nextCost
+				l.Accepted++
+				if dC < 0 {
+					l.Improved++
+				}
+				if curCost < bestCost {
+					best = cur
+					bestCost = curCost
+				}
+			}
+		}
+		l.BestCost = bestCost
+		l.CurCost = curCost
+		res.Levels = append(res.Levels, l)
+		if p.Stop != nil && p.Stop(l) {
+			break
+		}
+		T *= sched.Alpha
+	}
+	res.Best = best
+	res.BestCost = bestCost
+	return res
+}
+
+// StopBelow returns a stop criterion that fires once the temperature
+// drops below tMin.
+func StopBelow(tMin float64) func(Level) bool {
+	return func(l Level) bool { return l.T < tMin }
+}
+
+// StopFrozen returns a stop criterion that fires after `patience`
+// consecutive levels without any accepted move — the configuration is
+// frozen.
+func StopFrozen(patience int) func(Level) bool {
+	quiet := 0
+	return func(l Level) bool {
+		if l.Accepted == 0 {
+			quiet++
+		} else {
+			quiet = 0
+		}
+		return quiet >= patience
+	}
+}
+
+// StopAny combines criteria; it fires when any of them fires. Each
+// criterion is always evaluated, so stateful criteria keep counting.
+func StopAny(stops ...func(Level) bool) func(Level) bool {
+	return func(l Level) bool {
+		fire := false
+		for _, s := range stops {
+			if s(l) {
+				fire = true
+			}
+		}
+		return fire
+	}
+}

@@ -1,0 +1,642 @@
+// Package core implements the paper's primary contribution: module
+// placement for dynamically reconfigurable microfluidic biochips.
+//
+// Three placers are provided:
+//
+//   - Greedy — the baseline of Section 6.1: modules sorted by
+//     decreasing area, each placed at the first available bottom-left
+//     position.
+//   - AnnealArea — the simulated-annealing placer of Section 4:
+//     direct perturbation of module positions and orientations, a
+//     forbidden-overlap penalty in the cost function, the four move
+//     types (single displacement, displacement+rotation, pair
+//     interchange, interchange+rotation), and a controlling window
+//     that shrinks with temperature and defines the stopping
+//     criterion.
+//   - TwoStage — the enhanced placement of Section 6.2: stage 1 is
+//     fault-oblivious area minimisation; stage 2 refines the result
+//     with low-temperature simulated annealing (LTSA) restricted to
+//     single-module displacement, with the fault tolerance index
+//     weighted by β in the cost (α·area − β·fault tolerance, α = 1).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"dmfb/internal/anneal"
+	"dmfb/internal/fti"
+	"dmfb/internal/geom"
+	"dmfb/internal/place"
+	"dmfb/internal/schedule"
+)
+
+// Problem is a placement problem: the module set (footprints with
+// fixed time spans from architectural-level synthesis) and the core
+// area within which modules may be placed (Figure 4a).
+type Problem struct {
+	Modules []place.Module
+	MaxW    int // core area width in cells
+	MaxH    int // core area height in cells
+	// Obstacles are dead cells (e.g. previously detected faults) no
+	// module may cover. Used by full reconfiguration, which re-places
+	// the module set around the accumulated faults.
+	Obstacles []geom.Point
+}
+
+// obstacleHits counts (module, obstacle) incidences — the full-
+// reconfiguration analogue of the forbidden-overlap penalty.
+func (p Problem) obstacleHits(pl *place.Placement) int {
+	n := 0
+	for i := range pl.Modules {
+		r := pl.Rect(i)
+		for _, o := range p.Obstacles {
+			if r.Contains(o) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// NewProblem builds a problem with an automatically sized core area:
+// wide enough for any module in either orientation and for roughly
+// twice the total module area, so the annealer has room to explore.
+func NewProblem(mods []place.Module) Problem {
+	maxDim, sum := 0, 0
+	for _, m := range mods {
+		if m.Size.W > maxDim {
+			maxDim = m.Size.W
+		}
+		if m.Size.H > maxDim {
+			maxDim = m.Size.H
+		}
+		sum += m.Size.Cells()
+	}
+	side := int(math.Ceil(math.Sqrt(2 * float64(sum))))
+	if side < maxDim {
+		side = maxDim
+	}
+	if side < 1 {
+		side = 1
+	}
+	return Problem{Modules: mods, MaxW: side, MaxH: side}
+}
+
+// FromSchedule builds the placement problem for a synthesis result.
+func FromSchedule(s *schedule.Schedule) Problem {
+	return NewProblem(place.FromSchedule(s))
+}
+
+// Validate reports problems that make placement impossible.
+func (p Problem) Validate() error {
+	if len(p.Modules) == 0 {
+		return fmt.Errorf("core: no modules to place")
+	}
+	for _, m := range p.Modules {
+		if !m.Size.Valid() {
+			return fmt.Errorf("core: module %s has invalid footprint %v", m.Name, m.Size)
+		}
+		if m.Span.Empty() {
+			return fmt.Errorf("core: module %s has empty time span %v", m.Name, m.Span)
+		}
+		if !m.Size.FitsEither(geom.Size{W: p.MaxW, H: p.MaxH}) {
+			return fmt.Errorf("core: module %s (%v) exceeds the %dx%d core area",
+				m.Name, m.Size, p.MaxW, p.MaxH)
+		}
+	}
+	return nil
+}
+
+// Options configures the annealing placers. Zero fields take the
+// paper's defaults via withDefaults.
+type Options struct {
+	Seed int64 // RNG seed; runs are deterministic per seed
+
+	// Annealing schedule (Section 4d): T0 = 10000, α = 0.9,
+	// N = 400 × #modules iterations per temperature.
+	T0             float64
+	Alpha          float64
+	ItersPerModule int
+
+	// PSingle is the probability p of the single-module displacement
+	// family; 1−p selects pair interchange (Section 4b).
+	PSingle float64
+
+	// OverlapPenalty is the cost per forbidden-overlap cell that
+	// drives infeasibility to zero (Section 4, cost metrics).
+	OverlapPenalty float64
+
+	// WindowT0 is the temperature at which the controlling window
+	// (Section 4c) starts shrinking below the full core span; the
+	// window reaches its minimum (1 cell) as T approaches zero.
+	WindowT0 float64
+
+	// WindowPatience is the number of consecutive temperature levels
+	// the window must sit at its minimum span before annealing stops —
+	// the paper's stopping criterion.
+	WindowPatience int
+}
+
+func (o Options) withDefaults(nm int) Options {
+	if o.T0 == 0 {
+		o.T0 = 10000
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.9
+	}
+	if o.ItersPerModule == 0 {
+		o.ItersPerModule = 400
+	}
+	if o.PSingle == 0 {
+		o.PSingle = 0.8
+	}
+	if o.OverlapPenalty == 0 {
+		o.OverlapPenalty = 20
+	}
+	if o.WindowT0 == 0 {
+		o.WindowT0 = 100
+	}
+	if o.WindowPatience == 0 {
+		o.WindowPatience = 25
+	}
+	return o
+}
+
+// Stats summarises an annealing run.
+type Stats struct {
+	Levels      int
+	Evaluations int
+	FinalCost   float64
+}
+
+// Greedy is the baseline placer of Section 6.1: modules are sorted in
+// descending footprint order and each is placed at the first
+// bottom-left position (scanning y, then x, within the core width)
+// where it fits. When timeAware is true, "fits" means no overlap with
+// any time-conflicting placed module — reconfiguration-aware but
+// greedy; when false, placed modules are never overlapped regardless
+// of their time spans, modelling a placer that ignores dynamic
+// reconfigurability entirely. Orientations are kept as bound.
+func Greedy(prob Problem, timeAware bool) (*place.Placement, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	p := place.New(prob.Modules)
+
+	order := make([]int, len(prob.Modules))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca := prob.Modules[order[a]].Size.Cells()
+		cb := prob.Modules[order[b]].Size.Cells()
+		if ca != cb {
+			return ca > cb
+		}
+		return order[a] < order[b]
+	})
+
+	placed := make([]bool, len(prob.Modules))
+	for _, i := range order {
+		sz := prob.Modules[i].Size
+		found := false
+	scan:
+		for y := 0; !found; y++ {
+			if y > 10000 {
+				break // cannot happen with a sane core width; guard anyway
+			}
+			for x := 0; x+sz.W <= prob.MaxW; x++ {
+				cand := geom.RectAt(geom.Point{X: x, Y: y}, sz)
+				if coversObstacle(prob.Obstacles, cand) {
+					continue
+				}
+				if greedyConflicts(p, placed, i, cand, timeAware) {
+					continue
+				}
+				p.Pos[i] = geom.Point{X: x, Y: y}
+				found = true
+				break scan
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: greedy could not place module %s", prob.Modules[i].Name)
+		}
+		placed[i] = true
+	}
+	// Normalising would shift modules relative to obstacle coordinates.
+	if len(prob.Obstacles) == 0 {
+		p.Normalize()
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: greedy produced invalid placement: %w", err)
+	}
+	return p, nil
+}
+
+func coversObstacle(obstacles []geom.Point, r geom.Rect) bool {
+	for _, o := range obstacles {
+		if r.Contains(o) {
+			return true
+		}
+	}
+	return false
+}
+
+func greedyConflicts(p *place.Placement, placed []bool, i int, cand geom.Rect, timeAware bool) bool {
+	for j := range p.Modules {
+		if !placed[j] {
+			continue
+		}
+		if timeAware && !p.Modules[i].Span.Overlaps(p.Modules[j].Span) {
+			continue
+		}
+		if cand.Overlaps(p.Rect(j)) {
+			return true
+		}
+	}
+	return false
+}
+
+// initialPlacement is the simple constructive start of Figure 4a:
+// modules packed left-to-right on shelves, ignoring time spans, so the
+// start is always feasible.
+func initialPlacement(prob Problem) *place.Placement {
+	p := place.New(prob.Modules)
+	x, y, shelf := 0, 0, 0
+	for i, m := range prob.Modules {
+		if x+m.Size.W > prob.MaxW {
+			x = 0
+			y += shelf
+			shelf = 0
+		}
+		p.Pos[i] = geom.Point{X: x, Y: y}
+		x += m.Size.W
+		if m.Size.H > shelf {
+			shelf = m.Size.H
+		}
+	}
+	return p
+}
+
+// window returns the controlling-window span at temperature T: the
+// full core span at high temperature, shrinking proportionally below
+// WindowT0 to a minimum of one cell.
+func window(T, windowT0 float64, span int) int {
+	if T >= windowT0 {
+		return span
+	}
+	w := int(float64(span) * T / windowT0)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// neighbor generates a new placement per Section 4b. It never mutates
+// cur.
+func neighbor(cur *place.Placement, prob Problem, o Options, T float64, rng *rand.Rand, singleOnly bool) *place.Placement {
+	next := cur.Clone()
+	n := len(next.Modules)
+	span := prob.MaxW
+	if prob.MaxH > span {
+		span = prob.MaxH
+	}
+	w := window(T, o.WindowT0, span)
+
+	if singleOnly || n < 2 || rng.Float64() < o.PSingle {
+		// Move types (i)/(ii): displace one module within the window,
+		// possibly changing its orientation.
+		i := rng.Intn(n)
+		if rng.Intn(2) == 0 && !next.Modules[i].Size.IsSquare() {
+			next.Rot[i] = !next.Rot[i]
+		}
+		dx := rng.Intn(2*w+1) - w
+		dy := rng.Intn(2*w+1) - w
+		next.Pos[i] = clampPos(next.Pos[i].Add(geom.Point{X: dx, Y: dy}), next.Size(i), prob)
+	} else {
+		// Move types (iii)/(iv): interchange a pair, possibly rotating
+		// one of the two.
+		i := rng.Intn(n)
+		j := rng.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		next.Pos[i], next.Pos[j] = next.Pos[j], next.Pos[i]
+		if rng.Intn(2) == 0 {
+			k := i
+			if rng.Intn(2) == 0 {
+				k = j
+			}
+			if !next.Modules[k].Size.IsSquare() {
+				next.Rot[k] = !next.Rot[k]
+			}
+		}
+		next.Pos[i] = clampPos(next.Pos[i], next.Size(i), prob)
+		next.Pos[j] = clampPos(next.Pos[j], next.Size(j), prob)
+	}
+	return next
+}
+
+// clampPos keeps a module of size sz inside the core area (the paper
+// prevents modules from leaving the core boundary during annealing).
+func clampPos(p geom.Point, sz geom.Size, prob Problem) geom.Point {
+	if p.X < 0 {
+		p.X = 0
+	}
+	if p.Y < 0 {
+		p.Y = 0
+	}
+	if p.X+sz.W > prob.MaxW {
+		p.X = prob.MaxW - sz.W
+	}
+	if p.Y+sz.H > prob.MaxH {
+		p.Y = prob.MaxH - sz.H
+	}
+	return p
+}
+
+// windowStop returns the paper's stopping criterion: the controlling
+// window has sat at its minimum span for `patience` consecutive
+// levels.
+func windowStop(o Options, span, patience int) func(anneal.Level) bool {
+	atMin := 0
+	return func(l anneal.Level) bool {
+		if window(l.T, o.WindowT0, span) <= 1 {
+			atMin++
+		} else {
+			atMin = 0
+		}
+		return atMin >= patience
+	}
+}
+
+// AnnealArea runs the fault-oblivious placer of Section 4, minimising
+// array area with a forbidden-overlap penalty.
+func AnnealArea(prob Problem, opts Options) (*place.Placement, Stats, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	o := opts.withDefaults(len(prob.Modules))
+	rng := rand.New(rand.NewSource(o.Seed))
+	span := max(prob.MaxW, prob.MaxH)
+
+	cost := func(p *place.Placement) float64 {
+		c := float64(p.ArrayCells()) + o.OverlapPenalty*float64(p.OverlapCells())
+		if len(prob.Obstacles) > 0 {
+			c += o.OverlapPenalty * float64(prob.obstacleHits(p))
+		}
+		return c
+	}
+	problem := anneal.Problem[*place.Placement]{
+		Cost: cost,
+		Neighbor: func(cur *place.Placement, T float64, rng *rand.Rand) *place.Placement {
+			return neighbor(cur, prob, o, T, rng, false)
+		},
+		Stop: windowStop(o, span, o.WindowPatience),
+	}
+	sched := anneal.Schedule{T0: o.T0, Alpha: o.Alpha, Iters: o.ItersPerModule * len(prob.Modules)}
+	res := anneal.Run(initialPlacement(prob), problem, sched, rng)
+
+	best := res.Best.Clone()
+	// Do not normalise when obstacles pin absolute coordinates.
+	if len(prob.Obstacles) == 0 {
+		best.Normalize()
+	}
+	if err := best.Validate(); err != nil {
+		return nil, Stats{}, fmt.Errorf("core: annealing ended with forbidden overlap: %w", err)
+	}
+	if hits := prob.obstacleHits(best); hits > 0 {
+		return nil, Stats{}, fmt.Errorf("core: annealing could not clear %d obstacle cell(s)", hits)
+	}
+	return best, Stats{Levels: len(res.Levels), Evaluations: res.Evaluations, FinalCost: res.BestCost}, nil
+}
+
+// AnnealAreaBestOf runs the area placer with n different seeds in
+// parallel and returns the best placement found (ties favour the
+// lowest seed, so results stay deterministic). Simulated annealing is
+// embarrassingly parallel across restarts; this is the practical way
+// to spend extra cores on placement quality.
+func AnnealAreaBestOf(prob Problem, opts Options, n int) (*place.Placement, Stats, error) {
+	if n < 1 {
+		return nil, Stats{}, fmt.Errorf("core: need at least one restart, got %d", n)
+	}
+	type outcome struct {
+		p     *place.Placement
+		stats Stats
+		err   error
+	}
+	results := make([]outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := opts
+			o.Seed = opts.Seed + int64(i)
+			p, st, err := AnnealArea(prob, o)
+			results[i] = outcome{p, st, err}
+		}(i)
+	}
+	wg.Wait()
+
+	agg := Stats{}
+	var best *place.Placement
+	for i, r := range results {
+		if r.err != nil {
+			return nil, Stats{}, fmt.Errorf("core: restart %d: %w", i, r.err)
+		}
+		agg.Levels += r.stats.Levels
+		agg.Evaluations += r.stats.Evaluations
+		if best == nil || r.p.ArrayCells() < best.ArrayCells() {
+			best = r.p
+			agg.FinalCost = r.stats.FinalCost
+		}
+	}
+	return best, agg, nil
+}
+
+// FullReconfigure is "full reconfiguration": re-placing the entire
+// module set from scratch around the accumulated dead cells, used when
+// on-line partial reconfiguration cannot absorb a fault. It keeps the
+// array bounds of the original placement (the chip is already
+// fabricated) and returns a fresh placement in which no module covers
+// any dead cell, or an error if annealing cannot find one.
+func FullReconfigure(old *place.Placement, dead []geom.Point, opts Options) (*place.Placement, error) {
+	bb := old.BoundingBox()
+	prob := Problem{
+		Modules:   old.Modules,
+		MaxW:      bb.MaxX(),
+		MaxH:      bb.MaxY(),
+		Obstacles: dead,
+	}
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	p, _, err := AnnealArea(prob, opts)
+	return p, err
+}
+
+// FTOptions configures stage 2 of the enhanced placement algorithm.
+type FTOptions struct {
+	// Beta is the weight β of the fault tolerance term; area carries
+	// weight α = 1 (Section 6.2). Larger β buys fault tolerance with
+	// area.
+	Beta float64
+	// T0 is the LTSA starting temperature ("low-temperature simulated
+	// annealing": small uphill moves only). Default 5.
+	T0 float64
+	// MarginCells widens the core area available to stage 2 beyond the
+	// stage-1 bounding box, so the placement can trade area for spare
+	// cells. Default 6.
+	MarginCells int
+	// Restarts runs the LTSA refinement this many times with
+	// different seeds and keeps the lowest-cost result. Default 1.
+	Restarts int
+}
+
+func (f FTOptions) withDefaults() FTOptions {
+	if f.T0 == 0 {
+		f.T0 = 5
+	}
+	if f.MarginCells == 0 {
+		f.MarginCells = 6
+	}
+	if f.Restarts == 0 {
+		f.Restarts = 1
+	}
+	return f
+}
+
+// ftCost is the stage-2 cost metric: α·area − β·FTI (α = 1) plus the
+// forbidden-overlap and obstacle penalties. Area is in cells; the
+// fault-tolerance term is the index so that β expresses how many cells
+// of area one unit of FTI is worth.
+func ftCost(p *place.Placement, prob Problem, o Options, beta float64) float64 {
+	c := float64(p.ArrayCells()) + o.OverlapPenalty*float64(p.OverlapCells())
+	if len(prob.Obstacles) > 0 {
+		c += o.OverlapPenalty * float64(prob.obstacleHits(p))
+	}
+	if p.Valid() {
+		c -= beta * fti.Compute(p).FTI()
+	}
+	return c
+}
+
+// AnnealFaultTolerance runs stage 2 (LTSA) from a stage-1 placement:
+// single-module displacement only, fault tolerance index in the cost.
+func AnnealFaultTolerance(start *place.Placement, prob Problem, opts Options, ft FTOptions) (*place.Placement, Stats, error) {
+	o := opts.withDefaults(len(prob.Modules))
+	f := ft.withDefaults()
+	if start == nil {
+		return nil, Stats{}, fmt.Errorf("core: stage 2 requires a stage-1 placement")
+	}
+	if err := start.Validate(); err != nil {
+		return nil, Stats{}, fmt.Errorf("core: stage-1 placement invalid: %w", err)
+	}
+	// Stage 2 explores a core that allows growth around the compact
+	// stage-1 result.
+	bb := start.BoundingBox()
+	prob2 := prob
+	prob2.MaxW = min(prob.MaxW+f.MarginCells, bb.W+2*f.MarginCells)
+	prob2.MaxH = min(prob.MaxH+f.MarginCells, bb.H+2*f.MarginCells)
+	if prob2.MaxW < prob.MaxW {
+		prob2.MaxW = prob.MaxW
+	}
+	if prob2.MaxH < prob.MaxH {
+		prob2.MaxH = prob.MaxH
+	}
+	span := max(prob2.MaxW, prob2.MaxH)
+	sched := anneal.Schedule{T0: f.T0, Alpha: o.Alpha, Iters: o.ItersPerModule * len(prob.Modules)}
+
+	var best *place.Placement
+	bestCost := 0.0
+	stats := Stats{}
+	for r := 0; r < f.Restarts; r++ {
+		rng := rand.New(rand.NewSource(o.Seed + 1 + int64(r)))
+		problem := anneal.Problem[*place.Placement]{
+			Cost: func(p *place.Placement) float64 { return ftCost(p, prob2, o, f.Beta) },
+			Neighbor: func(cur *place.Placement, T float64, rng *rand.Rand) *place.Placement {
+				return neighbor(cur, prob2, o, T, rng, true) // single displacement only
+			},
+			Stop: anneal.StopAny(
+				windowStop(o, span, o.WindowPatience),
+				anneal.StopBelow(o.Alpha/1000*f.T0),
+			),
+		}
+		res := anneal.Run(start.Clone(), problem, sched, rng)
+		stats.Levels += len(res.Levels)
+		stats.Evaluations += res.Evaluations
+		if best == nil || res.BestCost < bestCost {
+			best = res.Best
+			bestCost = res.BestCost
+			stats.FinalCost = res.BestCost
+		}
+	}
+
+	best = best.Clone()
+	best.Normalize()
+	if err := best.Validate(); err != nil {
+		return nil, Stats{}, fmt.Errorf("core: LTSA ended with forbidden overlap: %w", err)
+	}
+	return best, stats, nil
+}
+
+// TwoStageResult bundles the outcome of the enhanced placement
+// algorithm with its intermediate stage-1 placement.
+type TwoStageResult struct {
+	Stage1      *place.Placement
+	Final       *place.Placement
+	Stage1Stats Stats
+	Stage2Stats Stats
+}
+
+// TwoStage runs the enhanced module placement algorithm of
+// Section 6.2: fault-oblivious area minimisation followed by LTSA
+// refinement of fault tolerance.
+func TwoStage(prob Problem, opts Options, ft FTOptions) (TwoStageResult, error) {
+	s1, st1, err := AnnealArea(prob, opts)
+	if err != nil {
+		return TwoStageResult{}, err
+	}
+	s2, st2, err := AnnealFaultTolerance(s1, prob, opts, ft)
+	if err != nil {
+		return TwoStageResult{}, err
+	}
+	return TwoStageResult{Stage1: s1, Final: s2, Stage1Stats: st1, Stage2Stats: st2}, nil
+}
+
+// SweepPoint is one row of the paper's Table 2.
+type SweepPoint struct {
+	Beta  float64
+	Cells int
+	FTI   float64
+}
+
+// BetaSweep reruns the two-stage algorithm for each β, reproducing the
+// area/fault-tolerance trade-off of Table 2. The stage-1 placement is
+// computed once and shared; ft.Beta is overridden per point.
+func BetaSweep(prob Problem, opts Options, ft FTOptions, betas []float64) ([]SweepPoint, error) {
+	s1, _, err := AnnealArea(prob, opts)
+	if err != nil {
+		return nil, err
+	}
+	var out []SweepPoint
+	for _, b := range betas {
+		ftb := ft
+		ftb.Beta = b
+		s2, _, err := AnnealFaultTolerance(s1, prob, opts, ftb)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{
+			Beta:  b,
+			Cells: s2.ArrayCells(),
+			FTI:   fti.Compute(s2).FTI(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmfb/internal/fti"
+	"dmfb/internal/geom"
+	"dmfb/internal/place"
+)
+
+func TestObstacleHits(t *testing.T) {
+	mods := []place.Module{mod(0, "A", 2, 2, 0, 5), mod(1, "B", 2, 2, 0, 5)}
+	p := place.New(mods)
+	p.Pos[1] = geom.Point{X: 3, Y: 0}
+	prob := Problem{Modules: mods, MaxW: 8, MaxH: 8,
+		Obstacles: []geom.Point{{X: 0, Y: 0}, {X: 3, Y: 1}, {X: 7, Y: 7}}}
+	if got := prob.obstacleHits(p); got != 2 {
+		t.Errorf("obstacleHits = %d, want 2", got)
+	}
+}
+
+func TestGreedyAvoidsObstacles(t *testing.T) {
+	mods := []place.Module{mod(0, "A", 2, 2, 0, 5), mod(1, "B", 3, 2, 0, 5)}
+	prob := Problem{Modules: mods, MaxW: 8, MaxH: 8,
+		Obstacles: []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 4, Y: 0}}}
+	p, err := Greedy(prob, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mods {
+		for _, o := range prob.Obstacles {
+			if p.Rect(i).Contains(o) {
+				t.Errorf("module %d covers obstacle %v", i, o)
+			}
+		}
+	}
+}
+
+func TestAnnealAreaClearsObstacles(t *testing.T) {
+	mods := []place.Module{
+		mod(0, "A", 3, 3, 0, 5), mod(1, "B", 2, 4, 0, 5), mod(2, "C", 2, 2, 2, 8),
+	}
+	prob := Problem{Modules: mods, MaxW: 9, MaxH: 9,
+		Obstacles: []geom.Point{{X: 4, Y: 4}, {X: 0, Y: 0}}}
+	p, _, err := AnnealArea(prob, Options{Seed: 3, ItersPerModule: 120, WindowPatience: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if hits := prob.obstacleHits(p); hits != 0 {
+		t.Fatalf("placement covers %d obstacle cells", hits)
+	}
+}
+
+func TestFullReconfigurePCR(t *testing.T) {
+	prob := pcrProblem()
+	res, err := TwoStage(prob, lightOptions(1), FTOptions{Beta: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := res.Final
+	bb := old.BoundingBox()
+	// Kill a handful of cells and re-place everything around them.
+	dead := []geom.Point{
+		{X: bb.X, Y: bb.Y},
+		{X: bb.X + bb.W/2, Y: bb.Y + bb.H/2},
+		{X: bb.MaxX() - 1, Y: bb.MaxY() - 1},
+	}
+	fresh, err := FullReconfigure(old, dead, lightOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh.Modules {
+		for _, d := range dead {
+			if fresh.Rect(i).Contains(d) {
+				t.Errorf("module %s covers dead cell %v", fresh.Modules[i].Name, d)
+			}
+		}
+	}
+	// The chip is already fabricated: the new placement must stay
+	// within the original array bounds.
+	if !fresh.FitsIn(bb.MaxX(), bb.MaxY()) {
+		t.Errorf("full reconfiguration escaped the fabricated %dx%d array", bb.MaxX(), bb.MaxY())
+	}
+}
+
+// TestFullReconfigureSurvivesWherePartialFails: on the packed
+// area-minimal placement most single faults defeat partial
+// reconfiguration, but full re-placement absorbs many of them because
+// the module set genuinely fits the array minus one cell.
+func TestFullReconfigureSurvivesWherePartialFails(t *testing.T) {
+	prob := pcrProblem()
+	p, _, err := AnnealArea(prob, lightOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	array := p.BoundingBox()
+	rng := rand.New(rand.NewSource(9))
+	recoveredByFull := 0
+	tried := 0
+	for i := 0; i < 30 && tried < 6; i++ {
+		cell := geom.Point{X: array.X + rng.Intn(array.W), Y: array.Y + rng.Intn(array.H)}
+		// Only faults where partial reconfiguration fails.
+		if relocatablePartial(p, array, cell) {
+			continue
+		}
+		tried++
+		full, err := FullReconfigure(p, []geom.Point{cell}, lightOptions(int64(i)))
+		if err != nil {
+			continue
+		}
+		if hits := (Problem{Modules: full.Modules, Obstacles: []geom.Point{cell}}).obstacleHits(full); hits > 0 {
+			t.Fatalf("full reconfiguration still covers the fault %v", cell)
+		}
+		recoveredByFull++
+	}
+	if tried == 0 {
+		t.Skip("no partial-failure faults sampled")
+	}
+	if recoveredByFull == 0 {
+		t.Errorf("full reconfiguration recovered 0/%d faults that defeated partial", tried)
+	}
+}
+
+// relocatablePartial reports whether partial reconfiguration can
+// absorb a fault at cell — exactly the C-coverage of the FTI.
+func relocatablePartial(p *place.Placement, array geom.Rect, cell geom.Point) bool {
+	r := fti.ComputeOn(p, array)
+	return r.CoveredAt(cell.X-array.X, cell.Y-array.Y)
+}

@@ -1,0 +1,264 @@
+// Package emptyrect enumerates maximal empty rectangles (MERs) in an
+// occupancy grid. A maximal empty rectangle is a rectangle of free
+// cells that is not contained in any larger rectangle of free cells.
+//
+// The paper's fast fault-tolerance-index algorithm (Section 5.3) mines
+// MERs with the staircase technique of Edmonds et al.; relocating a
+// faulty module succeeds exactly when some MER can accommodate the
+// module's footprint. This package implements an equivalent
+// linear-sweep enumeration: rows are scanned bottom-to-top while a
+// per-column free-run histogram is maintained, and a monotone stack —
+// the staircase of partially overlapping empty rectangles sharing a
+// corner cell — yields every width-maximal, height-tight rectangle.
+// Rectangles that could still grow upward are deferred to a later row,
+// so each MER is reported exactly once. Total cost is O(W·H + #MER).
+package emptyrect
+
+import (
+	"sort"
+
+	"dmfb/internal/geom"
+	"dmfb/internal/grid"
+)
+
+// Maximal returns all maximal empty rectangles of g. The result is
+// sorted by (Y, X, W, H) so output is deterministic. The slice is nil
+// when the grid is fully occupied.
+func Maximal(g *grid.Grid) []geom.Rect {
+	w, h := g.W(), g.H()
+	up := make([]int, w)          // free-run length ending at the current row
+	occPrefix := make([]int, w+1) // prefix of occupied cells in the row above
+	type bar struct{ start, h int }
+	stack := make([]bar, 0, w+1)
+	var out []geom.Rect
+
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if g.Occupied(geom.Point{X: x, Y: y}) {
+				up[x] = 0
+			} else {
+				up[x]++
+			}
+		}
+		// Occupancy prefix sums for the row above: a candidate with top
+		// edge at row y is maximal only if it cannot grow into row y+1.
+		topRow := y == h-1
+		if !topRow {
+			for x := 0; x < w; x++ {
+				occPrefix[x+1] = occPrefix[x]
+				if g.Occupied(geom.Point{X: x, Y: y + 1}) {
+					occPrefix[x+1]++
+				}
+			}
+		}
+		blockedAbove := func(x0, x1 int) bool { // inclusive column span
+			if topRow {
+				return true
+			}
+			return occPrefix[x1+1]-occPrefix[x0] > 0
+		}
+
+		stack = stack[:0]
+		for x := 0; x <= w; x++ {
+			cur := -1 // sentinel flushes the stack at the right edge
+			if x < w {
+				cur = up[x]
+			}
+			start := x
+			for len(stack) > 0 && stack[len(stack)-1].h > cur {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if b.h > 0 && blockedAbove(b.start, x-1) {
+					out = append(out, geom.Rect{X: b.start, Y: y - b.h + 1, W: x - b.start, H: b.h})
+				}
+				start = b.start
+			}
+			if len(stack) == 0 || stack[len(stack)-1].h < cur {
+				stack = append(stack, bar{start, cur})
+			}
+		}
+	}
+	sortRects(out)
+	return out
+}
+
+// MaximalBrute is an exhaustive oracle used by the test suite and by
+// the fault-tolerance-index cross-checks: it examines every rectangle
+// in the grid, keeps the free ones, and filters to those that cannot be
+// extended by one cell in any direction. O(W³·H³); use only on small
+// grids.
+func MaximalBrute(g *grid.Grid) []geom.Rect {
+	var out []geom.Rect
+	for y := 0; y < g.H(); y++ {
+		for x := 0; x < g.W(); x++ {
+			for hh := 1; y+hh <= g.H(); hh++ {
+				for ww := 1; x+ww <= g.W(); ww++ {
+					r := geom.Rect{X: x, Y: y, W: ww, H: hh}
+					if !g.RectFree(r) {
+						break // wider is not free either
+					}
+					if isMaximal(g, r) {
+						out = append(out, r)
+					}
+				}
+			}
+		}
+	}
+	sortRects(out)
+	return out
+}
+
+func isMaximal(g *grid.Grid, r geom.Rect) bool {
+	grow := []geom.Rect{
+		{X: r.X - 1, Y: r.Y, W: r.W + 1, H: r.H}, // left
+		{X: r.X, Y: r.Y, W: r.W + 1, H: r.H},     // right
+		{X: r.X, Y: r.Y - 1, W: r.W, H: r.H + 1}, // down
+		{X: r.X, Y: r.Y, W: r.W, H: r.H + 1},     // up
+	}
+	for _, e := range grow {
+		if g.RectFree(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// Accommodates reports whether a module footprint s fits inside any of
+// the rectangles, in either orientation.
+func Accommodates(rects []geom.Rect, s geom.Size) bool {
+	for _, r := range rects {
+		if s.FitsEither(r.Size()) {
+			return true
+		}
+	}
+	return false
+}
+
+// AccommodatesAvoiding reports whether a module footprint s can be
+// placed inside some rectangle without covering the cell avoid. This
+// is the relocation feasibility test for a faulty cell that lies within
+// the module's own (temporarily freed) region: the new site must not
+// reuse the faulty cell. The check is arithmetic — no grid scan.
+func AccommodatesAvoiding(rects []geom.Rect, s geom.Size, avoid geom.Point) bool {
+	for _, r := range rects {
+		if fitsAvoiding(r, s, avoid) || (!s.IsSquare() && fitsAvoiding(r, s.Transpose(), avoid)) {
+			return true
+		}
+	}
+	return false
+}
+
+// fitsAvoiding reports whether footprint s (fixed orientation) has at
+// least one placement inside r that does not cover avoid.
+func fitsAvoiding(r geom.Rect, s geom.Size, avoid geom.Point) bool {
+	if !s.Fits(r.Size()) {
+		return false
+	}
+	if !r.Contains(avoid) {
+		return true // every placement avoids it
+	}
+	// Origins form the grid [r.X, r.X+r.W-s.W] × [r.Y, r.Y+r.H-s.H].
+	// Origins whose rectangle covers avoid satisfy
+	// origin.X ∈ [avoid.X-s.W+1, avoid.X] and likewise for Y.
+	totalX := r.W - s.W + 1
+	totalY := r.H - s.H + 1
+	covX := overlapLen(r.X, r.X+r.W-s.W, avoid.X-s.W+1, avoid.X)
+	covY := overlapLen(r.Y, r.Y+r.H-s.H, avoid.Y-s.H+1, avoid.Y)
+	return covX*covY < totalX*totalY
+}
+
+// overlapLen returns the size of the intersection of the inclusive
+// integer ranges [a0,a1] and [b0,b1].
+func overlapLen(a0, a1, b0, b1 int) int {
+	lo := max(a0, b0)
+	hi := min(a1, b1)
+	if hi < lo {
+		return 0
+	}
+	return hi - lo + 1
+}
+
+// BestFit returns the placement rectangle for footprint s (considering
+// both orientations) inside the rectangle set that minimises leftover
+// area of the hosting MER, preferring the first in sorted order on
+// ties. ok is false when no rectangle accommodates s. The returned
+// rect is anchored at its host's origin.
+func BestFit(rects []geom.Rect, s geom.Size) (placed geom.Rect, ok bool) {
+	bestWaste := int(^uint(0) >> 1)
+	for _, r := range rects {
+		for _, o := range orientations(s) {
+			if !o.Fits(r.Size()) {
+				continue
+			}
+			waste := r.Cells() - o.Cells()
+			if waste < bestWaste {
+				bestWaste = waste
+				placed = geom.RectAt(r.Origin(), o)
+				ok = true
+			}
+		}
+	}
+	return placed, ok
+}
+
+// BestFitAvoiding is BestFit with the additional constraint that the
+// placement must not cover the cell avoid. The placement is anchored
+// at the host origin when that avoids the cell, otherwise shifted the
+// minimum distance needed.
+func BestFitAvoiding(rects []geom.Rect, s geom.Size, avoid geom.Point) (placed geom.Rect, ok bool) {
+	bestWaste := int(^uint(0) >> 1)
+	for _, r := range rects {
+		for _, o := range orientations(s) {
+			if !fitsAvoiding(r, o, avoid) {
+				continue
+			}
+			waste := r.Cells() - o.Cells()
+			if waste >= bestWaste {
+				continue
+			}
+			if p, found := placeAvoiding(r, o, avoid); found {
+				bestWaste = waste
+				placed = p
+				ok = true
+			}
+		}
+	}
+	return placed, ok
+}
+
+// placeAvoiding scans candidate origins in (y, x) order and returns
+// the first placement of o inside r that does not cover avoid.
+func placeAvoiding(r geom.Rect, o geom.Size, avoid geom.Point) (geom.Rect, bool) {
+	for y := r.Y; y+o.H <= r.MaxY(); y++ {
+		for x := r.X; x+o.W <= r.MaxX(); x++ {
+			c := geom.Rect{X: x, Y: y, W: o.W, H: o.H}
+			if !c.Contains(avoid) {
+				return c, true
+			}
+		}
+	}
+	return geom.Rect{}, false
+}
+
+func orientations(s geom.Size) []geom.Size {
+	if s.IsSquare() {
+		return []geom.Size{s}
+	}
+	return []geom.Size{s, s.Transpose()}
+}
+
+func sortRects(rs []geom.Rect) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		if a.W != b.W {
+			return a.W < b.W
+		}
+		return a.H < b.H
+	})
+}

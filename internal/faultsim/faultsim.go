@@ -1,0 +1,262 @@
+// Package faultsim evaluates fault-tolerance claims empirically by
+// Monte-Carlo fault injection: random cells are declared faulty and
+// partial reconfiguration is attempted, measuring the fraction of
+// faults the configuration survives. Under the paper's uniform
+// single-fault model this fraction is exactly what the fault tolerance
+// index predicts, which the exhaustive variant verifies cell by cell.
+// A sequential multi-fault mode extends the analysis beyond the
+// paper's single-fault assumption (testing and reconfiguration between
+// failures), measuring how placements degrade as faults accumulate.
+package faultsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmfb/internal/core"
+	"dmfb/internal/fti"
+	"dmfb/internal/geom"
+	"dmfb/internal/place"
+	"dmfb/internal/reconfig"
+	"dmfb/internal/stats"
+)
+
+// Summary reports a fault-injection campaign.
+type Summary struct {
+	Trials       int
+	Survived     int
+	PredictedFTI float64 // the placement's FTI before any fault
+}
+
+// SurvivalRate returns the measured fraction of survived trials.
+func (s Summary) SurvivalRate() float64 {
+	if s.Trials == 0 {
+		return 0
+	}
+	return float64(s.Survived) / float64(s.Trials)
+}
+
+// ConfidenceInterval95 returns the Wilson 95% confidence interval on
+// the measured survival rate; with the paper's uniform fault model the
+// placement's FTI should fall inside it.
+func (s Summary) ConfidenceInterval95() (lo, hi float64) {
+	return stats.Wilson95(s.Survived, s.Trials)
+}
+
+// String summarises the campaign.
+func (s Summary) String() string {
+	return fmt.Sprintf("survived %d/%d (%.4f measured vs %.4f FTI predicted)",
+		s.Survived, s.Trials, s.SurvivalRate(), s.PredictedFTI)
+}
+
+// SingleFault samples `trials` uniform random cells of the placement's
+// array and attempts partial reconfiguration for each, independently
+// (the placement is not cumulatively modified). By the law of large
+// numbers the survival rate converges to the FTI.
+func SingleFault(p *place.Placement, trials int, seed int64) Summary {
+	array := p.BoundingBox()
+	rng := rand.New(rand.NewSource(seed))
+	s := Summary{Trials: trials, PredictedFTI: fti.Compute(p).FTI()}
+	for i := 0; i < trials; i++ {
+		cell := geom.Point{
+			X: array.X + rng.Intn(array.W),
+			Y: array.Y + rng.Intn(array.H),
+		}
+		if _, err := reconfig.Plan(p, array, cell); err == nil {
+			s.Survived++
+		}
+	}
+	return s
+}
+
+// ExhaustiveSingleFault attempts reconfiguration for every cell of the
+// array. Its survival rate equals the FTI exactly.
+func ExhaustiveSingleFault(p *place.Placement) Summary {
+	array := p.BoundingBox()
+	s := Summary{Trials: array.Cells(), PredictedFTI: fti.Compute(p).FTI()}
+	for y := 0; y < array.H; y++ {
+		for x := 0; x < array.W; x++ {
+			cell := geom.Point{X: array.X + x, Y: array.Y + y}
+			if _, err := reconfig.Plan(p, array, cell); err == nil {
+				s.Survived++
+			}
+		}
+	}
+	return s
+}
+
+// MultiFault injects k distinct faults sequentially, reconfiguring
+// after each (testing between failures localises them one at a time).
+// Earlier faults remain as dead cells that later relocations must
+// avoid. One trial survives if all k faults are recovered from.
+func MultiFault(p *place.Placement, k, trials int, seed int64) Summary {
+	array := p.BoundingBox()
+	rng := rand.New(rand.NewSource(seed))
+	s := Summary{Trials: trials, PredictedFTI: fti.Compute(p).FTI()}
+	if k > array.Cells() {
+		return s
+	}
+trial:
+	for i := 0; i < trials; i++ {
+		cur := p.Clone()
+		var dead []geom.Point
+		for j := 0; j < k; j++ {
+			cell := geom.Point{
+				X: array.X + rng.Intn(array.W),
+				Y: array.Y + rng.Intn(array.H),
+			}
+			dup := false
+			for _, d := range dead {
+				if d == cell {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				j--
+				continue
+			}
+			if !recoverWithObstacles(cur, array, cell, dead) {
+				continue trial
+			}
+			dead = append(dead, cell)
+		}
+		s.Survived++
+	}
+	return s
+}
+
+// recoverWithObstacles relocates every module using cell, treating the
+// previously failed cells as additional obstacles, and applies the
+// relocations to cur.
+func recoverWithObstacles(cur *place.Placement, array geom.Rect, cell geom.Point, dead []geom.Point) bool {
+	var rels []reconfig.Relocation
+	for _, mi := range cur.ModulesAt(cell) {
+		rel, err := reconfig.PlanModule(cur, array, mi, cell, dead...)
+		if err != nil {
+			return false
+		}
+		rels = append(rels, rel)
+	}
+	return reconfig.Apply(cur, rels) == nil
+}
+
+// MultiFaultFull is MultiFault with full reconfiguration as a
+// fallback: when partial reconfiguration cannot absorb a fault, the
+// entire module set is re-placed from scratch around the accumulated
+// dead cells (core.FullReconfigure) within the original array bounds.
+// The paper motivates partial reconfiguration by its speed; this
+// campaign quantifies how much additional survivability the slower
+// full variant buys. opts configures the re-placement annealer (light
+// settings are fine; the instance is small).
+func MultiFaultFull(p *place.Placement, k, trials int, seed int64, opts core.Options) Summary {
+	array := p.BoundingBox()
+	rng := rand.New(rand.NewSource(seed))
+	s := Summary{Trials: trials, PredictedFTI: fti.Compute(p).FTI()}
+	if k > array.Cells() {
+		return s
+	}
+trial:
+	for i := 0; i < trials; i++ {
+		cur := p.Clone()
+		var dead []geom.Point
+		for j := 0; j < k; j++ {
+			cell := geom.Point{
+				X: array.X + rng.Intn(array.W),
+				Y: array.Y + rng.Intn(array.H),
+			}
+			dup := false
+			for _, d := range dead {
+				if d == cell {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				j--
+				continue
+			}
+			if recoverWithObstacles(cur, array, cell, dead) {
+				dead = append(dead, cell)
+				continue
+			}
+			// Partial reconfiguration failed: attempt full.
+			o := opts
+			o.Seed = seed + int64(i*1000+j)
+			full, err := core.FullReconfigure(cur, append(append([]geom.Point(nil), dead...), cell), o)
+			if err != nil {
+				continue trial
+			}
+			cur = full
+			dead = append(dead, cell)
+		}
+		s.Survived++
+	}
+	return s
+}
+
+// Yield estimates manufacturing/field yield under a defect-density
+// model: every cell of the array fails independently with probability
+// defectProb, and a chip is usable if the configuration absorbs all
+// its defects — by sequential partial reconfiguration in scan order,
+// with full re-placement as a fallback when withFull is set. This
+// extends the paper's uniform single-fault model to the regime its
+// Section 5.2 anticipates ("the failure model can be easily updated
+// when statistical failure data becomes available").
+func Yield(p *place.Placement, defectProb float64, trials int, seed int64,
+	withFull bool, opts core.Options) Summary {
+	array := p.BoundingBox()
+	rng := rand.New(rand.NewSource(seed))
+	s := Summary{Trials: trials, PredictedFTI: fti.Compute(p).FTI()}
+trial:
+	for i := 0; i < trials; i++ {
+		var defects []geom.Point
+		for y := 0; y < array.H; y++ {
+			for x := 0; x < array.W; x++ {
+				if rng.Float64() < defectProb {
+					defects = append(defects, geom.Point{X: array.X + x, Y: array.Y + y})
+				}
+			}
+		}
+		cur := p.Clone()
+		var dead []geom.Point
+		for _, cell := range defects {
+			if recoverWithObstacles(cur, array, cell, dead) {
+				dead = append(dead, cell)
+				continue
+			}
+			if withFull {
+				o := opts
+				o.Seed = seed + int64(i*8192+len(dead))
+				full, err := core.FullReconfigure(cur,
+					append(append([]geom.Point(nil), dead...), cell), o)
+				if err == nil {
+					cur = full
+					dead = append(dead, cell)
+					continue
+				}
+			}
+			continue trial
+		}
+		s.Survived++
+	}
+	return s
+}
+
+// SweepPoint pairs a placement label with its measured survival.
+type SweepPoint struct {
+	Label    string
+	FTI      float64
+	Measured float64
+}
+
+// CompareSurvival runs the exhaustive single-fault campaign over
+// several placements, for FTI-versus-survivability tables.
+func CompareSurvival(placements map[string]*place.Placement) []SweepPoint {
+	var out []SweepPoint
+	for label, p := range placements {
+		s := ExhaustiveSingleFault(p)
+		out = append(out, SweepPoint{Label: label, FTI: s.PredictedFTI, Measured: s.SurvivalRate()})
+	}
+	return out
+}

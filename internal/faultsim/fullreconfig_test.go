@@ -1,0 +1,59 @@
+package faultsim
+
+import (
+	"testing"
+
+	"dmfb/internal/core"
+	"dmfb/internal/pcr"
+)
+
+func lightOpts(seed int64) core.Options {
+	return core.Options{Seed: seed, ItersPerModule: 60, WindowPatience: 3}
+}
+
+// TestFullReconfigurationBeatsPartial: with full re-placement as a
+// fallback, multi-fault survival can only improve.
+func TestFullReconfigurationBeatsPartial(t *testing.T) {
+	prob := core.FromSchedule(pcr.MustSchedule())
+	res, err := core.TwoStage(prob, core.Options{Seed: 1, ItersPerModule: 120, WindowPatience: 4},
+		core.FTOptions{Beta: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Final
+	const k, trials = 2, 40
+	partial := MultiFault(p, k, trials, 5)
+	full := MultiFaultFull(p, k, trials, 5, lightOpts(1))
+	if full.Survived < partial.Survived {
+		t.Errorf("full fallback survived %d < partial-only %d", full.Survived, partial.Survived)
+	}
+	if full.Trials != trials || partial.Trials != trials {
+		t.Error("trial counts wrong")
+	}
+	t.Logf("k=%d: partial %.3f, with full fallback %.3f",
+		k, partial.SurvivalRate(), full.SurvivalRate())
+}
+
+// TestFullFallbackOnMinimalPlacement: on the packed area-minimal
+// design, partial reconfiguration absorbs few single faults while the
+// full fallback absorbs substantially more — the headline gap between
+// the two mechanisms.
+func TestFullFallbackOnMinimalPlacement(t *testing.T) {
+	prob := core.FromSchedule(pcr.MustSchedule())
+	p, _, err := core.AnnealArea(prob, core.Options{Seed: 1, ItersPerModule: 150, WindowPatience: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 30
+	partial := MultiFault(p, 1, trials, 7)
+	full := MultiFaultFull(p, 1, trials, 7, lightOpts(2))
+	if full.SurvivalRate() < partial.SurvivalRate() {
+		t.Errorf("full fallback (%.3f) below partial-only (%.3f)",
+			full.SurvivalRate(), partial.SurvivalRate())
+	}
+	// On a placement this tight the fallback should rescue at least
+	// some otherwise-fatal faults.
+	if full.Survived == partial.Survived {
+		t.Logf("note: full fallback rescued no extra faults in %d trials", trials)
+	}
+}

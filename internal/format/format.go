@@ -1,0 +1,211 @@
+// Package format serialises the flow's artefacts — sequencing graphs,
+// schedules and placements — as JSON, so the cmd/ tools can exchange
+// them on disk and downstream users can bring their own assays.
+package format
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dmfb/internal/assay"
+	"dmfb/internal/geom"
+	"dmfb/internal/modlib"
+	"dmfb/internal/place"
+	"dmfb/internal/schedule"
+)
+
+// GraphJSON is the on-disk form of a sequencing graph.
+type GraphJSON struct {
+	Name  string   `json:"name"`
+	Ops   []OpJSON `json:"ops"`
+	Edges [][2]int `json:"edges"`
+}
+
+// OpJSON is one operation.
+type OpJSON struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
+	Fluid string `json:"fluid,omitempty"`
+}
+
+var kindByName = map[string]assay.OpKind{
+	"dispense": assay.Dispense,
+	"mix":      assay.Mix,
+	"dilute":   assay.Dilute,
+	"store":    assay.Store,
+	"detect":   assay.Detect,
+	"output":   assay.Output,
+}
+
+// MarshalGraph encodes a sequencing graph.
+func MarshalGraph(g *assay.Graph) ([]byte, error) {
+	out := GraphJSON{Name: g.Name}
+	for _, op := range g.Ops() {
+		out.Ops = append(out.Ops, OpJSON{Name: op.Name, Kind: op.Kind.String(), Fluid: op.Fluid})
+		for _, s := range g.Succ(op.ID) {
+			out.Edges = append(out.Edges, [2]int{op.ID, s})
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalGraph decodes and validates a sequencing graph.
+func UnmarshalGraph(data []byte) (*assay.Graph, error) {
+	var in GraphJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("format: %w", err)
+	}
+	g := assay.New(in.Name)
+	for i, op := range in.Ops {
+		kind, ok := kindByName[op.Kind]
+		if !ok {
+			return nil, fmt.Errorf("format: op %d has unknown kind %q", i, op.Kind)
+		}
+		g.AddOp(op.Name, kind, op.Fluid)
+	}
+	for _, e := range in.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("format: %w", err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// PlacementJSON is the on-disk form of a placement.
+type PlacementJSON struct {
+	Modules []ModuleJSON `json:"modules"`
+}
+
+// ModuleJSON is one placed module.
+type ModuleJSON struct {
+	Name  string `json:"name"`
+	W     int    `json:"w"`
+	H     int    `json:"h"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	X     int    `json:"x"`
+	Y     int    `json:"y"`
+	Rot   bool   `json:"rot,omitempty"`
+}
+
+// MarshalPlacement encodes a placement.
+func MarshalPlacement(p *place.Placement) ([]byte, error) {
+	out := PlacementJSON{}
+	for i, m := range p.Modules {
+		out.Modules = append(out.Modules, ModuleJSON{
+			Name: m.Name, W: m.Size.W, H: m.Size.H,
+			Start: m.Span.Start, End: m.Span.End,
+			X: p.Pos[i].X, Y: p.Pos[i].Y, Rot: p.Rot[i],
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalPlacement decodes and validates a placement.
+func UnmarshalPlacement(data []byte) (*place.Placement, error) {
+	var in PlacementJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("format: %w", err)
+	}
+	mods := make([]place.Module, len(in.Modules))
+	for i, m := range in.Modules {
+		mods[i] = place.Module{
+			ID:   i,
+			Name: m.Name,
+			Size: geom.Size{W: m.W, H: m.H},
+			Span: geom.Interval{Start: m.Start, End: m.End},
+		}
+		if !mods[i].Size.Valid() {
+			return nil, fmt.Errorf("format: module %d has invalid size %dx%d", i, m.W, m.H)
+		}
+	}
+	p := place.New(mods)
+	for i, m := range in.Modules {
+		p.Pos[i] = geom.Point{X: m.X, Y: m.Y}
+		p.Rot[i] = m.Rot
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ScheduleJSON is the on-disk form of a synthesis result.
+type ScheduleJSON struct {
+	Graph    GraphJSON  `json:"graph"`
+	Items    []ItemJSON `json:"items"`
+	Makespan int        `json:"makespan"`
+}
+
+// ItemJSON is one scheduled operation.
+type ItemJSON struct {
+	Op     int    `json:"op"`
+	Start  int    `json:"start"`
+	End    int    `json:"end"`
+	Device string `json:"device,omitempty"`
+}
+
+// MarshalSchedule encodes a schedule; devices are referenced by
+// library name.
+func MarshalSchedule(s *schedule.Schedule) ([]byte, error) {
+	gj, err := MarshalGraph(s.Graph)
+	if err != nil {
+		return nil, err
+	}
+	var graph GraphJSON
+	if err := json.Unmarshal(gj, &graph); err != nil {
+		return nil, err
+	}
+	out := ScheduleJSON{Graph: graph, Makespan: s.Makespan}
+	for i, it := range s.Items {
+		ij := ItemJSON{Op: i, Start: it.Span.Start, End: it.Span.End}
+		if it.Bound {
+			ij.Device = it.Device.Name
+		}
+		out.Items = append(out.Items, ij)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalSchedule decodes a schedule, resolving devices against the
+// given library.
+func UnmarshalSchedule(data []byte, lib *modlib.Library) (*schedule.Schedule, error) {
+	var in ScheduleJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("format: %w", err)
+	}
+	graphBytes, err := json.Marshal(in.Graph)
+	if err != nil {
+		return nil, err
+	}
+	g, err := UnmarshalGraph(graphBytes)
+	if err != nil {
+		return nil, err
+	}
+	if len(in.Items) != g.NumOps() {
+		return nil, fmt.Errorf("format: %d items for %d ops", len(in.Items), g.NumOps())
+	}
+	s := &schedule.Schedule{Graph: g, Items: make([]schedule.Item, g.NumOps()), Makespan: in.Makespan}
+	for _, ij := range in.Items {
+		if ij.Op < 0 || ij.Op >= g.NumOps() {
+			return nil, fmt.Errorf("format: item references unknown op %d", ij.Op)
+		}
+		item := schedule.Item{Op: g.Op(ij.Op), Span: geom.Interval{Start: ij.Start, End: ij.End}}
+		if ij.Device != "" {
+			d, ok := lib.Get(ij.Device)
+			if !ok {
+				return nil, fmt.Errorf("format: unknown device %q", ij.Device)
+			}
+			item.Device = d
+			item.Bound = true
+		}
+		s.Items[ij.Op] = item
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,184 @@
+// Package fti computes the paper's fault tolerance index (Section 5.2)
+// and the underlying per-cell C-coverage, using the fast
+// maximal-empty-rectangle procedure of Section 5.3.
+//
+// For a configuration C on an m×n array, a cell is C-covered if
+//
+//   - no module uses it, or
+//   - every module that uses it can be relocated by partial
+//     reconfiguration: after temporarily removing the module and
+//     marking the faulty cell occupied, some set of contiguous free
+//     cells (equivalently, some maximal empty rectangle) accommodates
+//     the module's footprint in either orientation.
+//
+// FTI = (#C-covered cells) / (m·n) ∈ [0, 1]. FTI = 1 means any single
+// faulty cell can be bypassed by partial reconfiguration; FTI = 0
+// means no faulty cell can.
+//
+// The combined placement of the paper's "modified 2-D placement" lets
+// a cell belong to several modules with pairwise-disjoint time spans;
+// such a cell is covered only if every one of those modules is
+// relocatable within its own time slice (obstacles are the modules
+// whose spans overlap the failing module's span).
+package fti
+
+import (
+	"fmt"
+
+	"dmfb/internal/emptyrect"
+	"dmfb/internal/geom"
+	"dmfb/internal/place"
+)
+
+// Result reports the fault-tolerance analysis of a placement.
+type Result struct {
+	Array   geom.Rect // the array the index is computed over
+	Covered int       // number of C-covered cells
+	Total   int       // m·n
+	// CoveredMap[y*Array.W+x] reports whether the array cell at
+	// array-local coordinates (x, y) is C-covered.
+	CoveredMap []bool
+	// ModuleRelocatable[i] reports whether module i can be relocated
+	// for at least one faulty cell within it; a module that is not
+	// relocatable for any of its cells makes all its cells uncovered.
+	ModuleRelocatable []bool
+}
+
+// FTI returns the fault tolerance index k/(m·n).
+func (r Result) FTI() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Covered) / float64(r.Total)
+}
+
+// CoveredAt reports whether the array cell at array-local (x, y) is
+// C-covered.
+func (r Result) CoveredAt(x, y int) bool {
+	if x < 0 || x >= r.Array.W || y < 0 || y >= r.Array.H {
+		return false
+	}
+	return r.CoveredMap[y*r.Array.W+x]
+}
+
+// String summarises the result.
+func (r Result) String() string {
+	return fmt.Sprintf("FTI %.4f (%d/%d cells C-covered on %dx%d array)",
+		r.FTI(), r.Covered, r.Total, r.Array.W, r.Array.H)
+}
+
+// Compute analyses the placement on the smallest array containing it
+// (its bounding box), the array a designer would fabricate for it.
+func Compute(p *place.Placement) Result {
+	return ComputeOn(p, p.BoundingBox())
+}
+
+// ComputeOn analyses the placement on an explicit array. Modules are
+// clipped to the array; cells outside the array do not exist.
+//
+// The procedure follows Section 5.3: for each module M, the
+// configuration during M's operation is encoded as a 0/1 matrix with M
+// temporarily removed, the maximal empty rectangles of that matrix are
+// enumerated once, and every cell of M is then tested arithmetically —
+// the relocation site must accommodate M's footprint while avoiding
+// the faulty cell (which the paper models by marking it as a 1).
+func ComputeOn(p *place.Placement, array geom.Rect) Result {
+	res := Result{
+		Array:             array,
+		Total:             array.Cells(),
+		CoveredMap:        make([]bool, array.Cells()),
+		ModuleRelocatable: make([]bool, len(p.Modules)),
+	}
+	// Start from "every cell covered" and knock out the cells of
+	// non-relocatable modules.
+	for i := range res.CoveredMap {
+		res.CoveredMap[i] = true
+	}
+
+	for mi, m := range p.Modules {
+		// Occupancy during M's time span with M removed. Any module
+		// whose span overlaps M's is an obstacle somewhere during M's
+		// operation.
+		g := p.OccupancyDuring(array, m.Span, mi)
+		mers := emptyrect.Maximal(g)
+		cells := p.Rect(mi).Intersect(array)
+		anyRelocatable := false
+		for _, pt := range cells.Points() {
+			local := geom.Point{X: pt.X - array.X, Y: pt.Y - array.Y}
+			if emptyrect.AccommodatesAvoiding(mers, m.Size, local) {
+				anyRelocatable = true
+				continue
+			}
+			res.CoveredMap[local.Y*array.W+local.X] = false
+		}
+		res.ModuleRelocatable[mi] = anyRelocatable
+	}
+
+	for _, c := range res.CoveredMap {
+		if c {
+			res.Covered++
+		}
+	}
+	return res
+}
+
+// ComputeBrute is an exhaustive oracle for the test suite: for every
+// cell and every module containing it, it tries every position and
+// orientation of the module on the array, checking cell-by-cell that
+// the candidate site is free and avoids the faulty cell. O(m²n²·|M|)
+// — small arrays only.
+func ComputeBrute(p *place.Placement, array geom.Rect) Result {
+	res := Result{
+		Array:             array,
+		Total:             array.Cells(),
+		CoveredMap:        make([]bool, array.Cells()),
+		ModuleRelocatable: make([]bool, len(p.Modules)),
+	}
+	for y := 0; y < array.H; y++ {
+		for x := 0; x < array.W; x++ {
+			pt := geom.Point{X: array.X + x, Y: array.Y + y}
+			covered := true
+			for _, mi := range p.ModulesAt(pt) {
+				if !relocatableBrute(p, array, mi, pt) {
+					covered = false
+					break
+				}
+			}
+			res.CoveredMap[y*array.W+x] = covered
+			if covered {
+				res.Covered++
+			}
+		}
+	}
+	for mi := range p.Modules {
+		for _, pt := range p.Rect(mi).Intersect(array).Points() {
+			if relocatableBrute(p, array, mi, pt) {
+				res.ModuleRelocatable[mi] = true
+				break
+			}
+		}
+	}
+	return res
+}
+
+// relocatableBrute reports whether module mi can be relocated when
+// cell faulty (core coordinates) fails, by exhaustive position search.
+func relocatableBrute(p *place.Placement, array geom.Rect, mi int, faulty geom.Point) bool {
+	m := p.Modules[mi]
+	g := p.OccupancyDuring(array, m.Span, mi)
+	g.Set(geom.Point{X: faulty.X - array.X, Y: faulty.Y - array.Y}, true)
+	sizes := []geom.Size{m.Size}
+	if !m.Size.IsSquare() {
+		sizes = append(sizes, m.Size.Transpose())
+	}
+	for _, s := range sizes {
+		for y := 0; y+s.H <= array.H; y++ {
+			for x := 0; x+s.W <= array.W; x++ {
+				if g.RectFree(geom.Rect{X: x, Y: y, W: s.W, H: s.H}) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

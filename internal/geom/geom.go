@@ -1,0 +1,241 @@
+// Package geom provides the small geometry kernel used throughout the
+// biochip CAD flow: integer points, sizes, axis-aligned rectangles on
+// the cell grid, and half-open time intervals.
+//
+// Coordinates follow the paper's convention: the microfluidic array is
+// an m×n grid of unit cells. Internally cells are addressed with
+// zero-based (x, y) where x grows rightward (columns) and y grows
+// upward (rows); the paper's cell (1,1) is our (0,0). A Rect occupies
+// the half-open cell range [X, X+W) × [Y, Y+H).
+package geom
+
+import "fmt"
+
+// Point is a cell coordinate on the array (zero-based).
+type Point struct {
+	X, Y int
+}
+
+// String returns "(x,y)".
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Add returns the translation of p by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Manhattan returns the L1 distance between p and q.
+func (p Point) Manhattan(q Point) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y)
+}
+
+// Neighbors4 returns the four orthogonal neighbours of p in fixed
+// order (east, west, north, south). Callers clip to array bounds.
+func (p Point) Neighbors4() [4]Point {
+	return [4]Point{
+		{p.X + 1, p.Y},
+		{p.X - 1, p.Y},
+		{p.X, p.Y + 1},
+		{p.X, p.Y - 1},
+	}
+}
+
+// Size is the width×height footprint of a module in cells.
+type Size struct {
+	W, H int
+}
+
+// String returns "WxH".
+func (s Size) String() string { return fmt.Sprintf("%dx%d", s.W, s.H) }
+
+// Cells returns the number of cells covered by the footprint.
+func (s Size) Cells() int { return s.W * s.H }
+
+// Transpose returns the footprint rotated by 90 degrees.
+func (s Size) Transpose() Size { return Size{s.H, s.W} }
+
+// IsSquare reports whether rotating the footprint changes nothing.
+func (s Size) IsSquare() bool { return s.W == s.H }
+
+// Fits reports whether a footprint of this size fits inside a
+// container of size c without rotation.
+func (s Size) Fits(c Size) bool { return s.W <= c.W && s.H <= c.H }
+
+// FitsEither reports whether the footprint fits inside c in at least
+// one of its two orientations.
+func (s Size) FitsEither(c Size) bool { return s.Fits(c) || s.Transpose().Fits(c) }
+
+// Valid reports whether both dimensions are positive.
+func (s Size) Valid() bool { return s.W > 0 && s.H > 0 }
+
+// Rect is an axis-aligned rectangle of cells: the half-open range
+// [X, X+W) × [Y, Y+H).
+type Rect struct {
+	X, Y, W, H int
+}
+
+// RectAt builds a Rect with origin p and size s.
+func RectAt(p Point, s Size) Rect { return Rect{p.X, p.Y, s.W, s.H} }
+
+// String returns "[x,y WxH]".
+func (r Rect) String() string { return fmt.Sprintf("[%d,%d %dx%d]", r.X, r.Y, r.W, r.H) }
+
+// Size returns the rectangle's footprint.
+func (r Rect) Size() Size { return Size{r.W, r.H} }
+
+// Origin returns the bottom-left cell of the rectangle.
+func (r Rect) Origin() Point { return Point{r.X, r.Y} }
+
+// MaxX returns the exclusive right edge X+W.
+func (r Rect) MaxX() int { return r.X + r.W }
+
+// MaxY returns the exclusive top edge Y+H.
+func (r Rect) MaxY() int { return r.Y + r.H }
+
+// Cells returns the number of cells covered.
+func (r Rect) Cells() int { return r.W * r.H }
+
+// Empty reports whether the rectangle covers no cells.
+func (r Rect) Empty() bool { return r.W <= 0 || r.H <= 0 }
+
+// Contains reports whether cell p lies inside r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.X && p.X < r.MaxX() && p.Y >= r.Y && p.Y < r.MaxY()
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	return s.X >= r.X && s.Y >= r.Y && s.MaxX() <= r.MaxX() && s.MaxY() <= r.MaxY()
+}
+
+// Overlaps reports whether r and s share at least one cell.
+func (r Rect) Overlaps(s Rect) bool {
+	if r.Empty() || s.Empty() {
+		return false
+	}
+	return r.X < s.MaxX() && s.X < r.MaxX() && r.Y < s.MaxY() && s.Y < r.MaxY()
+}
+
+// Intersect returns the common cells of r and s; the zero Rect (empty)
+// if they are disjoint.
+func (r Rect) Intersect(s Rect) Rect {
+	x0 := max(r.X, s.X)
+	y0 := max(r.Y, s.Y)
+	x1 := min(r.MaxX(), s.MaxX())
+	y1 := min(r.MaxY(), s.MaxY())
+	if x1 <= x0 || y1 <= y0 {
+		return Rect{}
+	}
+	return Rect{x0, y0, x1 - x0, y1 - y0}
+}
+
+// Union returns the smallest rectangle containing both r and s. An
+// empty operand is ignored.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	x0 := min(r.X, s.X)
+	y0 := min(r.Y, s.Y)
+	x1 := max(r.MaxX(), s.MaxX())
+	y1 := max(r.MaxY(), s.MaxY())
+	return Rect{x0, y0, x1 - x0, y1 - y0}
+}
+
+// Translate returns r moved by (dx, dy).
+func (r Rect) Translate(dx, dy int) Rect { return Rect{r.X + dx, r.Y + dy, r.W, r.H} }
+
+// Points returns every cell in the rectangle in row-major order
+// (y outer, x inner). Intended for tests and rendering, not hot paths.
+func (r Rect) Points() []Point {
+	if r.Empty() {
+		return nil
+	}
+	pts := make([]Point, 0, r.Cells())
+	for y := r.Y; y < r.MaxY(); y++ {
+		for x := r.X; x < r.MaxX(); x++ {
+			pts = append(pts, Point{x, y})
+		}
+	}
+	return pts
+}
+
+// Canon returns the rectangle with negative extents normalised to
+// empty (W, H clamped at 0).
+func (r Rect) Canon() Rect {
+	if r.W < 0 {
+		r.W = 0
+	}
+	if r.H < 0 {
+		r.H = 0
+	}
+	return r
+}
+
+// Interval is a half-open time interval [Start, End) in discrete time
+// units (the flow uses seconds from architectural-level synthesis and
+// control-step ticks inside the simulator).
+type Interval struct {
+	Start, End int
+}
+
+// String returns "[start,end)".
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Start, iv.End) }
+
+// Len returns End-Start (0 for empty or inverted intervals).
+func (iv Interval) Len() int {
+	if iv.End <= iv.Start {
+		return 0
+	}
+	return iv.End - iv.Start
+}
+
+// Empty reports whether the interval contains no time step.
+func (iv Interval) Empty() bool { return iv.End <= iv.Start }
+
+// Contains reports whether time t lies within [Start, End).
+func (iv Interval) Contains(t int) bool { return t >= iv.Start && t < iv.End }
+
+// Overlaps reports whether the two half-open intervals intersect.
+// Back-to-back intervals ([0,5) and [5,10)) do not overlap, which is
+// exactly the condition for two modules to share cells via dynamic
+// reconfiguration.
+func (iv Interval) Overlaps(o Interval) bool {
+	if iv.Empty() || o.Empty() {
+		return false
+	}
+	return iv.Start < o.End && o.Start < iv.End
+}
+
+// Intersect returns the overlap of the two intervals (empty if none).
+func (iv Interval) Intersect(o Interval) Interval {
+	s := max(iv.Start, o.Start)
+	e := min(iv.End, o.End)
+	if e < s {
+		e = s
+	}
+	return Interval{s, e}
+}
+
+// Union returns the smallest interval covering both operands; empty
+// operands are ignored.
+func (iv Interval) Union(o Interval) Interval {
+	if iv.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return iv
+	}
+	return Interval{min(iv.Start, o.Start), max(iv.End, o.End)}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

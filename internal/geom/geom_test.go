@@ -1,0 +1,326 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointBasics(t *testing.T) {
+	p := Point{2, 3}
+	if got := p.String(); got != "(2,3)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := p.Add(Point{-1, 4}); got != (Point{1, 7}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Manhattan(Point{5, 1}); got != 5 {
+		t.Errorf("Manhattan = %d, want 5", got)
+	}
+	if got := p.Manhattan(p); got != 0 {
+		t.Errorf("Manhattan self = %d", got)
+	}
+}
+
+func TestPointNeighbors4(t *testing.T) {
+	n := Point{0, 0}.Neighbors4()
+	want := [4]Point{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	if n != want {
+		t.Errorf("Neighbors4 = %v, want %v", n, want)
+	}
+	for _, q := range n {
+		if q.Manhattan(Point{0, 0}) != 1 {
+			t.Errorf("neighbor %v not at distance 1", q)
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	s := Size{3, 6}
+	if s.Cells() != 18 {
+		t.Errorf("Cells = %d", s.Cells())
+	}
+	if s.Transpose() != (Size{6, 3}) {
+		t.Errorf("Transpose = %v", s.Transpose())
+	}
+	if s.IsSquare() {
+		t.Error("3x6 reported square")
+	}
+	if !(Size{4, 4}).IsSquare() {
+		t.Error("4x4 not reported square")
+	}
+	if s.String() != "3x6" {
+		t.Errorf("String = %q", s.String())
+	}
+	if !s.Valid() || (Size{0, 2}).Valid() || (Size{2, -1}).Valid() {
+		t.Error("Valid misclassifies")
+	}
+}
+
+func TestSizeFits(t *testing.T) {
+	cases := []struct {
+		s, c             Size
+		fits, fitsEither bool
+	}{
+		{Size{3, 6}, Size{3, 6}, true, true},
+		{Size{3, 6}, Size{6, 3}, false, true},
+		{Size{3, 6}, Size{2, 9}, false, false},
+		{Size{4, 4}, Size{4, 4}, true, true},
+		{Size{4, 4}, Size{3, 9}, false, false},
+		{Size{1, 1}, Size{1, 1}, true, true},
+		{Size{5, 2}, Size{10, 10}, true, true},
+	}
+	for _, c := range cases {
+		if got := c.s.Fits(c.c); got != c.fits {
+			t.Errorf("%v.Fits(%v) = %v, want %v", c.s, c.c, got, c.fits)
+		}
+		if got := c.s.FitsEither(c.c); got != c.fitsEither {
+			t.Errorf("%v.FitsEither(%v) = %v, want %v", c.s, c.c, got, c.fitsEither)
+		}
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{1, 2, 3, 4}
+	if r.Size() != (Size{3, 4}) || r.Origin() != (Point{1, 2}) {
+		t.Errorf("Size/Origin wrong: %v %v", r.Size(), r.Origin())
+	}
+	if r.MaxX() != 4 || r.MaxY() != 6 {
+		t.Errorf("MaxX/MaxY = %d/%d", r.MaxX(), r.MaxY())
+	}
+	if r.Cells() != 12 {
+		t.Errorf("Cells = %d", r.Cells())
+	}
+	if r.Empty() || !(Rect{0, 0, 0, 5}).Empty() || !(Rect{0, 0, 5, -1}).Empty() {
+		t.Error("Empty misclassifies")
+	}
+	if r.String() != "[1,2 3x4]" {
+		t.Errorf("String = %q", r.String())
+	}
+	if RectAt(Point{1, 2}, Size{3, 4}) != r {
+		t.Error("RectAt mismatch")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{1, 1, 2, 2} // cells (1,1),(2,1),(1,2),(2,2)
+	in := []Point{{1, 1}, {2, 1}, {1, 2}, {2, 2}}
+	out := []Point{{0, 1}, {3, 1}, {1, 0}, {1, 3}, {3, 3}, {0, 0}}
+	for _, p := range in {
+		if !r.Contains(p) {
+			t.Errorf("Contains(%v) = false", p)
+		}
+	}
+	for _, p := range out {
+		if r.Contains(p) {
+			t.Errorf("Contains(%v) = true", p)
+		}
+	}
+}
+
+func TestRectContainsRect(t *testing.T) {
+	r := Rect{0, 0, 10, 8}
+	if !r.ContainsRect(Rect{0, 0, 10, 8}) {
+		t.Error("self-containment failed")
+	}
+	if !r.ContainsRect(Rect{3, 2, 4, 4}) {
+		t.Error("inner rect not contained")
+	}
+	if r.ContainsRect(Rect{7, 2, 4, 4}) {
+		t.Error("overhanging rect reported contained")
+	}
+	if !r.ContainsRect(Rect{}) {
+		t.Error("empty rect should be contained anywhere")
+	}
+}
+
+func TestRectOverlapsIntersect(t *testing.T) {
+	a := Rect{0, 0, 4, 4}
+	cases := []struct {
+		b    Rect
+		want Rect // empty => no overlap
+	}{
+		{Rect{4, 0, 2, 2}, Rect{}},           // touching edges
+		{Rect{0, 4, 2, 2}, Rect{}},           // touching top
+		{Rect{3, 3, 3, 3}, Rect{3, 3, 1, 1}}, // corner overlap
+		{Rect{-2, -2, 3, 3}, Rect{0, 0, 1, 1}},
+		{Rect{1, 1, 2, 2}, Rect{1, 1, 2, 2}}, // nested
+		{Rect{10, 10, 2, 2}, Rect{}},         // far away
+		{Rect{0, 0, 0, 4}, Rect{}},           // empty operand
+	}
+	for _, c := range cases {
+		got := a.Intersect(c.b)
+		if got != c.want {
+			t.Errorf("Intersect(%v,%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if a.Overlaps(c.b) != !c.want.Empty() {
+			t.Errorf("Overlaps(%v,%v) inconsistent with Intersect", a, c.b)
+		}
+		if a.Overlaps(c.b) != c.b.Overlaps(a) {
+			t.Errorf("Overlaps not symmetric for %v,%v", a, c.b)
+		}
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	b := Rect{5, 5, 1, 1}
+	if got := a.Union(b); got != (Rect{0, 0, 6, 6}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Errorf("Union with empty = %v", got)
+	}
+	if got := (Rect{}).Union(b); got != b {
+		t.Errorf("empty Union b = %v", got)
+	}
+}
+
+func TestRectTranslatePointsCanon(t *testing.T) {
+	r := Rect{1, 1, 2, 3}
+	if got := r.Translate(2, -1); got != (Rect{3, 0, 2, 3}) {
+		t.Errorf("Translate = %v", got)
+	}
+	pts := r.Points()
+	if len(pts) != 6 {
+		t.Fatalf("Points len = %d", len(pts))
+	}
+	if pts[0] != (Point{1, 1}) || pts[5] != (Point{2, 3}) {
+		t.Errorf("Points order wrong: %v", pts)
+	}
+	if (Rect{0, 0, -3, 2}).Canon() != (Rect{0, 0, 0, 2}) {
+		t.Error("Canon failed")
+	}
+	if (Rect{}).Points() != nil {
+		t.Error("empty Points should be nil")
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{0, 5}
+	if iv.Len() != 5 || iv.Empty() {
+		t.Errorf("Len/Empty wrong: %d %v", iv.Len(), iv.Empty())
+	}
+	if !(Interval{5, 5}).Empty() || !(Interval{6, 5}).Empty() {
+		t.Error("empty interval misclassified")
+	}
+	if (Interval{6, 5}).Len() != 0 {
+		t.Error("inverted interval Len != 0")
+	}
+	if !iv.Contains(0) || !iv.Contains(4) || iv.Contains(5) || iv.Contains(-1) {
+		t.Error("Contains boundary wrong")
+	}
+	if iv.String() != "[0,5)" {
+		t.Errorf("String = %q", iv.String())
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want bool
+	}{
+		{Interval{0, 5}, Interval{5, 10}, false}, // back-to-back: reconfigurable
+		{Interval{0, 5}, Interval{4, 10}, true},
+		{Interval{0, 10}, Interval{3, 4}, true},
+		{Interval{0, 5}, Interval{0, 5}, true},
+		{Interval{0, 0}, Interval{0, 5}, false}, // empty never overlaps
+		{Interval{3, 3}, Interval{0, 9}, false},
+		{Interval{0, 5}, Interval{6, 9}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("Overlaps(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(c.a); got != c.want {
+			t.Errorf("Overlaps not symmetric for %v,%v", c.a, c.b)
+		}
+	}
+}
+
+func TestIntervalIntersectUnion(t *testing.T) {
+	a := Interval{0, 10}
+	b := Interval{5, 15}
+	if got := a.Intersect(b); got != (Interval{5, 10}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Union(b); got != (Interval{0, 15}) {
+		t.Errorf("Union = %v", got)
+	}
+	c := Interval{20, 30}
+	if got := a.Intersect(c); !got.Empty() {
+		t.Errorf("disjoint Intersect not empty: %v", got)
+	}
+	if got := a.Union(Interval{}); got != a {
+		t.Errorf("Union with empty = %v", got)
+	}
+}
+
+// Property: Intersect is the set intersection — a cell is in
+// Intersect(a,b) iff it is in both.
+func TestRectIntersectProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a := randRect(rng)
+		b := randRect(rng)
+		got := a.Intersect(b)
+		for x := -2; x < 14; x++ {
+			for y := -2; y < 14; y++ {
+				p := Point{x, y}
+				if got.Contains(p) != (a.Contains(p) && b.Contains(p)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for i := 0; i < 300; i++ {
+		if !f() {
+			t.Fatal("Intersect property violated")
+		}
+	}
+}
+
+// Property: Union contains both operands and is minimal on each axis.
+func TestRectUnionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		a := randRect(rng)
+		b := randRect(rng)
+		u := a.Union(b)
+		if !u.ContainsRect(a) || !u.ContainsRect(b) {
+			t.Fatalf("Union(%v,%v)=%v does not contain operands", a, b, u)
+		}
+		if !a.Empty() && !b.Empty() {
+			if u.X != min(a.X, b.X) || u.Y != min(a.Y, b.Y) ||
+				u.MaxX() != max(a.MaxX(), b.MaxX()) || u.MaxY() != max(a.MaxY(), b.MaxY()) {
+				t.Fatalf("Union(%v,%v)=%v not tight", a, b, u)
+			}
+		}
+	}
+}
+
+// Property: interval overlap matches existence of a shared time step.
+func TestIntervalOverlapProperty(t *testing.T) {
+	f := func(s1, l1, s2, l2 uint8) bool {
+		a := Interval{int(s1 % 20), int(s1%20) + int(l1%10)}
+		b := Interval{int(s2 % 20), int(s2%20) + int(l2%10)}
+		shared := false
+		for t := 0; t < 40; t++ {
+			if a.Contains(t) && b.Contains(t) {
+				shared = true
+			}
+		}
+		return a.Overlaps(b) == shared && a.Intersect(b).Len() > 0 == shared
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randRect(rng *rand.Rand) Rect {
+	if rng.Intn(10) == 0 {
+		return Rect{}
+	}
+	return Rect{rng.Intn(12), rng.Intn(12), rng.Intn(6), rng.Intn(6)}
+}

@@ -1,0 +1,202 @@
+// Package grid implements the dense occupancy matrix used to model a
+// configuration of the microfluidic array: occupied cells (cells of
+// currently operating modules, plus any cell marked faulty) are 1s and
+// free cells are 0s, exactly as in the encoding step of the paper's
+// fast fault-tolerance-index algorithm (Section 5.3).
+package grid
+
+import (
+	"fmt"
+	"strings"
+
+	"dmfb/internal/geom"
+)
+
+// Grid is a W×H boolean occupancy matrix. The zero value is unusable;
+// construct with New. Cells outside the grid are treated as occupied
+// by the query helpers, which is the natural boundary condition for
+// empty-rectangle mining and droplet routing.
+type Grid struct {
+	w, h  int
+	cells []bool // row-major: index = y*w + x
+}
+
+// New returns an empty (all-free) grid of the given dimensions.
+// It panics if either dimension is not positive, since a biochip array
+// with no cells is always a caller bug.
+func New(w, h int) *Grid {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("grid: invalid dimensions %dx%d", w, h))
+	}
+	return &Grid{w: w, h: h, cells: make([]bool, w*h)}
+}
+
+// FromRect returns a grid the size of bounds with the given rects
+// marked occupied (rects are clipped to the grid).
+func FromRects(w, h int, rs ...geom.Rect) *Grid {
+	g := New(w, h)
+	for _, r := range rs {
+		g.SetRect(r, true)
+	}
+	return g
+}
+
+// W returns the grid width in cells.
+func (g *Grid) W() int { return g.w }
+
+// H returns the grid height in cells.
+func (g *Grid) H() int { return g.h }
+
+// Bounds returns the grid extent as a Rect anchored at the origin.
+func (g *Grid) Bounds() geom.Rect { return geom.Rect{X: 0, Y: 0, W: g.w, H: g.h} }
+
+// Cells returns the total number of cells.
+func (g *Grid) Cells() int { return g.w * g.h }
+
+// In reports whether p lies inside the grid.
+func (g *Grid) In(p geom.Point) bool {
+	return p.X >= 0 && p.X < g.w && p.Y >= 0 && p.Y < g.h
+}
+
+// Occupied reports whether cell p is occupied. Out-of-bounds cells
+// read as occupied.
+func (g *Grid) Occupied(p geom.Point) bool {
+	if !g.In(p) {
+		return true
+	}
+	return g.cells[p.Y*g.w+p.X]
+}
+
+// Free reports whether cell p is inside the grid and unoccupied.
+func (g *Grid) Free(p geom.Point) bool { return !g.Occupied(p) }
+
+// Set marks cell p occupied (true) or free (false). Out-of-bounds
+// writes are ignored.
+func (g *Grid) Set(p geom.Point, occupied bool) {
+	if !g.In(p) {
+		return
+	}
+	g.cells[p.Y*g.w+p.X] = occupied
+}
+
+// SetRect marks every cell of r (clipped to the grid) occupied or free.
+func (g *Grid) SetRect(r geom.Rect, occupied bool) {
+	c := r.Intersect(g.Bounds())
+	for y := c.Y; y < c.MaxY(); y++ {
+		row := y * g.w
+		for x := c.X; x < c.MaxX(); x++ {
+			g.cells[row+x] = occupied
+		}
+	}
+}
+
+// RectFree reports whether r lies entirely inside the grid and every
+// cell of r is free.
+func (g *Grid) RectFree(r geom.Rect) bool {
+	if r.Empty() {
+		return true
+	}
+	if !g.Bounds().ContainsRect(r) {
+		return false
+	}
+	for y := r.Y; y < r.MaxY(); y++ {
+		row := y * g.w
+		for x := r.X; x < r.MaxX(); x++ {
+			if g.cells[row+x] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CountOccupied returns the number of occupied cells.
+func (g *Grid) CountOccupied() int {
+	n := 0
+	for _, c := range g.cells {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// CountFree returns the number of free cells.
+func (g *Grid) CountFree() int { return g.Cells() - g.CountOccupied() }
+
+// Clone returns a deep copy of the grid.
+func (g *Grid) Clone() *Grid {
+	c := &Grid{w: g.w, h: g.h, cells: make([]bool, len(g.cells))}
+	copy(c.cells, g.cells)
+	return c
+}
+
+// Clear marks every cell free.
+func (g *Grid) Clear() {
+	for i := range g.cells {
+		g.cells[i] = false
+	}
+}
+
+// Equal reports whether the two grids have identical dimensions and
+// contents.
+func (g *Grid) Equal(o *Grid) bool {
+	if g.w != o.w || g.h != o.h {
+		return false
+	}
+	for i := range g.cells {
+		if g.cells[i] != o.cells[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the grid with '#' for occupied and '.' for free,
+// top row (largest y) first, matching how the paper draws arrays.
+func (g *Grid) String() string {
+	var b strings.Builder
+	for y := g.h - 1; y >= 0; y-- {
+		for x := 0; x < g.w; x++ {
+			if g.cells[y*g.w+x] {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		if y > 0 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Parse builds a grid from a String-style picture: lines of '#'
+// (occupied) and '.' (free), first line = top row. All lines must have
+// equal length. Intended for tests.
+func Parse(s string) (*Grid, error) {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("grid: empty picture")
+	}
+	h := len(lines)
+	w := len(strings.TrimSpace(lines[0]))
+	g := New(w, h)
+	for i, ln := range lines {
+		ln = strings.TrimSpace(ln)
+		if len(ln) != w {
+			return nil, fmt.Errorf("grid: line %d has width %d, want %d", i, len(ln), w)
+		}
+		y := h - 1 - i
+		for x := 0; x < w; x++ {
+			switch ln[x] {
+			case '#':
+				g.Set(geom.Point{X: x, Y: y}, true)
+			case '.':
+			default:
+				return nil, fmt.Errorf("grid: bad cell %q at line %d col %d", ln[x], i, x)
+			}
+		}
+	}
+	return g, nil
+}

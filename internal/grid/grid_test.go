@@ -1,0 +1,213 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmfb/internal/geom"
+)
+
+func TestNewPanics(t *testing.T) {
+	for _, d := range [][2]int{{0, 4}, {4, 0}, {-1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", d[0], d[1])
+				}
+			}()
+			New(d[0], d[1])
+		}()
+	}
+}
+
+func TestSetAndQuery(t *testing.T) {
+	g := New(5, 4)
+	if g.W() != 5 || g.H() != 4 || g.Cells() != 20 {
+		t.Fatalf("dims wrong: %dx%d", g.W(), g.H())
+	}
+	p := geom.Point{X: 2, Y: 3}
+	if g.Occupied(p) {
+		t.Error("fresh grid cell occupied")
+	}
+	g.Set(p, true)
+	if !g.Occupied(p) || g.Free(p) {
+		t.Error("Set(true) not visible")
+	}
+	g.Set(p, false)
+	if g.Occupied(p) {
+		t.Error("Set(false) not visible")
+	}
+	// Out-of-bounds reads occupied, writes ignored.
+	out := geom.Point{X: 5, Y: 0}
+	if !g.Occupied(out) || g.Free(out) || g.In(out) {
+		t.Error("out-of-bounds semantics wrong")
+	}
+	g.Set(out, true) // must not panic
+	if g.CountOccupied() != 0 {
+		t.Error("out-of-bounds write affected grid")
+	}
+}
+
+func TestSetRectClipping(t *testing.T) {
+	g := New(4, 4)
+	g.SetRect(geom.Rect{X: 2, Y: 2, W: 5, H: 5}, true) // overhangs
+	if got := g.CountOccupied(); got != 4 {
+		t.Errorf("clipped SetRect occupied %d cells, want 4", got)
+	}
+	g.SetRect(geom.Rect{X: 0, Y: 0, W: 4, H: 4}, false)
+	if g.CountOccupied() != 0 {
+		t.Error("SetRect(false) did not clear")
+	}
+}
+
+func TestRectFree(t *testing.T) {
+	g := New(6, 6)
+	g.SetRect(geom.Rect{X: 2, Y: 2, W: 2, H: 2}, true)
+	cases := []struct {
+		r    geom.Rect
+		want bool
+	}{
+		{geom.Rect{X: 0, Y: 0, W: 2, H: 6}, true},
+		{geom.Rect{X: 0, Y: 0, W: 3, H: 3}, false}, // touches occupied (2,2)
+		{geom.Rect{X: 4, Y: 0, W: 2, H: 6}, true},
+		{geom.Rect{X: 5, Y: 5, W: 2, H: 1}, false}, // out of bounds
+		{geom.Rect{}, true},                        // empty rect trivially free
+		{geom.Rect{X: 2, Y: 2, W: 1, H: 1}, false},
+	}
+	for _, c := range cases {
+		if got := g.RectFree(c.r); got != c.want {
+			t.Errorf("RectFree(%v) = %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+func TestCountCloneEqualClear(t *testing.T) {
+	g := New(5, 5)
+	g.SetRect(geom.Rect{X: 0, Y: 0, W: 2, H: 3}, true)
+	if g.CountOccupied() != 6 || g.CountFree() != 19 {
+		t.Fatalf("counts wrong: %d/%d", g.CountOccupied(), g.CountFree())
+	}
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(geom.Point{X: 4, Y: 4}, true)
+	if g.Equal(c) {
+		t.Fatal("clone shares storage with original")
+	}
+	if g.Equal(New(5, 4)) {
+		t.Fatal("Equal ignores dimensions")
+	}
+	g.Clear()
+	if g.CountOccupied() != 0 {
+		t.Fatal("Clear left occupied cells")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	g := New(4, 3)
+	g.SetRect(geom.Rect{X: 1, Y: 0, W: 2, H: 2}, true)
+	s := g.String()
+	want := "....\n.##.\n.##."
+	if s != want {
+		t.Fatalf("String = %q, want %q", s, want)
+	}
+	p, err := Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(g) {
+		t.Fatalf("Parse(String) != original:\n%s\nvs\n%s", p, g)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("..\n..."); err == nil {
+		t.Error("ragged picture accepted")
+	}
+	if _, err := Parse(".x\n.."); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestFromRects(t *testing.T) {
+	g := FromRects(6, 5, geom.Rect{X: 0, Y: 0, W: 2, H: 2}, geom.Rect{X: 4, Y: 3, W: 2, H: 2})
+	if g.CountOccupied() != 8 {
+		t.Fatalf("FromRects occupied = %d", g.CountOccupied())
+	}
+	if !g.Occupied(geom.Point{X: 0, Y: 0}) || !g.Occupied(geom.Point{X: 5, Y: 4}) {
+		t.Fatal("FromRects corners wrong")
+	}
+}
+
+// Property: random Set operations — CountOccupied always equals the
+// size of the reference set, and String/Parse round-trips.
+func TestGridRandomOpsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		w, h := 1+rng.Intn(12), 1+rng.Intn(12)
+		g := New(w, h)
+		ref := map[geom.Point]bool{}
+		for i := 0; i < 200; i++ {
+			p := geom.Point{X: rng.Intn(w), Y: rng.Intn(h)}
+			occ := rng.Intn(2) == 0
+			g.Set(p, occ)
+			if occ {
+				ref[p] = true
+			} else {
+				delete(ref, p)
+			}
+		}
+		if g.CountOccupied() != len(ref) {
+			t.Fatalf("count mismatch: %d vs %d", g.CountOccupied(), len(ref))
+		}
+		for p := range ref {
+			if !g.Occupied(p) {
+				t.Fatalf("cell %v lost", p)
+			}
+		}
+		rt, err := Parse(g.String())
+		if err != nil || !rt.Equal(g) {
+			t.Fatalf("round-trip failed: %v", err)
+		}
+	}
+}
+
+// Property (testing/quick): SetRect marks exactly the clipped area.
+func TestSetRectCountQuick(t *testing.T) {
+	f := func(x, y int8, w, h uint8) bool {
+		g := New(10, 10)
+		r := geom.Rect{X: int(x % 12), Y: int(y % 12), W: int(w % 12), H: int(h % 12)}
+		g.SetRect(r, true)
+		return g.CountOccupied() == r.Canon().Intersect(g.Bounds()).Cells()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): RectFree agrees with a per-cell scan.
+func TestRectFreeQuick(t *testing.T) {
+	f := func(seed int64, x, y int8, w, h uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(8, 8)
+		for i := 0; i < 10; i++ {
+			g.Set(geom.Point{X: rng.Intn(8), Y: rng.Intn(8)}, true)
+		}
+		r := geom.Rect{X: int(x % 10), Y: int(y % 10), W: int(w%5) + 1, H: int(h%5) + 1}
+		want := g.Bounds().ContainsRect(r)
+		if want {
+			for _, p := range r.Points() {
+				if g.Occupied(p) {
+					want = false
+					break
+				}
+			}
+		}
+		return g.RectFree(r) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package invitro
+
+import (
+	"strings"
+	"testing"
+
+	"dmfb/internal/assay"
+	"dmfb/internal/core"
+	"dmfb/internal/sim"
+)
+
+func TestDilutionSeriesStructure(t *testing.T) {
+	for depth := 1; depth <= 4; depth++ {
+		g := DilutionSeries(depth)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if got := g.CountKind(assay.Dilute); got != depth {
+			t.Errorf("depth %d: %d dilutes", depth, got)
+		}
+		// One detect per level plus the extra at the bottom.
+		if got := g.CountKind(assay.Detect); got != depth+1 {
+			t.Errorf("depth %d: %d detects, want %d", depth, got, depth+1)
+		}
+		// sample + one buffer per level.
+		if got := g.CountKind(assay.Dispense); got != depth+1 {
+			t.Errorf("depth %d: %d dispenses, want %d", depth, got, depth+1)
+		}
+		// Every dilute has exactly two successors (its two halves).
+		for _, op := range g.Ops() {
+			if op.Kind == assay.Dilute {
+				if got := len(g.Succ(op.ID)); got != 2 {
+					t.Errorf("depth %d: dilute %s has %d successors", depth, op.Name, got)
+				}
+			}
+		}
+	}
+}
+
+func TestDilutionSeriesPanicsOnBadDepth(t *testing.T) {
+	for _, d := range []int{0, 9, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("depth %d did not panic", d)
+				}
+			}()
+			DilutionSeries(d)
+		}()
+	}
+}
+
+func TestSynthesizeDilution(t *testing.T) {
+	s, err := SynthesizeDilution(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Chain: each level's dilute (5 s) must precede the next; depth 3
+	// critical path = 3*5 + 30 (final detect) = 45.
+	if s.Makespan != 45 {
+		t.Errorf("makespan = %d, want 45", s.Makespan)
+	}
+}
+
+// TestDilutionSeriesSimulates runs the ladder end to end on the chip
+// simulator: each detected droplet must carry the sample at halving
+// concentration (volume bookkeeping: every split halves the droplet).
+func TestDilutionSeriesSimulates(t *testing.T) {
+	s, err := SynthesizeDilution(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := core.FromSchedule(s)
+	p, _, err := core.AnnealArea(prob, core.Options{Seed: 2, ItersPerModule: 100, WindowPatience: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run(s, p, sim.Options{Trace: true})
+	if !res.Completed {
+		var log strings.Builder
+		for _, e := range res.Events {
+			log.WriteString(e.String() + "\n")
+		}
+		t.Fatalf("dilution simulation failed: %s\n%s", res.FailReason, log.String())
+	}
+	// depth 2 -> 3 detected product droplets, all containing sample.
+	if len(res.ProductFluids) != 3 {
+		t.Fatalf("products = %v, want 3", res.ProductFluids)
+	}
+	for _, f := range res.ProductFluids {
+		if !strings.Contains(f, "sample") || !strings.Contains(f, "buffer") {
+			t.Errorf("product %q is not a dilution", f)
+		}
+	}
+}
+
+func TestDilutionTreeStructure(t *testing.T) {
+	for depth := 1; depth <= 4; depth++ {
+		g := DilutionTree(depth)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		wantDil := 1<<depth - 1
+		if got := g.CountKind(assay.Dilute); got != wantDil {
+			t.Errorf("depth %d: %d dilutes, want %d", depth, got, wantDil)
+		}
+		if got := g.CountKind(assay.Detect); got != 1<<depth {
+			t.Errorf("depth %d: %d detects, want %d", depth, got, 1<<depth)
+		}
+		for _, op := range g.Ops() {
+			if op.Kind == assay.Dilute {
+				if got := len(g.Succ(op.ID)); got != 2 {
+					t.Errorf("depth %d: %s has %d successors", depth, op.Name, got)
+				}
+			}
+		}
+	}
+}
+
+func TestDilutionTreeSimulates(t *testing.T) {
+	s, err := SynthesizeTree(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prob := core.FromSchedule(s)
+	p, _, err := core.AnnealArea(prob, core.Options{Seed: 5, ItersPerModule: 100, WindowPatience: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four detect modules run concurrently on a tightly packed array;
+	// a two-cell transport ring gives the six droplets room to pass
+	// (routing-aware placement is future work beyond the paper).
+	res := sim.Run(s, p, sim.Options{Border: 2})
+	if !res.Completed {
+		t.Fatalf("dilution tree failed: %s", res.FailReason)
+	}
+	// depth 2 -> 4 measured leaves.
+	if len(res.ProductFluids) != 4 {
+		t.Fatalf("products = %v, want 4", res.ProductFluids)
+	}
+	for _, f := range res.ProductFluids {
+		if !strings.Contains(f, "protein-sample") {
+			t.Errorf("leaf %q lost the sample", f)
+		}
+	}
+}

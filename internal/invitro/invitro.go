@@ -1,0 +1,186 @@
+// Package invitro generates the second canonical digital-microfluidics
+// workload: multiplexed in-vitro diagnostics on human physiological
+// fluids (Srinivasan et al., µTAS 2003 — reference [4] of the paper).
+// Each of a set of samples (plasma, serum, urine, saliva) is assayed
+// against a set of enzymatic reagents (glucose, lactate, uric acid,
+// pyruvate): sample and reagent droplets are dispensed, mixed, and the
+// mixed droplet is measured at a detection site.
+//
+// The generator is parametric in the number of samples and assays, so
+// it doubles as the scaling workload for the placement benchmarks:
+// an s×a diagnostic produces s·a mix modules and s·a detect modules.
+package invitro
+
+import (
+	"fmt"
+
+	"dmfb/internal/assay"
+	"dmfb/internal/geom"
+	"dmfb/internal/modlib"
+	"dmfb/internal/schedule"
+)
+
+// diluterSize is the footprint of the linear-array diluter (same
+// geometry as the 4-electrode mixer of Table 1).
+var diluterSize = geom.Size{W: 3, H: 6}
+
+// Samples available to the generator, in dispensing order.
+var Samples = [4]string{"plasma", "serum", "urine", "saliva"}
+
+// Reagents available to the generator (colorimetric enzyme kits).
+var Reagents = [4]string{"glucose-oxidase", "lactate-oxidase", "uricase", "pyruvate-oxidase"}
+
+// Graph builds the sequencing graph for an nSamples × nAssays
+// multiplexed diagnostic. Each sample/assay pair contributes
+// dispense(sample), dispense(reagent), mix, detect. It panics if the
+// requested size exceeds the available sample/reagent catalogues.
+func Graph(nSamples, nAssays int) *assay.Graph {
+	if nSamples < 1 || nSamples > len(Samples) || nAssays < 1 || nAssays > len(Reagents) {
+		panic(fmt.Sprintf("invitro: %dx%d outside the 1..%d x 1..%d catalogue",
+			nSamples, nAssays, len(Samples), len(Reagents)))
+	}
+	g := assay.New(fmt.Sprintf("invitro-%dx%d", nSamples, nAssays))
+	for si := 0; si < nSamples; si++ {
+		for ai := 0; ai < nAssays; ai++ {
+			ds := g.AddOp(fmt.Sprintf("DS%d.%d", si+1, ai+1), assay.Dispense, Samples[si])
+			dr := g.AddOp(fmt.Sprintf("DR%d.%d", si+1, ai+1), assay.Dispense, Reagents[ai])
+			mx := g.AddOp(fmt.Sprintf("MIX%d.%d", si+1, ai+1), assay.Mix, "")
+			dt := g.AddOp(fmt.Sprintf("DET%d.%d", si+1, ai+1), assay.Detect, "")
+			g.MustEdge(ds, mx)
+			g.MustEdge(dr, mx)
+			g.MustEdge(mx, dt)
+		}
+	}
+	return g
+}
+
+// Synthesize builds and schedules the workload with the Table 1
+// library: mixes bound to the fastest mixer, detections to the LED
+// detector, under the given concurrent-area budget (0 = unlimited).
+func Synthesize(nSamples, nAssays, areaBudget int) (*schedule.Schedule, error) {
+	g := Graph(nSamples, nAssays)
+	b, err := schedule.Bind(g, modlib.Table1(), schedule.BindFastest)
+	if err != nil {
+		return nil, err
+	}
+	return schedule.List(g, b, schedule.Options{AreaBudget: areaBudget})
+}
+
+// MustSynthesize is Synthesize panicking on error, for benchmarks and
+// examples with static parameters.
+func MustSynthesize(nSamples, nAssays, areaBudget int) *schedule.Schedule {
+	s, err := Synthesize(nSamples, nAssays, areaBudget)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// DilutionSeries builds a serial-dilution ladder of the given depth:
+// the sample is diluted 1:1 with buffer, one half is measured, the
+// other half is diluted again, producing the 2^-1..2^-depth
+// concentration series used for calibration curves. Each level
+// contributes dispense(buffer), dilute, detect; the deepest level
+// detects both halves. Exercises the Dilute/Split path of the flow.
+func DilutionSeries(depth int) *assay.Graph {
+	if depth < 1 || depth > 8 {
+		panic(fmt.Sprintf("invitro: dilution depth %d outside 1..8", depth))
+	}
+	g := assay.New(fmt.Sprintf("dilution-series-%d", depth))
+	carry := g.AddOp("DS", assay.Dispense, "sample")
+	for lvl := 1; lvl <= depth; lvl++ {
+		buf := g.AddOp(fmt.Sprintf("DB%d", lvl), assay.Dispense, "buffer")
+		dil := g.AddOp(fmt.Sprintf("DIL%d", lvl), assay.Dilute, "")
+		g.MustEdge(carry, dil)
+		g.MustEdge(buf, dil)
+		det := g.AddOp(fmt.Sprintf("DET%d", lvl), assay.Detect, "")
+		g.MustEdge(dil, det)
+		if lvl == depth {
+			final := g.AddOp(fmt.Sprintf("DET%d.b", lvl), assay.Detect, "")
+			g.MustEdge(dil, final)
+		} else {
+			carry = dil // second output droplet feeds the next level...
+		}
+	}
+	return g
+}
+
+// DilutionTree builds the exponential-dilution benchmark: a complete
+// binary tree of dilutions of the given depth producing 2^depth
+// droplets at concentration 2^-depth, each measured at a detector —
+// the protein-assay dilution pattern of the DMFB synthesis literature.
+// Levels × 2^level dilute modules make it the largest workload in this
+// repository, used for placement scaling studies.
+func DilutionTree(depth int) *assay.Graph {
+	if depth < 1 || depth > 5 {
+		panic(fmt.Sprintf("invitro: dilution tree depth %d outside 1..5", depth))
+	}
+	g := assay.New(fmt.Sprintf("dilution-tree-%d", depth))
+	sample := g.AddOp("DS", assay.Dispense, "protein-sample")
+	frontier := []int{sample}
+	for lvl := 1; lvl <= depth; lvl++ {
+		var next []int
+		for i, parent := range frontier {
+			buf := g.AddOp(fmt.Sprintf("DB%d.%d", lvl, i+1), assay.Dispense, "buffer")
+			dil := g.AddOp(fmt.Sprintf("DIL%d.%d", lvl, i+1), assay.Dilute, "")
+			g.MustEdge(parent, dil)
+			g.MustEdge(buf, dil)
+			// Both halves continue (or, at the deepest level, both are
+			// measured); each dilute therefore has exactly two
+			// successors, matching the simulator's split semantics.
+			next = append(next, dil, dil)
+		}
+		frontier = next
+	}
+	for i := 0; i < len(frontier); i += 2 {
+		det1 := g.AddOp(fmt.Sprintf("DET%d", i+1), assay.Detect, "")
+		det2 := g.AddOp(fmt.Sprintf("DET%d", i+2), assay.Detect, "")
+		g.MustEdge(frontier[i], det1)
+		g.MustEdge(frontier[i+1], det2)
+	}
+	return g
+}
+
+// SynthesizeTree binds and schedules a dilution tree under the given
+// area budget.
+func SynthesizeTree(depth, areaBudget int) (*schedule.Schedule, error) {
+	g := DilutionTree(depth)
+	lib := modlib.Table1()
+	b := make(schedule.Binding)
+	diluter := modlib.Device{
+		Name: "diluter-1x4", Hardware: "4-electrode linear array",
+		Kind: assay.Dilute, Size: diluterSize, Duration: 5,
+	}
+	det, _ := lib.Get(modlib.DetectorLED)
+	for _, op := range g.Ops() {
+		switch op.Kind {
+		case assay.Dilute:
+			b[op.ID] = diluter
+		case assay.Detect:
+			b[op.ID] = det
+		}
+	}
+	return schedule.List(g, b, schedule.Options{AreaBudget: areaBudget})
+}
+
+// SynthesizeDilution binds and schedules a dilution series: dilutes on
+// the fastest linear mixer geometry, detections on the LED detector.
+func SynthesizeDilution(depth, areaBudget int) (*schedule.Schedule, error) {
+	g := DilutionSeries(depth)
+	lib := modlib.Table1()
+	b := make(schedule.Binding)
+	diluter := modlib.Device{
+		Name: "diluter-1x4", Hardware: "4-electrode linear array",
+		Kind: assay.Dilute, Size: diluterSize, Duration: 5,
+	}
+	det, _ := lib.Get(modlib.DetectorLED)
+	for _, op := range g.Ops() {
+		switch op.Kind {
+		case assay.Dilute:
+			b[op.ID] = diluter
+		case assay.Detect:
+			b[op.ID] = det
+		}
+	}
+	return schedule.List(g, b, schedule.Options{AreaBudget: areaBudget})
+}

@@ -1,0 +1,93 @@
+package invitro
+
+import (
+	"testing"
+
+	"dmfb/internal/assay"
+	"dmfb/internal/core"
+)
+
+func TestGraphStructure(t *testing.T) {
+	g := Graph(2, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 2x3 pairs x (2 dispenses + mix + detect).
+	if g.NumOps() != 2*3*4 {
+		t.Fatalf("NumOps = %d", g.NumOps())
+	}
+	if g.CountKind(assay.Mix) != 6 || g.CountKind(assay.Detect) != 6 || g.CountKind(assay.Dispense) != 12 {
+		t.Fatal("kind counts wrong")
+	}
+	// Every detect is a sink; every chain has depth 2.
+	depth, _ := g.Depth()
+	for _, op := range g.Ops() {
+		if op.Kind == assay.Detect {
+			if len(g.Succ(op.ID)) != 0 || depth[op.ID] != 2 {
+				t.Errorf("detect %s: succ=%d depth=%d", op.Name, len(g.Succ(op.ID)), depth[op.ID])
+			}
+		}
+	}
+}
+
+func TestGraphPanicsOnBadSize(t *testing.T) {
+	for _, d := range [][2]int{{0, 1}, {1, 0}, {5, 1}, {1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Graph(%d,%d) did not panic", d[0], d[1])
+				}
+			}()
+			Graph(d[0], d[1])
+		}()
+	}
+}
+
+func TestSynthesizeUnconstrained(t *testing.T) {
+	s, err := Synthesize(2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All mixes in parallel (3 s), then detects (30 s): makespan 33.
+	if s.Makespan != 33 {
+		t.Errorf("makespan = %d, want 33", s.Makespan)
+	}
+	if len(s.BoundItems()) != 8 {
+		t.Errorf("bound items = %d, want 8", len(s.BoundItems()))
+	}
+}
+
+func TestSynthesizeBudgetSerialises(t *testing.T) {
+	free, err := Synthesize(2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Synthesize(2, 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Makespan < free.Makespan {
+		t.Errorf("budgeted makespan %d beats unconstrained %d", tight.Makespan, free.Makespan)
+	}
+	if tight.PeakArea() > 30 {
+		t.Errorf("peak area %d exceeds budget", tight.PeakArea())
+	}
+}
+
+func TestInVitroPlacementEndToEnd(t *testing.T) {
+	s := MustSynthesize(2, 2, 40)
+	prob := core.FromSchedule(s)
+	p, _, err := core.AnnealArea(prob, core.Options{Seed: 1, ItersPerModule: 80, WindowPatience: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.ArrayCells() < s.PeakArea() {
+		t.Errorf("area %d below peak concurrency %d", p.ArrayCells(), s.PeakArea())
+	}
+}

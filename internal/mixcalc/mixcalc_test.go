@@ -1,0 +1,190 @@
+package mixcalc
+
+import (
+	"math/big"
+	"testing"
+
+	"dmfb/internal/assay"
+	"dmfb/internal/invitro"
+	"dmfb/internal/pcr"
+)
+
+func rat(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+func TestPCRMasterMixIsEqualParts(t *testing.T) {
+	g, mix := pcr.Graph()
+	res, err := Concentrations(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.PerOp[mix[6]] // M7
+	if got := final.Volume(); got.Cmp(rat(8, 1)) != 0 {
+		t.Errorf("master mix volume = %s, want 8", got.RatString())
+	}
+	for _, reagent := range pcr.Reagents {
+		if got := final.Fraction(reagent); got.Cmp(rat(1, 8)) != 0 {
+			t.Errorf("fraction of %s = %s, want 1/8", reagent, got.RatString())
+		}
+	}
+	if len(res.Outputs) != 1 || !res.Outputs[0].Equal(final) {
+		t.Errorf("outputs = %v", res.Outputs)
+	}
+}
+
+func TestIntermediatePCRStages(t *testing.T) {
+	g, mix := pcr.Graph()
+	res, err := Concentrations(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level-1 mixes: two reagents at 1/2 each, volume 2.
+	m1 := res.PerOp[mix[0]]
+	if m1.Volume().Cmp(rat(2, 1)) != 0 {
+		t.Errorf("M1 volume = %s", m1.Volume().RatString())
+	}
+	if m1.Fraction("tris-hcl").Cmp(rat(1, 2)) != 0 || m1.Fraction("kcl").Cmp(rat(1, 2)) != 0 {
+		t.Errorf("M1 composition wrong: %v", m1)
+	}
+	// Level-2: four reagents at 1/4, volume 4.
+	m5 := res.PerOp[mix[4]]
+	if m5.Volume().Cmp(rat(4, 1)) != 0 || m5.Fraction("primer").Cmp(rat(1, 4)) != 0 {
+		t.Errorf("M5 wrong: %v", m5)
+	}
+}
+
+func TestSerialDilutionHalvesEachLevel(t *testing.T) {
+	const depth = 4
+	g := invitro.DilutionSeries(depth)
+	res, err := Concentrations(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every DETk sees the sample at 2^-k.
+	for _, op := range g.Ops() {
+		if op.Kind != assay.Detect {
+			continue
+		}
+		var lvl int
+		if n, _ := fscan(op.Name, &lvl); n != 1 {
+			t.Fatalf("cannot parse level from %q", op.Name)
+		}
+		want := new(big.Rat).SetFrac64(1, 1<<uint(lvl))
+		if got := res.PerOp[op.ID].Fraction("sample"); got.Cmp(want) != 0 {
+			t.Errorf("%s sample fraction = %s, want %s", op.Name, got.RatString(), want.RatString())
+		}
+		// Detected droplets are unit volume (a dilute splits evenly).
+		if got := res.PerOp[op.ID].Volume(); got.Cmp(rat(1, 1)) != 0 {
+			t.Errorf("%s volume = %s, want 1", op.Name, got.RatString())
+		}
+	}
+}
+
+func TestDilutionTreeLeavesUniform(t *testing.T) {
+	const depth = 3
+	g := invitro.DilutionTree(depth)
+	res, err := Concentrations(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Rat).SetFrac64(1, 1<<uint(depth))
+	leaves := 0
+	for _, op := range g.Ops() {
+		if op.Kind != assay.Detect {
+			continue
+		}
+		leaves++
+		if got := res.PerOp[op.ID].Fraction("protein-sample"); got.Cmp(want) != 0 {
+			t.Errorf("%s sample fraction = %s, want %s", op.Name, got.RatString(), want.RatString())
+		}
+	}
+	if leaves != 1<<depth {
+		t.Errorf("leaves = %d, want %d", leaves, 1<<depth)
+	}
+	// Mass conservation: the sample unit is fully accounted for across
+	// all outputs.
+	total := new(big.Rat)
+	for _, out := range res.Outputs {
+		if q, ok := out["protein-sample"]; ok {
+			total.Add(total, q)
+		}
+	}
+	if total.Cmp(rat(1, 1)) != 0 {
+		t.Errorf("sample mass across outputs = %s, want 1", total.RatString())
+	}
+}
+
+func TestSinkDiluteSplits(t *testing.T) {
+	g := assay.New("sink-dilute")
+	a := g.AddOp("a", assay.Dispense, "x")
+	b := g.AddOp("b", assay.Dispense, "y")
+	d := g.AddOp("d", assay.Dilute, "")
+	g.MustEdge(a, d)
+	g.MustEdge(b, d)
+	res, err := Concentrations(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 2 {
+		t.Fatalf("outputs = %d, want 2 droplets from the sink dilute", len(res.Outputs))
+	}
+	for _, out := range res.Outputs {
+		if out.Volume().Cmp(rat(1, 1)) != 0 {
+			t.Errorf("split droplet volume = %s", out.Volume().RatString())
+		}
+		if out.Fraction("x").Cmp(rat(1, 2)) != 0 {
+			t.Errorf("split droplet fraction = %v", out)
+		}
+	}
+}
+
+func TestCompositionHelpers(t *testing.T) {
+	c := Composition{"x": rat(1, 2), "y": rat(3, 2)}
+	if c.Volume().Cmp(rat(2, 1)) != 0 {
+		t.Error("Volume wrong")
+	}
+	if c.Fraction("x").Cmp(rat(1, 4)) != 0 {
+		t.Error("Fraction wrong")
+	}
+	if c.Fraction("absent").Sign() != 0 {
+		t.Error("absent fluid fraction should be 0")
+	}
+	if (Composition{}).Fraction("x").Sign() != 0 {
+		t.Error("empty composition fraction should be 0")
+	}
+	if !c.Equal(c.clone()) {
+		t.Error("clone not equal")
+	}
+	if c.Equal(Composition{"x": rat(1, 2)}) {
+		t.Error("Equal ignores missing fluid")
+	}
+	if c.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestRejectsInvalidGraph(t *testing.T) {
+	g := assay.New("bad")
+	g.AddOp("m", assay.Mix, "") // no inputs
+	if _, err := Concentrations(g); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+// fscan pulls the integer after "DET" (and before any ".suffix").
+func fscan(name string, lvl *int) (int, error) {
+	n := 0
+	v := 0
+	seen := false
+	for i := 3; i < len(name); i++ {
+		if name[i] < '0' || name[i] > '9' {
+			break
+		}
+		v = v*10 + int(name[i]-'0')
+		seen = true
+	}
+	if seen {
+		*lvl = v
+		n = 1
+	}
+	return n, nil
+}

@@ -1,0 +1,185 @@
+// Package modlib is the microfluidic module library: the catalogue of
+// virtual devices (mixers, storage units, detectors) that
+// architectural-level synthesis binds assay operations to.
+//
+// Each entry pairs a physical realisation — an electrode structure such
+// as a "2x2 electrode array" or "4-electrode linear array" — with the
+// array footprint it needs (functional region plus the segregation
+// ring that isolates it from neighbours and carries droplet traffic)
+// and the operation duration. The default catalogue reproduces
+// Table 1 of the paper, whose mixing times come from the droplet-mixer
+// experiments of Paik et al. (Lab Chip, 2003).
+package modlib
+
+import (
+	"fmt"
+
+	"dmfb/internal/assay"
+	"dmfb/internal/geom"
+)
+
+// CellPitchMM is the electrode pitch of the target chip in
+// millimetres (Table 1: 1.5 mm).
+const CellPitchMM = 1.5
+
+// CellAreaMM2 is the area of one cell in mm² (2.25 mm² at 1.5 mm pitch).
+const CellAreaMM2 = CellPitchMM * CellPitchMM
+
+// GapHeightUM is the filler-medium gap between the plates in
+// micrometres (Table 1: 600 µm). Recorded for documentation and the
+// fluidics model; it does not affect placement.
+const GapHeightUM = 600
+
+// AreaMM2 converts a cell count to square millimetres.
+func AreaMM2(cells int) float64 { return float64(cells) * CellAreaMM2 }
+
+// Device describes one library entry: a virtual module type.
+type Device struct {
+	Name     string // catalogue name, e.g. "mixer-2x2"
+	Hardware string // electrode structure, e.g. "2x2 electrode array"
+	Kind     assay.OpKind
+	Size     geom.Size // array footprint in cells, segregation included
+	Duration int       // operation time in seconds
+}
+
+// String summarises the entry as in Table 1.
+func (d Device) String() string {
+	return fmt.Sprintf("%s (%s): %s cells, %ds", d.Name, d.Hardware, d.Size, d.Duration)
+}
+
+// Cells returns the footprint cell count.
+func (d Device) Cells() int { return d.Size.Cells() }
+
+// Library is a named collection of devices.
+type Library struct {
+	devices []Device
+	byName  map[string]int
+}
+
+// NewLibrary builds a library from the given devices. Duplicate names
+// are rejected.
+func NewLibrary(devices ...Device) (*Library, error) {
+	l := &Library{byName: make(map[string]int, len(devices))}
+	for _, d := range devices {
+		if err := l.Add(d); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// Add appends a device to the library.
+func (l *Library) Add(d Device) error {
+	if !d.Size.Valid() {
+		return fmt.Errorf("modlib: device %q has invalid footprint %v", d.Name, d.Size)
+	}
+	if d.Duration <= 0 {
+		return fmt.Errorf("modlib: device %q has non-positive duration %d", d.Name, d.Duration)
+	}
+	if _, dup := l.byName[d.Name]; dup {
+		return fmt.Errorf("modlib: duplicate device %q", d.Name)
+	}
+	l.byName[d.Name] = len(l.devices)
+	l.devices = append(l.devices, d)
+	return nil
+}
+
+// Get returns the device with the given name.
+func (l *Library) Get(name string) (Device, bool) {
+	i, ok := l.byName[name]
+	if !ok {
+		return Device{}, false
+	}
+	return l.devices[i], true
+}
+
+// Devices returns all entries in insertion order (copy).
+func (l *Library) Devices() []Device {
+	out := make([]Device, len(l.devices))
+	copy(out, l.devices)
+	return out
+}
+
+// ForKind returns the devices implementing the given operation kind,
+// in insertion order.
+func (l *Library) ForKind(k assay.OpKind) []Device {
+	var out []Device
+	for _, d := range l.devices {
+		if d.Kind == k {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FastestForKind returns the device of the given kind with the
+// smallest duration, breaking ties by smaller footprint then insertion
+// order. ok is false if the library has no such device.
+func (l *Library) FastestForKind(k assay.OpKind) (Device, bool) {
+	best := Device{}
+	found := false
+	for _, d := range l.devices {
+		if d.Kind != k {
+			continue
+		}
+		if !found || d.Duration < best.Duration ||
+			(d.Duration == best.Duration && d.Cells() < best.Cells()) {
+			best = d
+			found = true
+		}
+	}
+	return best, found
+}
+
+// SmallestForKind returns the device of the given kind with the
+// fewest cells, breaking ties by shorter duration.
+func (l *Library) SmallestForKind(k assay.OpKind) (Device, bool) {
+	best := Device{}
+	found := false
+	for _, d := range l.devices {
+		if d.Kind != k {
+			continue
+		}
+		if !found || d.Cells() < best.Cells() ||
+			(d.Cells() == best.Cells() && d.Duration < best.Duration) {
+			best = d
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Mixer device names used by the Table 1 catalogue.
+const (
+	Mixer2x2    = "mixer-2x2"    // 2x2 electrode array, 4x4 cells, 10 s
+	Mixer1x4    = "mixer-1x4"    // 4-electrode linear array, 3x6 cells, 5 s
+	Mixer2x3    = "mixer-2x3"    // 2x3 electrode array, 4x5 cells, 6 s
+	Mixer2x4    = "mixer-2x4"    // 2x4 electrode array, 4x6 cells, 3 s
+	StorageUnit = "storage-1x1"  // single-electrode holder, 3x3 cells
+	DetectorLED = "detector-led" // LED/photodiode site, 3x3 cells
+)
+
+// Table1 returns the module catalogue of the paper's Table 1: the four
+// droplet mixer geometries of Paik et al. with their measured mixing
+// times, plus a storage unit and a detector so that complete assays
+// can be synthesised. Footprints include the segregation ring.
+func Table1() *Library {
+	l, err := NewLibrary(
+		Device{Name: Mixer2x2, Hardware: "2x2 electrode array", Kind: assay.Mix,
+			Size: geom.Size{W: 4, H: 4}, Duration: 10},
+		Device{Name: Mixer1x4, Hardware: "4-electrode linear array", Kind: assay.Mix,
+			Size: geom.Size{W: 3, H: 6}, Duration: 5},
+		Device{Name: Mixer2x3, Hardware: "2x3 electrode array", Kind: assay.Mix,
+			Size: geom.Size{W: 4, H: 5}, Duration: 6},
+		Device{Name: Mixer2x4, Hardware: "2x4 electrode array", Kind: assay.Mix,
+			Size: geom.Size{W: 4, H: 6}, Duration: 3},
+		Device{Name: StorageUnit, Hardware: "single electrode", Kind: assay.Store,
+			Size: geom.Size{W: 3, H: 3}, Duration: 1},
+		Device{Name: DetectorLED, Hardware: "LED + photodiode", Kind: assay.Detect,
+			Size: geom.Size{W: 3, H: 3}, Duration: 30},
+	)
+	if err != nil {
+		panic(err) // static catalogue; cannot fail
+	}
+	return l
+}

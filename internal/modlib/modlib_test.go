@@ -1,0 +1,130 @@
+package modlib
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dmfb/internal/assay"
+	"dmfb/internal/geom"
+)
+
+func TestTable1Catalogue(t *testing.T) {
+	l := Table1()
+	// The four mixers of the paper's Table 1.
+	cases := []struct {
+		name     string
+		hardware string
+		size     geom.Size
+		dur      int
+	}{
+		{Mixer2x2, "2x2 electrode array", geom.Size{W: 4, H: 4}, 10},
+		{Mixer1x4, "4-electrode linear array", geom.Size{W: 3, H: 6}, 5},
+		{Mixer2x3, "2x3 electrode array", geom.Size{W: 4, H: 5}, 6},
+		{Mixer2x4, "2x4 electrode array", geom.Size{W: 4, H: 6}, 3},
+	}
+	for _, c := range cases {
+		d, ok := l.Get(c.name)
+		if !ok {
+			t.Fatalf("device %q missing", c.name)
+		}
+		if d.Hardware != c.hardware || d.Size != c.size || d.Duration != c.dur || d.Kind != assay.Mix {
+			t.Errorf("%s = %+v, want %+v", c.name, d, c)
+		}
+	}
+	if _, ok := l.Get(StorageUnit); !ok {
+		t.Error("storage unit missing")
+	}
+	if _, ok := l.Get(DetectorLED); !ok {
+		t.Error("detector missing")
+	}
+	if _, ok := l.Get("no-such"); ok {
+		t.Error("unknown device found")
+	}
+}
+
+func TestAreaConstants(t *testing.T) {
+	if CellPitchMM != 1.5 || GapHeightUM != 600 {
+		t.Error("Table 1 physical constants wrong")
+	}
+	// 63 cells -> 141.75 mm² (the paper's Figure 7 area).
+	if got := AreaMM2(63); math.Abs(got-141.75) > 1e-9 {
+		t.Errorf("AreaMM2(63) = %v, want 141.75", got)
+	}
+	// 84 cells -> 189 mm² (the greedy baseline).
+	if got := AreaMM2(84); math.Abs(got-189.0) > 1e-9 {
+		t.Errorf("AreaMM2(84) = %v, want 189", got)
+	}
+}
+
+func TestLibraryAddErrors(t *testing.T) {
+	l, err := NewLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := Device{Name: "m", Kind: assay.Mix, Size: geom.Size{W: 2, H: 2}, Duration: 5}
+	if err := l.Add(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add(ok); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	bad := ok
+	bad.Name = "bad-size"
+	bad.Size = geom.Size{W: 0, H: 3}
+	if err := l.Add(bad); err == nil {
+		t.Error("invalid footprint accepted")
+	}
+	bad = ok
+	bad.Name = "bad-dur"
+	bad.Duration = 0
+	if err := l.Add(bad); err == nil {
+		t.Error("non-positive duration accepted")
+	}
+	if _, err := NewLibrary(ok, ok); err == nil {
+		t.Error("NewLibrary accepted duplicates")
+	}
+}
+
+func TestForKindAndSelectors(t *testing.T) {
+	l := Table1()
+	mixers := l.ForKind(assay.Mix)
+	if len(mixers) != 4 {
+		t.Fatalf("ForKind(Mix) = %d devices", len(mixers))
+	}
+	fast, ok := l.FastestForKind(assay.Mix)
+	if !ok || fast.Name != Mixer2x4 {
+		t.Errorf("FastestForKind = %v", fast.Name)
+	}
+	small, ok := l.SmallestForKind(assay.Mix)
+	if !ok || small.Name != Mixer2x2 {
+		t.Errorf("SmallestForKind = %v (cells=%d)", small.Name, small.Cells())
+	}
+	if _, ok := l.FastestForKind(assay.Dilute); ok {
+		t.Error("FastestForKind found a dilutor in Table1")
+	}
+	if _, ok := l.SmallestForKind(assay.Dilute); ok {
+		t.Error("SmallestForKind found a dilutor in Table1")
+	}
+}
+
+func TestDevicesCopyAndString(t *testing.T) {
+	l := Table1()
+	ds := l.Devices()
+	n := len(ds)
+	ds[0].Name = "mutated"
+	if l.Devices()[0].Name == "mutated" {
+		t.Error("Devices returns aliased slice")
+	}
+	if len(l.Devices()) != n {
+		t.Error("Devices length changed")
+	}
+	d, _ := l.Get(Mixer2x2)
+	s := d.String()
+	if !strings.Contains(s, "2x2 electrode array") || !strings.Contains(s, "4x4") || !strings.Contains(s, "10s") {
+		t.Errorf("String = %q", s)
+	}
+	if d.Cells() != 16 {
+		t.Errorf("Cells = %d", d.Cells())
+	}
+}

@@ -1,0 +1,186 @@
+// Package optplace is an exact, exponential-time placer for small
+// instances of the modified 2-D placement problem. It exists to
+// validate the simulated-annealing heuristic: on instances it can
+// solve, it returns the provably minimum array area, giving the test
+// suite a ground truth and the experiment record an optimality gap.
+//
+// The search is branch-and-bound over module positions in decreasing
+// footprint order: modules are placed one at a time at every feasible
+// position and orientation inside a growing bounding box, pruning
+// branches whose bounding box already reaches the incumbent area and
+// exploiting two standard packing symmetry breaks (the first module is
+// confined to the lower-left quadrant of the core, and square-footprint
+// modules skip the redundant orientation).
+package optplace
+
+import (
+	"fmt"
+	"sort"
+
+	"dmfb/internal/geom"
+	"dmfb/internal/place"
+)
+
+// Limits bounds the search so tests cannot explode.
+type Limits struct {
+	// MaxModules caps the instance size (default 6).
+	MaxModules int
+	// MaxSide caps the core area side length (default 12).
+	MaxSide int
+	// MaxNodes caps search nodes expanded (default 5e6); exceeding it
+	// returns an error rather than a silently suboptimal result.
+	MaxNodes int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxModules == 0 {
+		l.MaxModules = 6
+	}
+	if l.MaxSide == 0 {
+		l.MaxSide = 12
+	}
+	if l.MaxNodes == 0 {
+		l.MaxNodes = 5_000_000
+	}
+	return l
+}
+
+// Result is the outcome of an exact search.
+type Result struct {
+	Placement *place.Placement
+	Cells     int // provably minimal bounding-array cells
+	Nodes     int // search nodes expanded
+}
+
+type searcher struct {
+	mods      []place.Module
+	order     []int // placement order, decreasing footprint
+	conflicts [][]bool
+	side      int
+	maxNodes  int
+
+	cur       *place.Placement
+	placed    []bool
+	bestCells int
+	best      *place.Placement
+	nodes     int
+}
+
+// Minimize returns a minimum-area placement of the modules within a
+// side×side core, or an error if the instance exceeds the limits or
+// the node budget.
+func Minimize(mods []place.Module, limits Limits) (Result, error) {
+	l := limits.withDefaults()
+	if len(mods) == 0 {
+		return Result{}, fmt.Errorf("optplace: no modules")
+	}
+	if len(mods) > l.MaxModules {
+		return Result{}, fmt.Errorf("optplace: %d modules exceeds limit %d", len(mods), l.MaxModules)
+	}
+	for _, m := range mods {
+		if !m.Size.Valid() {
+			return Result{}, fmt.Errorf("optplace: module %s has invalid size", m.Name)
+		}
+		if m.Size.W > l.MaxSide || m.Size.H > l.MaxSide {
+			return Result{}, fmt.Errorf("optplace: module %s exceeds core side %d", m.Name, l.MaxSide)
+		}
+	}
+
+	s := &searcher{
+		mods:     mods,
+		side:     l.MaxSide,
+		maxNodes: l.MaxNodes,
+		cur:      place.New(mods),
+		placed:   make([]bool, len(mods)),
+	}
+	s.conflicts = make([][]bool, len(mods))
+	for i := range mods {
+		s.conflicts[i] = make([]bool, len(mods))
+		for j := range mods {
+			s.conflicts[i][j] = i != j && mods[i].Span.Overlaps(mods[j].Span)
+		}
+	}
+	s.order = make([]int, len(mods))
+	for i := range s.order {
+		s.order[i] = i
+	}
+	sort.Slice(s.order, func(a, b int) bool {
+		ca, cb := mods[s.order[a]].Size.Cells(), mods[s.order[b]].Size.Cells()
+		if ca != cb {
+			return ca > cb
+		}
+		return s.order[a] < s.order[b]
+	})
+	// Incumbent: the worst case is the full core.
+	s.bestCells = l.MaxSide*l.MaxSide + 1
+
+	if err := s.search(0, geom.Rect{}); err != nil {
+		return Result{}, err
+	}
+	if s.best == nil {
+		return Result{}, fmt.Errorf("optplace: no feasible placement within a %d-cell core side", l.MaxSide)
+	}
+	s.best.Normalize()
+	return Result{Placement: s.best, Cells: s.bestCells, Nodes: s.nodes}, nil
+}
+
+// search places order[k:] given the bounding box of order[:k].
+func (s *searcher) search(k int, bb geom.Rect) error {
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		return fmt.Errorf("optplace: node budget %d exhausted", s.maxNodes)
+	}
+	if bb.Cells() >= s.bestCells {
+		return nil // bound: cannot improve
+	}
+	if k == len(s.order) {
+		s.bestCells = bb.Cells()
+		s.best = s.cur.Clone()
+		return nil
+	}
+	i := s.order[k]
+	sizes := []geom.Size{s.mods[i].Size}
+	if !s.mods[i].Size.IsSquare() {
+		sizes = append(sizes, s.mods[i].Size.Transpose())
+	}
+	for oi, sz := range sizes {
+		// Symmetry break: reflecting the whole placement across either
+		// axis of the core preserves the bounding-box area, so the
+		// first module's origin can be confined to the lower-left
+		// quadrant of its position range without losing any optimum.
+		maxX, maxY := s.side-sz.W, s.side-sz.H
+		if k == 0 {
+			maxX = (s.side - sz.W) / 2
+			maxY = (s.side - sz.H) / 2
+		}
+		for y := 0; y <= maxY; y++ {
+			for x := 0; x <= maxX; x++ {
+				r := geom.Rect{X: x, Y: y, W: sz.W, H: sz.H}
+				nb := bb.Union(r)
+				if nb.Cells() >= s.bestCells {
+					continue
+				}
+				if s.clashes(i, r) {
+					continue
+				}
+				s.cur.Pos[i] = geom.Point{X: x, Y: y}
+				s.cur.Rot[i] = oi == 1
+				s.placed[i] = true
+				if err := s.search(k+1, nb); err != nil {
+					return err
+				}
+				s.placed[i] = false
+			}
+		}
+	}
+	return nil
+}
+
+func (s *searcher) clashes(i int, r geom.Rect) bool {
+	for j := range s.mods {
+		if s.placed[j] && s.conflicts[i][j] && r.Overlaps(s.cur.Rect(j)) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,314 @@
+// Package optsched is an exact, exponential-time scheduler for small
+// instances of the resource-constrained scheduling problem solved
+// heuristically by package schedule. It validates the list scheduler:
+// on instances it can solve it returns the provably minimum makespan,
+// giving the test suite a ground truth for the optimality gap.
+//
+// The search branches, at every event time, on the subset of ready
+// operations to start (delaying an operation can be optimal under an
+// area budget, so greedy subsets are not enough), pruning with the
+// critical-path lower bound against the incumbent makespan.
+package optsched
+
+import (
+	"fmt"
+	"sort"
+
+	"dmfb/internal/assay"
+	"dmfb/internal/schedule"
+)
+
+// Limits bounds the search.
+type Limits struct {
+	// MaxOps caps the instance size (default 14).
+	MaxOps int
+	// MaxNodes caps search nodes (default 2e6).
+	MaxNodes int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxOps == 0 {
+		l.MaxOps = 14
+	}
+	if l.MaxNodes == 0 {
+		l.MaxNodes = 2_000_000
+	}
+	return l
+}
+
+// Result reports the exact optimum.
+type Result struct {
+	Makespan int
+	Starts   []int // per op ID
+	Nodes    int
+}
+
+type searcher struct {
+	g        *assay.Graph
+	dur      []int
+	foot     []int
+	tail     []int // critical-path time from op start to sink
+	budget   int
+	maxNodes int
+
+	start   []int
+	finish  []int
+	best    int
+	bestSet []int
+	nodes   int
+}
+
+// Minimize returns the minimum-makespan schedule of g under binding b
+// and options o (only AreaBudget and the boundary durations are used).
+func Minimize(g *assay.Graph, b schedule.Binding, o schedule.Options, limits Limits) (Result, error) {
+	l := limits.withDefaults()
+	if err := g.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := g.NumOps()
+	if n > l.MaxOps {
+		return Result{}, fmt.Errorf("optsched: %d ops exceeds limit %d", n, l.MaxOps)
+	}
+	s := &searcher{g: g, budget: o.AreaBudget, maxNodes: l.MaxNodes}
+	s.dur = make([]int, n)
+	s.foot = make([]int, n)
+	for i := 0; i < n; i++ {
+		op := g.Op(i)
+		switch op.Kind {
+		case assay.Dispense:
+			s.dur[i] = o.DispenseTime
+		case assay.Output:
+			s.dur[i] = o.OutputTime
+		default:
+			d, ok := b[i]
+			if !ok {
+				return Result{}, fmt.Errorf("optsched: op %s unbound", op.Name)
+			}
+			s.dur[i] = d.Duration
+			s.foot[i] = d.Size.Cells()
+			if s.budget > 0 && s.foot[i] > s.budget {
+				return Result{}, fmt.Errorf("optsched: op %s exceeds the area budget", op.Name)
+			}
+		}
+	}
+	order, _ := g.TopoOrder()
+	s.tail = make([]int, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		best := 0
+		for _, sc := range g.Succ(v) {
+			if s.tail[sc] > best {
+				best = s.tail[sc]
+			}
+		}
+		s.tail[v] = best + s.dur[v]
+	}
+
+	s.start = make([]int, n)
+	s.finish = make([]int, n)
+	for i := range s.start {
+		s.start[i] = -1
+		s.finish[i] = -1
+	}
+	// Incumbent from the list scheduler: exact search only improves it.
+	ls, err := schedule.List(g, b, o)
+	if err != nil {
+		return Result{}, err
+	}
+	s.best = ls.Makespan
+	s.bestSet = make([]int, n)
+	for i, it := range ls.Items {
+		s.bestSet[i] = it.Span.Start
+	}
+
+	if err := s.search(0, 0, 0); err != nil {
+		return Result{}, err
+	}
+	return Result{Makespan: s.best, Starts: s.bestSet, Nodes: s.nodes}, nil
+}
+
+// search explores decisions at time `now` with `usedArea` in flight and
+// `done` ops finished.
+func (s *searcher) search(now, usedArea, done int) error {
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		return fmt.Errorf("optsched: node budget exhausted")
+	}
+	n := s.g.NumOps()
+	if done == n {
+		makespan := 0
+		for i := 0; i < n; i++ {
+			if s.finish[i] > makespan {
+				makespan = s.finish[i]
+			}
+		}
+		if makespan < s.best {
+			s.best = makespan
+			copy(s.bestSet, s.start)
+		}
+		return nil
+	}
+	// Lower bound: an unstarted op cannot start before now (or before
+	// its started predecessors finish) and then still needs its
+	// critical-path tail; a running op pins the makespan to its finish.
+	lb := now
+	for i := 0; i < n; i++ {
+		if s.start[i] < 0 {
+			est := now
+			for _, p := range s.g.Pred(i) {
+				if s.finish[p] > est {
+					est = s.finish[p]
+				}
+			}
+			if est+s.tail[i] > lb {
+				lb = est + s.tail[i]
+			}
+		} else if s.finish[i] > lb {
+			lb = s.finish[i]
+		}
+	}
+	if lb >= s.best {
+		return nil
+	}
+
+	ready := s.readyAt(now)
+	// Free ops (zero duration, zero footprint — pre-loaded dispenses)
+	// never benefit from delay: start them unconditionally. They may
+	// release new ready ops at the same instant.
+	var freeStarted []int
+	for _, v := range ready {
+		if s.dur[v] == 0 && s.foot[v] == 0 {
+			s.start[v] = now
+			s.finish[v] = now
+			freeStarted = append(freeStarted, v)
+		}
+	}
+	if len(freeStarted) > 0 {
+		err := s.search(now, s.areaAt(now), s.doneAt(now))
+		for _, v := range freeStarted {
+			s.start[v] = -1
+			s.finish[v] = -1
+		}
+		return err
+	}
+	running := false
+	nextFinish := -1
+	for i := 0; i < n; i++ {
+		if s.start[i] >= 0 && s.finish[i] > now {
+			running = true
+			if nextFinish < 0 || s.finish[i] < nextFinish {
+				nextFinish = s.finish[i]
+			}
+		}
+	}
+
+	if len(ready) == 0 {
+		if !running {
+			return nil // stuck: infeasible branch
+		}
+		return s.search(nextFinish, s.areaAt(nextFinish), s.doneAt(nextFinish))
+	}
+
+	// Branch on every feasible subset of ready ops (including the empty
+	// subset when something is running, modelling deliberate delay).
+	subsets := 1 << len(ready)
+	for mask := subsets - 1; mask >= 0; mask-- {
+		if mask == 0 && !running {
+			continue // must make progress
+		}
+		area := usedArea
+		ok := true
+		for bi, v := range ready {
+			if mask&(1<<bi) != 0 {
+				area += s.foot[v]
+				if s.budget > 0 && area > s.budget {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		var started []int
+		zeroDur := false
+		for bi, v := range ready {
+			if mask&(1<<bi) != 0 {
+				s.start[v] = now
+				s.finish[v] = now + s.dur[v]
+				started = append(started, v)
+				if s.dur[v] == 0 {
+					zeroDur = true
+				}
+			}
+		}
+		var err error
+		if zeroDur {
+			// Zero-duration ops may release new ready ops at `now`.
+			err = s.search(now, s.areaAt(now), s.doneAt(now))
+		} else if mask == 0 {
+			err = s.search(nextFinish, s.areaAt(nextFinish), s.doneAt(nextFinish))
+		} else {
+			nf := nextFinish
+			for _, v := range started {
+				if nf < 0 || s.finish[v] < nf {
+					nf = s.finish[v]
+				}
+			}
+			err = s.search(nf, s.areaAt(nf), s.doneAt(nf))
+		}
+		for _, v := range started {
+			s.start[v] = -1
+			s.finish[v] = -1
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readyAt lists unstarted ops whose predecessors have all finished by
+// time t, in ID order.
+func (s *searcher) readyAt(t int) []int {
+	var out []int
+	for i := 0; i < s.g.NumOps(); i++ {
+		if s.start[i] >= 0 {
+			continue
+		}
+		ok := true
+		for _, p := range s.g.Pred(i) {
+			if s.finish[p] < 0 || s.finish[p] > t {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// areaAt returns the module footprint in flight at time t.
+func (s *searcher) areaAt(t int) int {
+	area := 0
+	for i := 0; i < s.g.NumOps(); i++ {
+		if s.start[i] >= 0 && s.start[i] <= t && s.finish[i] > t {
+			area += s.foot[i]
+		}
+	}
+	return area
+}
+
+// doneAt counts ops finished by time t.
+func (s *searcher) doneAt(t int) int {
+	done := 0
+	for i := 0; i < s.g.NumOps(); i++ {
+		if s.start[i] >= 0 && s.finish[i] <= t {
+			done++
+		}
+	}
+	return done
+}

@@ -1,0 +1,109 @@
+// Package pcr encodes the paper's case study: the mixing stage of the
+// polymerase chain reaction (Section 6, Figures 5-6, Table 1).
+//
+// The mixing stage combines eight reagents pairwise in a binary tree
+// of seven mixing operations M1..M7. Table 1 binds each operation to a
+// mixer geometry from the Paik et al. catalogue; the resulting module
+// set (footprint × time span) is the input to module placement.
+package pcr
+
+import (
+	"fmt"
+
+	"dmfb/internal/assay"
+	"dmfb/internal/modlib"
+	"dmfb/internal/schedule"
+)
+
+// Reagents of the PCR mix in dispensing order. Tris-HCl buffer, KCl,
+// bovine serum albumin (gelatin), the primer, dNTPs, AmpliTaq DNA
+// polymerase, MgCl2 (beads) and the DNA template itself.
+var Reagents = [8]string{
+	"tris-hcl", "kcl", "gelatin", "primer",
+	"dntp", "amplitaq", "mgcl2", "dna",
+}
+
+// MixNames are the seven mixing operations of Figure 5 in Table 1
+// order: M1..M4 combine the dispensed reagents pairwise, M5 merges the
+// outputs of M1 and M2, M6 merges M3 and M4, and M7 produces the final
+// PCR master mix.
+var MixNames = [7]string{"M1", "M2", "M3", "M4", "M5", "M6", "M7"}
+
+// Graph returns the sequencing graph of Figure 5 together with the IDs
+// of the mix operations (index i holds the ID of MixNames[i]).
+func Graph() (*assay.Graph, [7]int) {
+	g := assay.New("pcr-mixing-stage")
+	var disp [8]int
+	for i, r := range Reagents {
+		disp[i] = g.AddOp(fmt.Sprintf("D%d", i+1), assay.Dispense, r)
+	}
+	var mix [7]int
+	for i, name := range MixNames {
+		mix[i] = g.AddOp(name, assay.Mix, "")
+	}
+	// Level 1: pairwise reagent mixes.
+	for i := 0; i < 4; i++ {
+		g.MustEdge(disp[2*i], mix[i])
+		g.MustEdge(disp[2*i+1], mix[i])
+	}
+	// Level 2.
+	g.MustEdge(mix[0], mix[4]) // M1 -> M5
+	g.MustEdge(mix[1], mix[4]) // M2 -> M5
+	g.MustEdge(mix[2], mix[5]) // M3 -> M6
+	g.MustEdge(mix[3], mix[5]) // M4 -> M6
+	// Level 3: final master mix.
+	g.MustEdge(mix[4], mix[6]) // M5 -> M7
+	g.MustEdge(mix[5], mix[6]) // M6 -> M7
+	return g, mix
+}
+
+// deviceFor maps each mix operation to its Table 1 hardware.
+var deviceFor = [7]string{
+	modlib.Mixer2x2, // M1: 2x2 electrode array, 4x4 cells, 10 s
+	modlib.Mixer1x4, // M2: 4-electrode linear array, 3x6 cells, 5 s
+	modlib.Mixer2x3, // M3: 2x3 electrode array, 4x5 cells, 6 s
+	modlib.Mixer1x4, // M4: 4-electrode linear array, 3x6 cells, 5 s
+	modlib.Mixer1x4, // M5: 4-electrode linear array, 3x6 cells, 5 s
+	modlib.Mixer2x2, // M6: 2x2 electrode array, 4x4 cells, 10 s
+	modlib.Mixer2x4, // M7: 2x4 electrode array, 4x6 cells, 3 s
+}
+
+// Binding returns the Table 1 resource binding for the graph returned
+// by Graph.
+func Binding(mix [7]int) schedule.Binding {
+	lib := modlib.Table1()
+	b := make(schedule.Binding, len(mix))
+	for i, id := range mix {
+		d, ok := lib.Get(deviceFor[i])
+		if !ok {
+			panic("pcr: Table 1 device missing from library: " + deviceFor[i])
+		}
+		b[id] = d
+	}
+	return b
+}
+
+// DefaultAreaBudget is the concurrent-footprint cap used to regenerate
+// the Figure 6 schedule. It equals the 63-cell array of the paper's
+// area-minimal placement (Figure 7), so the schedule never demands
+// more concurrent module area than that placement provides.
+const DefaultAreaBudget = 63
+
+// Schedule synthesises the Figure 6 schedule: Table 1 binding plus
+// area-constrained list scheduling with pre-loaded reservoirs
+// (dispense and output take no schedule time).
+func Schedule() (*schedule.Schedule, error) {
+	g, mix := Graph()
+	b := Binding(mix)
+	return schedule.List(g, b, schedule.Options{AreaBudget: DefaultAreaBudget})
+}
+
+// MustSchedule is Schedule but panics on error; the PCR case study is
+// static and cannot fail except through programmer error.
+func MustSchedule() *schedule.Schedule {
+	s, err := Schedule()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,149 @@
+package pcr
+
+import (
+	"testing"
+
+	"dmfb/internal/assay"
+	"dmfb/internal/geom"
+)
+
+// TestFigure5SequencingGraph checks the structure of the paper's
+// Figure 5: eight dispenses feeding a binary tree of seven mixes.
+func TestFigure5SequencingGraph(t *testing.T) {
+	g, mix := Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumOps() != 15 {
+		t.Fatalf("NumOps = %d, want 15", g.NumOps())
+	}
+	if g.CountKind(assay.Dispense) != 8 || g.CountKind(assay.Mix) != 7 {
+		t.Fatalf("kind counts wrong: %d dispenses, %d mixes",
+			g.CountKind(assay.Dispense), g.CountKind(assay.Mix))
+	}
+	// Tree structure: M1..M4 consume dispenses, M5={M1,M2}, M6={M3,M4},
+	// M7={M5,M6} and M7 is the unique sink.
+	depth, err := g.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDepth := [7]int{1, 1, 1, 1, 2, 2, 3}
+	for i, id := range mix {
+		if depth[id] != wantDepth[i] {
+			t.Errorf("depth(%s) = %d, want %d", MixNames[i], depth[id], wantDepth[i])
+		}
+		if got := len(g.Pred(id)); got != 2 {
+			t.Errorf("%s has %d inputs, want 2", MixNames[i], got)
+		}
+	}
+	sinks := g.Sinks()
+	if len(sinks) != 1 || sinks[0] != mix[6] {
+		t.Fatalf("sinks = %v, want only M7", sinks)
+	}
+}
+
+// TestTable1ResourceBinding checks the binding against Table 1 of the
+// paper: module footprints and mixing times for M1..M7.
+func TestTable1ResourceBinding(t *testing.T) {
+	g, mix := Graph()
+	b := Binding(mix)
+	want := []struct {
+		hardware string
+		size     geom.Size
+		dur      int
+	}{
+		{"2x2 electrode array", geom.Size{W: 4, H: 4}, 10},     // M1
+		{"4-electrode linear array", geom.Size{W: 3, H: 6}, 5}, // M2
+		{"2x3 electrode array", geom.Size{W: 4, H: 5}, 6},      // M3
+		{"4-electrode linear array", geom.Size{W: 3, H: 6}, 5}, // M4
+		{"4-electrode linear array", geom.Size{W: 3, H: 6}, 5}, // M5
+		{"2x2 electrode array", geom.Size{W: 4, H: 4}, 10},     // M6
+		{"2x4 electrode array", geom.Size{W: 4, H: 6}, 3},      // M7
+	}
+	for i, id := range mix {
+		d := b[id]
+		if d.Hardware != want[i].hardware || d.Size != want[i].size || d.Duration != want[i].dur {
+			t.Errorf("%s bound to %+v, want %+v", MixNames[i], d, want[i])
+		}
+	}
+	_ = g
+	// Total module area (the lower bound if nothing were reconfigured):
+	// 16+18+20+18+18+16+24 = 130 cells.
+	total := 0
+	for _, id := range mix {
+		total += b[id].Cells()
+	}
+	if total != 130 {
+		t.Errorf("total module cells = %d, want 130", total)
+	}
+}
+
+// TestFigure6Schedule checks the regenerated module-usage schedule:
+// precedence-correct, within the 63-cell area budget, and with the
+// expected structure (M1/M3 start immediately; M7 last).
+func TestFigure6Schedule(t *testing.T) {
+	s := MustSchedule()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	items := s.BoundItems()
+	if len(items) != 7 {
+		t.Fatalf("bound items = %d, want 7", len(items))
+	}
+	byName := map[string]geom.Interval{}
+	for _, it := range items {
+		byName[it.Op.Name] = it.Span
+	}
+	// Dispenses are instantaneous, so the highest-priority mixes start
+	// at t=0 and the area budget defers exactly one level-1 mix.
+	if byName["M1"].Start != 0 || byName["M3"].Start != 0 {
+		t.Errorf("M1/M3 must start at 0: %v %v", byName["M1"], byName["M3"])
+	}
+	if s.PeakArea() > DefaultAreaBudget {
+		t.Errorf("peak area %d exceeds budget %d", s.PeakArea(), DefaultAreaBudget)
+	}
+	// Durations straight from Table 1.
+	wantDur := map[string]int{"M1": 10, "M2": 5, "M3": 6, "M4": 5, "M5": 5, "M6": 10, "M7": 3}
+	for n, d := range wantDur {
+		if byName[n].Len() != d {
+			t.Errorf("%s duration %d, want %d", n, byName[n].Len(), d)
+		}
+	}
+	// M7 is the last operation and defines the makespan.
+	if byName["M7"].End != s.Makespan {
+		t.Errorf("M7 ends at %d, makespan %d", byName["M7"].End, s.Makespan)
+	}
+	// The assay cannot beat its critical path (M3->M6->M7 = 19 s with
+	// instantaneous dispense).
+	if s.Makespan < 19 {
+		t.Errorf("makespan %d beats the critical path", s.Makespan)
+	}
+	// Peak concurrent area is substantial (three level-1 mixers), which
+	// is what makes the placement problem non-trivial.
+	if s.PeakArea() < 50 {
+		t.Errorf("peak area %d suspiciously small", s.PeakArea())
+	}
+}
+
+// TestScheduleDeterminism: the case study must synthesise identically
+// on every run, since all downstream experiments depend on it.
+func TestScheduleDeterminism(t *testing.T) {
+	a := MustSchedule()
+	b := MustSchedule()
+	if a.String() != b.String() {
+		t.Fatalf("schedule not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestReagentCount(t *testing.T) {
+	if len(Reagents) != 8 {
+		t.Fatal("PCR mixing stage needs 8 reagents")
+	}
+	seen := map[string]bool{}
+	for _, r := range Reagents {
+		if seen[r] {
+			t.Fatalf("duplicate reagent %q", r)
+		}
+		seen[r] = true
+	}
+}

@@ -1,0 +1,137 @@
+// Package reconfig implements the paper's partial reconfiguration
+// (Section 5.1): when a cell is detected faulty during field
+// operation, the module containing it is relocated to fault-free
+// unused cells by reprogramming control voltages, while the rest of
+// the configuration is left untouched. The relocation search is the
+// fast maximal-empty-rectangle procedure also used by the fault
+// tolerance index, so a placement's FTI exactly predicts which faults
+// this package can recover from.
+package reconfig
+
+import (
+	"fmt"
+
+	"dmfb/internal/emptyrect"
+	"dmfb/internal/geom"
+	"dmfb/internal/place"
+)
+
+// Relocation describes one successful partial reconfiguration.
+type Relocation struct {
+	Module int       // index of the relocated module
+	From   geom.Rect // original site
+	To     geom.Rect // new site (possibly rotated footprint)
+	Fault  geom.Point
+}
+
+// String summarises the relocation.
+func (r Relocation) String() string {
+	return fmt.Sprintf("module %d: %v -> %v (fault at %v)", r.Module, r.From, r.To, r.Fault)
+}
+
+// Rotated reports whether the relocation changed the module's
+// orientation.
+func (r Relocation) Rotated() bool {
+	return r.From.Size() != r.To.Size()
+}
+
+// Plan computes the partial reconfiguration for a fault at cell pt on
+// the given array. It returns the relocations needed — one per module
+// whose rectangle contains pt (several modules may time-share the
+// faulty cell) — without modifying the placement. An error is
+// returned when some affected module cannot be relocated; in that case
+// the fault is not C-covered and the assay must be aborted or the chip
+// taken offline.
+//
+// Each relocation is chosen best-fit: the accommodating maximal empty
+// rectangle wasting the fewest cells, with the module anchored inside
+// it so as to avoid the faulty cell.
+func Plan(p *place.Placement, array geom.Rect, fault geom.Point) ([]Relocation, error) {
+	if !array.Contains(fault) {
+		return nil, fmt.Errorf("reconfig: fault %v outside array %v", fault, array)
+	}
+	var out []Relocation
+	for _, mi := range p.ModulesAt(fault) {
+		r, err := PlanModule(p, array, mi, fault)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PlanModule computes the relocation of a single module for a fault at
+// cell fault, regardless of whether the fault lies inside the module
+// (a site avoiding the faulty cell is required either way). Extra
+// obstacle cells — typically previously detected faults — are treated
+// as occupied when searching for a site. The placement is not
+// modified.
+func PlanModule(p *place.Placement, array geom.Rect, mi int, fault geom.Point, obstacles ...geom.Point) (Relocation, error) {
+	if mi < 0 || mi >= len(p.Modules) {
+		return Relocation{}, fmt.Errorf("reconfig: unknown module %d", mi)
+	}
+	m := p.Modules[mi]
+	g := p.OccupancyDuring(array, m.Span, mi)
+	for _, o := range obstacles {
+		g.Set(geom.Point{X: o.X - array.X, Y: o.Y - array.Y}, true)
+	}
+	mers := emptyrect.Maximal(g)
+	local := geom.Point{X: fault.X - array.X, Y: fault.Y - array.Y}
+	to, ok := emptyrect.BestFitAvoiding(mers, m.Size, local)
+	if !ok {
+		return Relocation{}, fmt.Errorf(
+			"reconfig: module %s (%v) cannot be relocated for fault at %v: no accommodating empty rectangle",
+			m.Name, m.Size, fault)
+	}
+	return Relocation{
+		Module: mi,
+		From:   p.Rect(mi),
+		To:     to.Translate(array.X, array.Y),
+		Fault:  fault,
+	}, nil
+}
+
+// Apply executes the relocations on the placement, updating module
+// positions and orientations. It validates the result and reports an
+// error (leaving p modified only on success) if the relocations
+// conflict with the placement.
+func Apply(p *place.Placement, rels []Relocation) error {
+	next := p.Clone()
+	for _, r := range rels {
+		if r.Module < 0 || r.Module >= len(next.Modules) {
+			return fmt.Errorf("reconfig: relocation references unknown module %d", r.Module)
+		}
+		m := next.Modules[r.Module]
+		sz := r.To.Size()
+		switch {
+		case sz == m.Size:
+			next.Rot[r.Module] = false
+		case sz == m.Size.Transpose():
+			next.Rot[r.Module] = true
+		default:
+			return fmt.Errorf("reconfig: site %v does not match module %s footprint %v",
+				r.To, m.Name, m.Size)
+		}
+		next.Pos[r.Module] = r.To.Origin()
+	}
+	if err := next.Validate(); err != nil {
+		return fmt.Errorf("reconfig: relocations produce overlap: %w", err)
+	}
+	copy(p.Pos, next.Pos)
+	copy(p.Rot, next.Rot)
+	return nil
+}
+
+// Recover plans and applies the reconfiguration for a fault in one
+// step, returning the relocations performed.
+func Recover(p *place.Placement, array geom.Rect, fault geom.Point) ([]Relocation, error) {
+	rels, err := Plan(p, array, fault)
+	if err != nil {
+		return nil, err
+	}
+	if err := Apply(p, rels); err != nil {
+		return nil, err
+	}
+	return rels, nil
+}

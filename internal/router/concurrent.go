@@ -1,0 +1,338 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"dmfb/internal/fluidics"
+	"dmfb/internal/geom"
+)
+
+// Concurrent droplet routing: several droplets move simultaneously,
+// one cell per control step, under the standard electrowetting routing
+// constraints (formalised in the droplet-routing literature that grew
+// out of this paper's reconfigurable-module model):
+//
+//   - static:  at any step t, two droplets must not occupy adjacent
+//     cells (Chebyshev distance ≥ 2), or they would coalesce;
+//   - dynamic: a droplet's position at step t+1 must not be adjacent
+//     to another droplet's position at step t (and vice versa), or
+//     they could merge mid-transition.
+//
+// The planner is prioritised time-extended A*: droplets are planned
+// one at a time against a reservation table of already-planned
+// trajectories; waiting in place is a legal move. If an ordering
+// fails, rotated priority orders are tried.
+
+// ConcurrentOptions configures PlanConcurrent.
+type ConcurrentOptions struct {
+	// Horizon caps the plan length in control steps. Zero derives a
+	// generous default from the array size and droplet count.
+	Horizon int
+	// KeepOut lists rectangles no droplet may enter (active modules).
+	KeepOut []geom.Rect
+	// MaxOrders bounds how many priority orders are attempted
+	// (default: one per droplet).
+	MaxOrders int
+}
+
+// ConcurrentPlan is a synchronised trajectory set: Paths[i][t] is
+// droplet i's cell at control step t. All paths share the same length
+// Makespan+1; droplets that arrive early hold their target.
+type ConcurrentPlan struct {
+	Paths    [][]geom.Point
+	Makespan int
+}
+
+// Steps returns the total number of non-waiting single-cell moves.
+func (p *ConcurrentPlan) Steps() int {
+	n := 0
+	for _, path := range p.Paths {
+		for t := 1; t < len(path); t++ {
+			if path[t] != path[t-1] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Endpoint is one droplet's routing demand.
+type Endpoint struct {
+	From, To geom.Point
+}
+
+// PlanConcurrent routes every droplet from its source to its target
+// simultaneously. Sources and targets must be pairwise separated
+// (Chebyshev ≥ 2) — a physical requirement, since the droplets coexist
+// before and after the transport phase.
+func PlanConcurrent(chip *fluidics.Chip, eps []Endpoint, opts ConcurrentOptions) (*ConcurrentPlan, error) {
+	n := len(eps)
+	if n == 0 {
+		return &ConcurrentPlan{}, nil
+	}
+	for i, e := range eps {
+		if !chip.In(e.From) || !chip.In(e.To) {
+			return nil, fmt.Errorf("router: endpoint %d (%v -> %v) off array", i, e.From, e.To)
+		}
+		if chip.IsFaulty(e.From) || chip.IsFaulty(e.To) {
+			return nil, fmt.Errorf("router: endpoint %d uses a faulty cell", i)
+		}
+		if inAny(opts.KeepOut, e.From) || inAny(opts.KeepOut, e.To) {
+			return nil, fmt.Errorf("router: endpoint %d inside a keep-out region", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if cheb(eps[i].From, eps[j].From) < 2 {
+				return nil, fmt.Errorf("router: sources %d and %d violate separation", i, j)
+			}
+			if cheb(eps[i].To, eps[j].To) < 2 {
+				return nil, fmt.Errorf("router: targets %d and %d violate separation", i, j)
+			}
+		}
+	}
+
+	horizon := opts.Horizon
+	if horizon == 0 {
+		horizon = 2*(chip.W()+chip.H()) + 4*n + 8
+	}
+	maxOrders := opts.MaxOrders
+	if maxOrders == 0 {
+		maxOrders = n
+	}
+
+	// Base priority: longest distance first (hardest demands claim the
+	// reservation table early).
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	sort.Slice(base, func(a, b int) bool {
+		da := eps[base[a]].From.Manhattan(eps[base[a]].To)
+		db := eps[base[b]].From.Manhattan(eps[base[b]].To)
+		if da != db {
+			return da > db
+		}
+		return base[a] < base[b]
+	})
+
+	var lastErr error
+	for rot := 0; rot < maxOrders; rot++ {
+		order := append(base[rot:], base[:rot]...)
+		plan, err := planInOrder(chip, eps, order, horizon, opts.KeepOut)
+		if err == nil {
+			return plan, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("router: concurrent planning failed after %d orders: %w", maxOrders, lastErr)
+}
+
+// planInOrder plans droplets in the given priority order against a
+// growing reservation table.
+func planInOrder(chip *fluidics.Chip, eps []Endpoint, order []int, horizon int, keepOut []geom.Rect) (*ConcurrentPlan, error) {
+	n := len(eps)
+	paths := make([][]geom.Point, n)
+	var reserved [][]geom.Point // trajectories already planned (padded to horizon+1)
+
+	for _, i := range order {
+		path, err := timedAStar(chip, eps[i], horizon, keepOut, reserved)
+		if err != nil {
+			return nil, fmt.Errorf("droplet %d: %w", i, err)
+		}
+		paths[i] = path
+		reserved = append(reserved, pad(path, horizon+1))
+	}
+
+	makespan := 0
+	for _, p := range paths {
+		for t := len(p) - 1; t > 0; t-- {
+			if p[t] != p[t-1] {
+				if t > makespan {
+					makespan = t
+				}
+				break
+			}
+		}
+	}
+	for i := range paths {
+		paths[i] = pad(paths[i], makespan+1)
+	}
+	return &ConcurrentPlan{Paths: paths, Makespan: makespan}, nil
+}
+
+type tstate struct {
+	p geom.Point
+	t int
+}
+
+// timedAStar searches (cell, step) space. Moves: the four orthogonal
+// steps plus waiting. The droplet must hold its target from arrival to
+// the horizon without violating constraints against reserved
+// trajectories (checked during search by treating arrival as waiting).
+// Earlier-planned droplets are unaware of later ones; any resulting
+// conflict surfaces as an admissibility failure for the later droplet
+// (its own waiting-at-source prefix is part of its trajectory), which
+// the priority-order rotation in PlanConcurrent then works around.
+func timedAStar(chip *fluidics.Chip, ep Endpoint, horizon int, keepOut []geom.Rect,
+	reserved [][]geom.Point) ([]geom.Point, error) {
+
+	admissible := func(p geom.Point, t int) bool {
+		if !chip.In(p) || chip.IsFaulty(p) || inAny(keepOut, p) {
+			return false
+		}
+		for _, r := range reserved {
+			// static at t; dynamic against t-1 and t+1.
+			if cheb(p, r[min(t, len(r)-1)]) < 2 {
+				return false
+			}
+			if t > 0 && cheb(p, r[min(t-1, len(r)-1)]) < 2 {
+				return false
+			}
+			if cheb(p, r[min(t+1, len(r)-1)]) < 2 {
+				return false
+			}
+		}
+		return true
+	}
+
+	if !admissible(ep.From, 0) {
+		return nil, fmt.Errorf("router: source %v blocked at t=0", ep.From)
+	}
+
+	// holdOK reports whether the droplet can sit at the target from
+	// step t to the horizon.
+	holdOK := func(t int) bool {
+		for tt := t; tt <= horizon; tt++ {
+			if !admissible(ep.To, tt) {
+				return false
+			}
+		}
+		return true
+	}
+
+	type node struct {
+		s    tstate
+		f, g int
+	}
+	open := []node{{tstate{ep.From, 0}, ep.From.Manhattan(ep.To), 0}}
+	came := map[tstate]tstate{}
+	seen := map[tstate]bool{{ep.From, 0}: true}
+
+	for len(open) > 0 {
+		// Pop the lowest f (ties: lowest t) — linear scan keeps the
+		// implementation simple; frontiers here are small.
+		bi := 0
+		for i := 1; i < len(open); i++ {
+			if open[i].f < open[bi].f || (open[i].f == open[bi].f && open[i].g < open[bi].g) {
+				bi = i
+			}
+		}
+		cur := open[bi]
+		open = append(open[:bi], open[bi+1:]...)
+
+		if cur.s.p == ep.To && holdOK(cur.s.t) {
+			var rev []geom.Point
+			s := cur.s
+			for {
+				rev = append(rev, s.p)
+				prev, ok := came[s]
+				if !ok {
+					break
+				}
+				s = prev
+			}
+			for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+				rev[l], rev[r] = rev[r], rev[l]
+			}
+			return rev, nil
+		}
+		if cur.s.t >= horizon {
+			continue
+		}
+		cands := cur.s.p.Neighbors4()
+		next := append(cands[:], cur.s.p) // waiting is a move
+		for _, np := range next {
+			ns := tstate{np, cur.s.t + 1}
+			if seen[ns] || !admissible(np, ns.t) {
+				continue
+			}
+			seen[ns] = true
+			came[ns] = cur.s
+			open = append(open, node{ns, ns.t + np.Manhattan(ep.To), ns.t})
+		}
+	}
+	return nil, fmt.Errorf("router: no trajectory %v -> %v within %d steps", ep.From, ep.To, horizon)
+}
+
+// ValidateConcurrent checks a plan against every routing constraint;
+// the test suite uses it as the ground-truth referee.
+func ValidateConcurrent(chip *fluidics.Chip, eps []Endpoint, plan *ConcurrentPlan, keepOut []geom.Rect) error {
+	if len(plan.Paths) != len(eps) {
+		return fmt.Errorf("router: %d paths for %d endpoints", len(plan.Paths), len(eps))
+	}
+	for i, path := range plan.Paths {
+		if len(path) != plan.Makespan+1 {
+			return fmt.Errorf("router: path %d has %d steps, want %d", i, len(path), plan.Makespan+1)
+		}
+		if path[0] != eps[i].From || path[len(path)-1] != eps[i].To {
+			return fmt.Errorf("router: path %d endpoints wrong", i)
+		}
+		for t, p := range path {
+			if !chip.In(p) || chip.IsFaulty(p) || inAny(keepOut, p) {
+				return fmt.Errorf("router: path %d enters bad cell %v at t=%d", i, p, t)
+			}
+			if t > 0 && path[t-1].Manhattan(p) > 1 {
+				return fmt.Errorf("router: path %d jumps at t=%d", i, t)
+			}
+		}
+	}
+	for i := 0; i < len(plan.Paths); i++ {
+		for j := i + 1; j < len(plan.Paths); j++ {
+			a, b := plan.Paths[i], plan.Paths[j]
+			for t := 0; t <= plan.Makespan; t++ {
+				if cheb(a[t], b[t]) < 2 {
+					return fmt.Errorf("router: static violation between %d and %d at t=%d", i, j, t)
+				}
+				if t < plan.Makespan {
+					if cheb(a[t+1], b[t]) < 2 || cheb(b[t+1], a[t]) < 2 {
+						return fmt.Errorf("router: dynamic violation between %d and %d at t=%d", i, j, t)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func pad(path []geom.Point, length int) []geom.Point {
+	for len(path) < length {
+		path = append(path, path[len(path)-1])
+	}
+	return path
+}
+
+func inAny(rects []geom.Rect, p geom.Point) bool {
+	for _, r := range rects {
+		if r.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func cheb(a, b geom.Point) int {
+	dx := a.X - b.X
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := a.Y - b.Y
+	if dy < 0 {
+		dy = -dy
+	}
+	if dx > dy {
+		return dx
+	}
+	return dy
+}

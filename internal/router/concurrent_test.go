@@ -1,0 +1,210 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmfb/internal/fluidics"
+	"dmfb/internal/geom"
+)
+
+func TestConcurrentSingleDroplet(t *testing.T) {
+	chip := fluidics.NewChip(8, 8)
+	eps := []Endpoint{{From: geom.Point{X: 0, Y: 0}, To: geom.Point{X: 7, Y: 7}}}
+	plan, err := PlanConcurrent(chip, eps, ConcurrentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateConcurrent(chip, eps, plan, nil); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Makespan != 14 {
+		t.Errorf("makespan = %d, want manhattan 14", plan.Makespan)
+	}
+	if plan.Steps() != 14 {
+		t.Errorf("steps = %d", plan.Steps())
+	}
+}
+
+func TestConcurrentEmpty(t *testing.T) {
+	chip := fluidics.NewChip(4, 4)
+	plan, err := PlanConcurrent(chip, nil, ConcurrentOptions{})
+	if err != nil || plan.Makespan != 0 {
+		t.Fatalf("empty plan: %v %v", plan, err)
+	}
+}
+
+func TestConcurrentParallelLanes(t *testing.T) {
+	// Two droplets moving east in separated rows: no interference,
+	// both at shortest length.
+	chip := fluidics.NewChip(10, 6)
+	eps := []Endpoint{
+		{From: geom.Point{X: 0, Y: 0}, To: geom.Point{X: 9, Y: 0}},
+		{From: geom.Point{X: 0, Y: 4}, To: geom.Point{X: 9, Y: 4}},
+	}
+	plan, err := PlanConcurrent(chip, eps, ConcurrentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateConcurrent(chip, eps, plan, nil); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Makespan != 9 {
+		t.Errorf("makespan = %d, want 9", plan.Makespan)
+	}
+}
+
+func TestConcurrentHeadOnSwap(t *testing.T) {
+	// Two droplets swapping ends of the same corridor must detour or
+	// wait — impossible on a 1-row array, solvable on a wider one.
+	narrow := fluidics.NewChip(8, 1)
+	eps := []Endpoint{
+		{From: geom.Point{X: 0, Y: 0}, To: geom.Point{X: 7, Y: 0}},
+		{From: geom.Point{X: 7, Y: 0}, To: geom.Point{X: 0, Y: 0}},
+	}
+	if _, err := PlanConcurrent(narrow, eps, ConcurrentOptions{}); err == nil {
+		t.Fatal("head-on swap on a 1-row array should be unroutable")
+	}
+
+	wide := fluidics.NewChip(8, 5)
+	plan, err := PlanConcurrent(wide, eps, ConcurrentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateConcurrent(wide, eps, plan, nil); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Makespan < 7 {
+		t.Errorf("swap makespan %d below distance bound", plan.Makespan)
+	}
+}
+
+func TestConcurrentRespectsKeepOutAndFaults(t *testing.T) {
+	chip := fluidics.NewChip(9, 7)
+	chip.InjectFault(geom.Point{X: 4, Y: 0})
+	keepOut := []geom.Rect{{X: 3, Y: 2, W: 3, H: 3}}
+	eps := []Endpoint{
+		{From: geom.Point{X: 0, Y: 0}, To: geom.Point{X: 8, Y: 0}},
+		{From: geom.Point{X: 0, Y: 6}, To: geom.Point{X: 8, Y: 6}},
+	}
+	plan, err := PlanConcurrent(chip, eps, ConcurrentOptions{KeepOut: keepOut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateConcurrent(chip, eps, plan, keepOut); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentRejectsBadEndpoints(t *testing.T) {
+	chip := fluidics.NewChip(6, 6)
+	cases := [][]Endpoint{
+		{{From: geom.Point{X: -1, Y: 0}, To: geom.Point{X: 1, Y: 1}}},
+		// Adjacent sources.
+		{
+			{From: geom.Point{X: 0, Y: 0}, To: geom.Point{X: 5, Y: 0}},
+			{From: geom.Point{X: 1, Y: 0}, To: geom.Point{X: 5, Y: 5}},
+		},
+		// Adjacent targets.
+		{
+			{From: geom.Point{X: 0, Y: 0}, To: geom.Point{X: 5, Y: 4}},
+			{From: geom.Point{X: 0, Y: 4}, To: geom.Point{X: 5, Y: 5}},
+		},
+	}
+	for i, eps := range cases {
+		if _, err := PlanConcurrent(chip, eps, ConcurrentOptions{}); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	chip.InjectFault(geom.Point{X: 2, Y: 2})
+	if _, err := PlanConcurrent(chip,
+		[]Endpoint{{From: geom.Point{X: 2, Y: 2}, To: geom.Point{X: 0, Y: 0}}},
+		ConcurrentOptions{}); err == nil {
+		t.Error("faulty source accepted")
+	}
+}
+
+// Property: random multi-droplet instances either fail honestly or
+// produce plans that pass the full constraint referee.
+func TestConcurrentRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	solved := 0
+	for trial := 0; trial < 120; trial++ {
+		w, h := 7+rng.Intn(5), 7+rng.Intn(5)
+		chip := fluidics.NewChip(w, h)
+		for i := 0; i < rng.Intn(4); i++ {
+			chip.InjectFault(geom.Point{X: rng.Intn(w), Y: rng.Intn(h)})
+		}
+		n := 1 + rng.Intn(3)
+		var eps []Endpoint
+		ok := true
+		for i := 0; i < n && ok; i++ {
+			var e Endpoint
+			found := false
+			for try := 0; try < 50; try++ {
+				e = Endpoint{
+					From: geom.Point{X: rng.Intn(w), Y: rng.Intn(h)},
+					To:   geom.Point{X: rng.Intn(w), Y: rng.Intn(h)},
+				}
+				if chip.IsFaulty(e.From) || chip.IsFaulty(e.To) {
+					continue
+				}
+				clash := false
+				for _, o := range eps {
+					if cheb(e.From, o.From) < 2 || cheb(e.To, o.To) < 2 {
+						clash = true
+						break
+					}
+				}
+				if !clash {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+			}
+			eps = append(eps, e)
+		}
+		if !ok {
+			continue
+		}
+		plan, err := PlanConcurrent(chip, eps, ConcurrentOptions{})
+		if err != nil {
+			continue // honestly unroutable (walls of faults etc.)
+		}
+		solved++
+		if err := ValidateConcurrent(chip, eps, plan, nil); err != nil {
+			t.Fatalf("trial %d: invalid plan: %v", trial, err)
+		}
+		// Makespan at least the largest individual distance.
+		for i, e := range eps {
+			if d := e.From.Manhattan(e.To); plan.Makespan < d {
+				t.Fatalf("trial %d: makespan %d below droplet %d distance %d",
+					trial, plan.Makespan, i, d)
+			}
+		}
+	}
+	if solved < 60 {
+		t.Errorf("only %d/120 random instances solved — planner too weak", solved)
+	}
+}
+
+func BenchmarkConcurrentFourDroplets(b *testing.B) {
+	chip := fluidics.NewChip(12, 12)
+	eps := []Endpoint{
+		{From: geom.Point{X: 0, Y: 0}, To: geom.Point{X: 11, Y: 11}},
+		{From: geom.Point{X: 11, Y: 0}, To: geom.Point{X: 0, Y: 11}},
+		{From: geom.Point{X: 0, Y: 5}, To: geom.Point{X: 11, Y: 5}},
+		{From: geom.Point{X: 11, Y: 8}, To: geom.Point{X: 0, Y: 8}},
+	}
+	for i := 0; i < b.N; i++ {
+		plan, err := PlanConcurrent(chip, eps, ConcurrentOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ValidateConcurrent(chip, eps, plan, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package router plans droplet transport paths on the microfluidic
+// array. Cells in the microfluidic array double as transport paths —
+// the programmability the paper contrasts with DRFPGAs ("the cells ...
+// can be used for storage, functional operations, as well as for
+// transporting fluid droplets").
+//
+// Routing is breadth-first search over healthy, unreserved cells:
+// shortest paths under unit step cost, which is exact for single
+// droplet transport (one cell per control step). Obstacles are faulty
+// cells, the segregation regions of concurrently active modules
+// (except the droplet's own source/target module) and the separation
+// halo of other droplets.
+package router
+
+import (
+	"fmt"
+
+	"dmfb/internal/fluidics"
+	"dmfb/internal/geom"
+)
+
+// Request describes one routing query.
+type Request struct {
+	From, To geom.Point
+	// KeepOut lists rectangles the path must not enter (active
+	// modules' segregation regions). A rectangle containing From or To
+	// is implicitly permitted at those cells only... not at all:
+	// callers should exclude the droplet's own module from KeepOut.
+	KeepOut []geom.Rect
+	// AvoidDroplets lists positions of other droplets; the path keeps
+	// Chebyshev distance ≥ 2 from each (static fluidic constraint).
+	AvoidDroplets []geom.Point
+	// ExtraBlocked lists additional blocked cells.
+	ExtraBlocked []geom.Point
+}
+
+// Route returns a shortest admissible path from From to To inclusive,
+// or an error when no path exists. The path's first element is From
+// and its last is To; consecutive elements are orthogonally adjacent.
+func Route(chip *fluidics.Chip, req Request) ([]geom.Point, error) {
+	w, h := chip.W(), chip.H()
+	if !chip.In(req.From) || !chip.In(req.To) {
+		return nil, fmt.Errorf("router: endpoints %v -> %v outside %dx%d array",
+			req.From, req.To, w, h)
+	}
+	blocked := buildBlocked(chip, req)
+	if blocked[idx(req.From, w)] && req.From != req.To {
+		return nil, fmt.Errorf("router: source %v is blocked", req.From)
+	}
+	if blocked[idx(req.To, w)] {
+		return nil, fmt.Errorf("router: target %v is blocked", req.To)
+	}
+	if req.From == req.To {
+		return []geom.Point{req.From}, nil
+	}
+
+	prev := make([]geom.Point, w*h)
+	seen := make([]bool, w*h)
+	queue := []geom.Point{req.From}
+	seen[idx(req.From, w)] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range cur.Neighbors4() {
+			if !chip.In(nb) {
+				continue
+			}
+			i := idx(nb, w)
+			if seen[i] || blocked[i] {
+				continue
+			}
+			seen[i] = true
+			prev[i] = cur
+			if nb == req.To {
+				return reconstruct(req.From, req.To, prev, w), nil
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil, fmt.Errorf("router: no path %v -> %v", req.From, req.To)
+}
+
+// Steps returns the number of control steps a path takes (cells moved).
+func Steps(path []geom.Point) int {
+	if len(path) == 0 {
+		return 0
+	}
+	return len(path) - 1
+}
+
+// Reachable returns all cells reachable from origin under the same
+// admissibility rules, including origin itself (if unblocked).
+func Reachable(chip *fluidics.Chip, req Request) []geom.Point {
+	w := chip.W()
+	blocked := buildBlocked(chip, req)
+	if !chip.In(req.From) || blocked[idx(req.From, w)] {
+		return nil
+	}
+	seen := make([]bool, w*chip.H())
+	seen[idx(req.From, w)] = true
+	queue := []geom.Point{req.From}
+	out := []geom.Point{req.From}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range cur.Neighbors4() {
+			if !chip.In(nb) {
+				continue
+			}
+			i := idx(nb, w)
+			if seen[i] || blocked[i] {
+				continue
+			}
+			seen[i] = true
+			out = append(out, nb)
+			queue = append(queue, nb)
+		}
+	}
+	return out
+}
+
+func idx(p geom.Point, w int) int { return p.Y*w + p.X }
+
+func buildBlocked(chip *fluidics.Chip, req Request) []bool {
+	w, h := chip.W(), chip.H()
+	blocked := make([]bool, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			p := geom.Point{X: x, Y: y}
+			if chip.IsFaulty(p) {
+				blocked[idx(p, w)] = true
+			}
+		}
+	}
+	for _, r := range req.KeepOut {
+		c := r.Intersect(chip.Bounds())
+		for yy := c.Y; yy < c.MaxY(); yy++ {
+			for xx := c.X; xx < c.MaxX(); xx++ {
+				blocked[yy*w+xx] = true
+			}
+		}
+	}
+	for _, d := range req.AvoidDroplets {
+		// Separation halo: the droplet cell and its 8 neighbours.
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				p := geom.Point{X: d.X + dx, Y: d.Y + dy}
+				if chip.In(p) {
+					blocked[idx(p, w)] = true
+				}
+			}
+		}
+	}
+	for _, p := range req.ExtraBlocked {
+		if chip.In(p) {
+			blocked[idx(p, w)] = true
+		}
+	}
+	return blocked
+}
+
+func reconstruct(from, to geom.Point, prev []geom.Point, w int) []geom.Point {
+	var rev []geom.Point
+	for cur := to; cur != from; cur = prev[idx(cur, w)] {
+		rev = append(rev, cur)
+	}
+	rev = append(rev, from)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,245 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmfb/internal/fluidics"
+	"dmfb/internal/geom"
+)
+
+func TestRouteStraightLine(t *testing.T) {
+	chip := fluidics.NewChip(8, 8)
+	path, err := Route(chip, Request{From: geom.Point{X: 0, Y: 0}, To: geom.Point{X: 5, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Steps(path) != 5 {
+		t.Errorf("steps = %d, want 5", Steps(path))
+	}
+	checkPath(t, path, geom.Point{X: 0, Y: 0}, geom.Point{X: 5, Y: 0})
+}
+
+func TestRouteTrivial(t *testing.T) {
+	chip := fluidics.NewChip(4, 4)
+	p := geom.Point{X: 2, Y: 2}
+	path, err := Route(chip, Request{From: p, To: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || path[0] != p {
+		t.Errorf("path = %v", path)
+	}
+	if Steps(path) != 0 || Steps(nil) != 0 {
+		t.Error("Steps wrong for trivial paths")
+	}
+}
+
+func TestRouteAroundFaults(t *testing.T) {
+	chip := fluidics.NewChip(5, 3)
+	// Wall of faults at x=2, with a gap at y=2.
+	chip.InjectFault(geom.Point{X: 2, Y: 0})
+	chip.InjectFault(geom.Point{X: 2, Y: 1})
+	path, err := Route(chip, Request{From: geom.Point{X: 0, Y: 0}, To: geom.Point{X: 4, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must detour through (2,2): 0,0 -> up to y2 -> across -> down.
+	if Steps(path) != 8 {
+		t.Errorf("steps = %d, want 8", Steps(path))
+	}
+	for _, p := range path {
+		if chip.IsFaulty(p) {
+			t.Errorf("path crosses faulty cell %v", p)
+		}
+	}
+	// Complete wall: unroutable.
+	chip.InjectFault(geom.Point{X: 2, Y: 2})
+	if _, err := Route(chip, Request{From: geom.Point{X: 0, Y: 0}, To: geom.Point{X: 4, Y: 0}}); err == nil {
+		t.Error("route through a fault wall accepted")
+	}
+}
+
+func TestRouteKeepOut(t *testing.T) {
+	chip := fluidics.NewChip(7, 5)
+	mod := geom.Rect{X: 2, Y: 0, W: 3, H: 4} // active module blocks lower middle
+	path, err := Route(chip, Request{
+		From:    geom.Point{X: 0, Y: 0},
+		To:      geom.Point{X: 6, Y: 0},
+		KeepOut: []geom.Rect{mod},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range path {
+		if mod.Contains(p) {
+			t.Errorf("path enters keep-out at %v", p)
+		}
+	}
+	// Detour over the top: up 4, across 6, down 4 = 14 steps.
+	if Steps(path) != 14 {
+		t.Errorf("steps = %d, want 14", Steps(path))
+	}
+	// Blocked target reported.
+	if _, err := Route(chip, Request{
+		From: geom.Point{X: 0, Y: 0}, To: geom.Point{X: 3, Y: 2},
+		KeepOut: []geom.Rect{mod},
+	}); err == nil {
+		t.Error("target inside keep-out accepted")
+	}
+}
+
+func TestRouteDropletHalo(t *testing.T) {
+	chip := fluidics.NewChip(9, 3)
+	other := geom.Point{X: 4, Y: 1} // droplet in the middle: halo blocks x3..5 y0..2 entirely
+	_, err := Route(chip, Request{
+		From:          geom.Point{X: 0, Y: 1},
+		To:            geom.Point{X: 8, Y: 1},
+		AvoidDroplets: []geom.Point{other},
+	})
+	if err == nil {
+		t.Fatal("route through droplet halo accepted (3-row array is fully cut)")
+	}
+	// A taller array allows a detour.
+	chip2 := fluidics.NewChip(9, 5)
+	path, err := Route(chip2, Request{
+		From:          geom.Point{X: 0, Y: 1},
+		To:            geom.Point{X: 8, Y: 1},
+		AvoidDroplets: []geom.Point{other},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range path {
+		if abs(p.X-other.X) <= 1 && abs(p.Y-other.Y) <= 1 {
+			t.Errorf("path at %v violates separation from %v", p, other)
+		}
+	}
+}
+
+func TestRouteEndpointErrors(t *testing.T) {
+	chip := fluidics.NewChip(4, 4)
+	if _, err := Route(chip, Request{From: geom.Point{X: -1, Y: 0}, To: geom.Point{X: 1, Y: 1}}); err == nil {
+		t.Error("out-of-bounds source accepted")
+	}
+	chip.InjectFault(geom.Point{X: 1, Y: 1})
+	if _, err := Route(chip, Request{From: geom.Point{X: 0, Y: 0}, To: geom.Point{X: 1, Y: 1}}); err == nil {
+		t.Error("faulty target accepted")
+	}
+	if _, err := Route(chip, Request{
+		From: geom.Point{X: 0, Y: 0}, To: geom.Point{X: 3, Y: 3},
+		ExtraBlocked: []geom.Point{{X: 0, Y: 0}},
+	}); err == nil {
+		t.Error("blocked source accepted")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	chip := fluidics.NewChip(4, 4)
+	// Wall splitting the array in two 2-column halves.
+	chip.InjectFault(geom.Point{X: 2, Y: 0})
+	chip.InjectFault(geom.Point{X: 2, Y: 1})
+	chip.InjectFault(geom.Point{X: 2, Y: 2})
+	chip.InjectFault(geom.Point{X: 2, Y: 3})
+	got := Reachable(chip, Request{From: geom.Point{X: 0, Y: 0}})
+	if len(got) != 8 {
+		t.Errorf("reachable = %d cells, want 8", len(got))
+	}
+	if Reachable(chip, Request{From: geom.Point{X: 2, Y: 0}}) != nil {
+		t.Error("reachable from faulty cell should be nil")
+	}
+}
+
+// Property: BFS paths are shortest — compare against Manhattan
+// distance on an empty chip, and against a reference flood fill with
+// random obstacles.
+func TestRouteShortestProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	empty := fluidics.NewChip(10, 10)
+	for trial := 0; trial < 100; trial++ {
+		from := geom.Point{X: rng.Intn(10), Y: rng.Intn(10)}
+		to := geom.Point{X: rng.Intn(10), Y: rng.Intn(10)}
+		path, err := Route(empty, Request{From: from, To: to})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Steps(path) != from.Manhattan(to) {
+			t.Fatalf("steps %d != manhattan %d", Steps(path), from.Manhattan(to))
+		}
+		checkPath(t, path, from, to)
+	}
+	// With obstacles: verify optimality by BFS distance recomputation.
+	for trial := 0; trial < 100; trial++ {
+		chip := fluidics.NewChip(8, 8)
+		for i := 0; i < 12; i++ {
+			chip.InjectFault(geom.Point{X: rng.Intn(8), Y: rng.Intn(8)})
+		}
+		from := geom.Point{X: rng.Intn(8), Y: rng.Intn(8)}
+		to := geom.Point{X: rng.Intn(8), Y: rng.Intn(8)}
+		if chip.IsFaulty(from) || chip.IsFaulty(to) {
+			continue
+		}
+		path, err := Route(chip, Request{From: from, To: to})
+		dist := bfsDist(chip, from, to)
+		if dist < 0 {
+			if err == nil {
+				t.Fatal("found path where none exists")
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("missed existing path: %v", err)
+		}
+		if Steps(path) != dist {
+			t.Fatalf("steps %d != optimal %d", Steps(path), dist)
+		}
+		checkPath(t, path, from, to)
+		for _, p := range path {
+			if chip.IsFaulty(p) {
+				t.Fatal("path crosses fault")
+			}
+		}
+	}
+}
+
+func checkPath(t *testing.T, path []geom.Point, from, to geom.Point) {
+	t.Helper()
+	if len(path) == 0 || path[0] != from || path[len(path)-1] != to {
+		t.Fatalf("path endpoints wrong: %v", path)
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i-1].Manhattan(path[i]) != 1 {
+			t.Fatalf("path not contiguous at %d: %v -> %v", i, path[i-1], path[i])
+		}
+	}
+}
+
+func bfsDist(chip *fluidics.Chip, from, to geom.Point) int {
+	type node struct {
+		p geom.Point
+		d int
+	}
+	seen := map[geom.Point]bool{from: true}
+	q := []node{{from, 0}}
+	for len(q) > 0 {
+		n := q[0]
+		q = q[1:]
+		if n.p == to {
+			return n.d
+		}
+		for _, nb := range n.p.Neighbors4() {
+			if chip.In(nb) && !chip.IsFaulty(nb) && !seen[nb] {
+				seen[nb] = true
+				q = append(q, node{nb, n.d + 1})
+			}
+		}
+	}
+	return -1
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,303 @@
+package schedule
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dmfb/internal/assay"
+	"dmfb/internal/geom"
+	"dmfb/internal/modlib"
+)
+
+// diamond builds dispense×2 -> mix -> detect -> output.
+func diamond(t *testing.T) (*assay.Graph, Binding) {
+	t.Helper()
+	g := assay.New("diamond")
+	d1 := g.AddOp("D1", assay.Dispense, "a")
+	d2 := g.AddOp("D2", assay.Dispense, "b")
+	m := g.AddOp("M", assay.Mix, "")
+	det := g.AddOp("Det", assay.Detect, "")
+	o := g.AddOp("O", assay.Output, "")
+	g.MustEdge(d1, m)
+	g.MustEdge(d2, m)
+	g.MustEdge(m, det)
+	g.MustEdge(det, o)
+	b, err := Bind(g, modlib.Table1(), BindFastest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, b
+}
+
+func TestBindPolicies(t *testing.T) {
+	g, _ := diamond(t)
+	lib := modlib.Table1()
+
+	fast, err := Bind(g, lib, BindFastest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast[2].Name != modlib.Mixer2x4 {
+		t.Errorf("fastest mix binding = %s", fast[2].Name)
+	}
+	small, err := Bind(g, lib, BindSmallest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small[2].Name != modlib.Mixer2x2 {
+		t.Errorf("smallest mix binding = %s", small[2].Name)
+	}
+	// Non-reconfigurable ops must not be bound.
+	if _, ok := fast[0]; ok {
+		t.Error("dispense op bound to a device")
+	}
+
+	// Library without a detector fails.
+	empty, _ := modlib.NewLibrary(modlib.Device{
+		Name: "m", Kind: assay.Mix, Size: geom.Size{W: 2, H: 2}, Duration: 1})
+	if _, err := Bind(g, empty, BindFastest); err == nil {
+		t.Error("Bind succeeded without detector device")
+	}
+}
+
+func TestASAPALAP(t *testing.T) {
+	g, b := diamond(t)
+	o := Options{DispenseTime: 2, OutputTime: 1}
+	asap, err := ASAP(g, b, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D1,D2 at 0; M at 2; Det at 2+3=5; O at 5+30=35.
+	want := []int{0, 0, 2, 5, 35}
+	for i, w := range want {
+		if asap[i] != w {
+			t.Errorf("ASAP[%d] = %d, want %d", i, asap[i], w)
+		}
+	}
+	cp := 36 // O finishes at 36
+	alap, err := ALAP(g, b, o, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if alap[i] < asap[i] {
+			t.Errorf("ALAP[%d]=%d < ASAP[%d]=%d", i, alap[i], i, asap[i])
+		}
+	}
+	// Zero slack on the critical path: every op here is critical.
+	for i := range want {
+		if alap[i] != asap[i] {
+			t.Errorf("slack on critical path: op %d asap %d alap %d", i, asap[i], alap[i])
+		}
+	}
+	if _, err := ALAP(g, b, o, cp-1); err == nil {
+		t.Error("infeasible deadline accepted")
+	}
+}
+
+func TestListUnconstrained(t *testing.T) {
+	g, b := diamond(t)
+	s, err := List(g, b, Options{DispenseTime: 2, OutputTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 36 {
+		t.Errorf("makespan = %d, want 36", s.Makespan)
+	}
+	if got := len(s.BoundItems()); got != 2 {
+		t.Errorf("BoundItems = %d, want 2 (mix, detect)", got)
+	}
+	if s.PeakArea() == 0 {
+		t.Error("PeakArea = 0")
+	}
+	if !strings.Contains(s.String(), "makespan") {
+		t.Error("String missing makespan")
+	}
+}
+
+func TestListAreaBudgetSerialisesOps(t *testing.T) {
+	// Two independent mixes, each 16 cells; budget 20 forces
+	// serialisation, budget 32 allows parallelism.
+	lib := modlib.Table1()
+	mixer, _ := lib.Get(modlib.Mixer2x2)
+	g := assay.New("parallel")
+	var mixes []int
+	for i := 0; i < 2; i++ {
+		d1 := g.AddOp("d", assay.Dispense, "x")
+		d2 := g.AddOp("d", assay.Dispense, "y")
+		m := g.AddOp("m", assay.Mix, "")
+		g.MustEdge(d1, m)
+		g.MustEdge(d2, m)
+		mixes = append(mixes, m)
+	}
+	b := Binding{mixes[0]: mixer, mixes[1]: mixer}
+
+	par, err := List(g, b, Options{AreaBudget: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Makespan != 10 {
+		t.Errorf("parallel makespan = %d, want 10", par.Makespan)
+	}
+	ser, err := List(g, b, Options{AreaBudget: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Makespan != 20 {
+		t.Errorf("serial makespan = %d, want 20", ser.Makespan)
+	}
+	if err := ser.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ser.PeakArea(); got > 20 {
+		t.Errorf("PeakArea = %d exceeds budget", got)
+	}
+}
+
+func TestListRejectsOversizedOp(t *testing.T) {
+	g, b := diamond(t)
+	if _, err := List(g, b, Options{AreaBudget: 5}); err == nil {
+		t.Error("op larger than budget accepted")
+	}
+}
+
+func TestListRejectsBrokenBinding(t *testing.T) {
+	g, b := diamond(t)
+	delete(b, 2) // unbind the mix
+	if _, err := List(g, b, Options{}); err == nil {
+		t.Error("missing binding accepted")
+	}
+	// Kind-mismatched binding.
+	g2, b2 := diamond(t)
+	store, _ := modlib.Table1().Get(modlib.StorageUnit)
+	b2[2] = store
+	if _, err := List(g2, b2, Options{}); err == nil {
+		t.Error("kind-mismatched binding accepted")
+	}
+}
+
+func TestScheduleValidateCatchesViolations(t *testing.T) {
+	g, b := diamond(t)
+	s, err := List(g, b, Options{DispenseTime: 1, OutputTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: make detect start before mix ends.
+	s.Items[3].Span = geom.Interval{Start: 0, End: 3}
+	if err := s.Validate(); err == nil {
+		t.Error("precedence violation not caught")
+	}
+}
+
+// Property: random series-parallel-ish DAGs scheduled under random
+// budgets always validate, never beat ASAP, and meet ASAP when
+// unconstrained.
+func TestListRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	lib := modlib.Table1()
+	for trial := 0; trial < 120; trial++ {
+		g := assay.New("rand")
+		nMix := 2 + rng.Intn(8)
+		var prev []int
+		for i := 0; i < nMix; i++ {
+			m := g.AddOp("m", assay.Mix, "")
+			nin := 0
+			// Consume up to two earlier droplets.
+			for _, p := range rng.Perm(len(prev)) {
+				if nin == 2 || rng.Intn(2) == 0 {
+					break
+				}
+				g.MustEdge(prev[p], m)
+				nin++
+			}
+			for ; nin < 2; nin++ {
+				d := g.AddOp("d", assay.Dispense, "r")
+				g.MustEdge(d, m)
+			}
+			prev = append(prev, m)
+		}
+		b, err := Bind(g, lib, BindPolicy(rng.Intn(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := Options{DispenseTime: rng.Intn(3)}
+		un, err := List(g, b, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := un.Validate(); err != nil {
+			t.Fatalf("unconstrained schedule invalid: %v", err)
+		}
+		asap, _ := ASAP(g, b, o)
+		wantMakespan := 0
+		for i, st := range asap {
+			if f := st + un.Items[i].Duration(); f > wantMakespan {
+				// recompute via asap + duration
+				_ = f
+			}
+		}
+		for i, st := range asap {
+			if un.Items[i].Span.Start != st {
+				t.Fatalf("unconstrained list != ASAP for op %d: %d vs %d",
+					i, un.Items[i].Span.Start, st)
+			}
+		}
+
+		budget := 20 + rng.Intn(40)
+		con, err := List(g, b, Options{AreaBudget: budget, DispenseTime: o.DispenseTime})
+		if err != nil {
+			// Only acceptable when some op exceeds the budget.
+			tooBig := false
+			for _, d := range b {
+				if d.Size.Cells() > budget {
+					tooBig = true
+				}
+			}
+			if !tooBig {
+				t.Fatalf("constrained scheduling failed: %v", err)
+			}
+			continue
+		}
+		if err := con.Validate(); err != nil {
+			t.Fatalf("constrained schedule invalid: %v", err)
+		}
+		if con.PeakArea() > budget {
+			t.Fatalf("peak area %d exceeds budget %d", con.PeakArea(), budget)
+		}
+		if con.Makespan < un.Makespan {
+			t.Fatalf("constrained makespan %d beats unconstrained %d", con.Makespan, un.Makespan)
+		}
+	}
+}
+
+func TestSlack(t *testing.T) {
+	g, b := diamond(t)
+	o := Options{DispenseTime: 2, OutputTime: 1}
+	slack, err := Slack(g, b, o, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The diamond is a single chain: everything is critical.
+	for i, s := range slack {
+		if s != 0 {
+			t.Errorf("op %d slack = %d, want 0", i, s)
+		}
+	}
+	// A looser deadline gives everyone exactly the extra time.
+	slack, err = Slack(g, b, o, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range slack {
+		if s != 4 {
+			t.Errorf("op %d slack = %d, want 4", i, s)
+		}
+	}
+	if _, err := Slack(g, b, o, 10); err == nil {
+		t.Error("infeasible deadline accepted")
+	}
+}

@@ -1,0 +1,759 @@
+// Package sim is a discrete-event simulator for digital microfluidic
+// biochips: it executes a synthesised schedule on a placed array,
+// dispensing droplets from boundary ports, routing them into
+// reconfigurable modules, running the module operations, parking
+// intermediate droplets on free cells, and collecting products.
+//
+// Its purpose in this reproduction is to exercise the paper's fault
+// tolerance story end to end: a cell fault injected mid-assay triggers
+// partial reconfiguration (Section 5.1) — the affected module is
+// relocated by reprogramming electrodes, its droplet is re-routed, and
+// the assay completes on the reconfigured array. Whether recovery is
+// possible for a given fault is exactly what the placement's fault
+// tolerance index predicts.
+//
+// Time model: module operations take whole schedule seconds (as
+// synthesised); droplet transport takes one control step (10 ms) per
+// cell and is accounted separately as transport overhead, since it is
+// two orders of magnitude faster than mixing. Faults take effect at
+// schedule-second boundaries.
+//
+// Geometry: the fabricated chip is the placed array (the placement's
+// bounding box) plus a one-cell (configurable) transport ring where
+// the dispense and collection ports sit, mirroring Figure 1(b) of the
+// paper where I/O ports surround the array.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"dmfb/internal/assay"
+	"dmfb/internal/fluidics"
+	"dmfb/internal/geom"
+	"dmfb/internal/place"
+	"dmfb/internal/reconfig"
+	"dmfb/internal/router"
+	"dmfb/internal/schedule"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Border is the width of the transport ring around the placed
+	// array. Default 1.
+	Border int
+	// Trace, when true, records an Event for every droplet action;
+	// otherwise only milestones (op start/end, fault, reconfiguration)
+	// are logged.
+	Trace bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Border == 0 {
+		o.Border = 1
+	}
+	return o
+}
+
+// FaultInjection schedules a cell failure at a schedule-time second.
+// The cell is in chip coordinates (use ArrayCell to address cells of
+// the placed array).
+type FaultInjection struct {
+	TimeSec int
+	Cell    geom.Point
+}
+
+// Event is one log entry of a run.
+type Event struct {
+	TimeSec int
+	Kind    string // "dispense", "route", "merge", "op-start", "op-end", "fault", "reconfig", "park", "collect", "fail"
+	Detail  string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("t=%-3d %-9s %s", e.TimeSec, e.Kind, e.Detail)
+}
+
+// Result reports a completed (or failed) simulation.
+type Result struct {
+	Completed      bool
+	FailReason     string
+	MakespanSec    int // schedule seconds until the last operation ended
+	TransportSteps int // total single-cell droplet moves
+	// TransportMS is the transport overhead in milliseconds
+	// (TransportSteps × the 10 ms control step).
+	TransportMS int
+	Relocations []reconfig.Relocation
+	Events      []Event
+	// ProductFluids are the fluid labels of the droplets collected at
+	// the end — for PCR, the composition of the master mix.
+	ProductFluids []string
+}
+
+// Simulator holds the mutable state of one run.
+type simulator struct {
+	opts      Options
+	sched     *schedule.Schedule
+	placement *place.Placement // cloned; mutated by reconfiguration
+	array     geom.Rect        // placed array in placement coordinates
+	chip      *fluidics.Chip
+	state     *fluidics.State
+	ports     []geom.Point // border port cells, chip coordinates
+	nextPort  int
+	// products[op] holds droplet IDs available for successors.
+	products map[int][]int
+	// inModule[op] is the droplet currently inside the op's module.
+	inModule map[int]int
+	res      *Result
+}
+
+// ArrayCell converts placed-array coordinates (as used by placements
+// and the FTI) to chip coordinates for the given options.
+func ArrayCell(opts Options, p geom.Point) geom.Point {
+	o := opts.withDefaults()
+	return geom.Point{X: p.X + o.Border, Y: p.Y + o.Border}
+}
+
+// Run executes the schedule on the placement. The placement must
+// correspond to the schedule's bound items, in order (as produced by
+// place.FromSchedule plus any placer). The caller's placement is not
+// modified.
+func Run(s *schedule.Schedule, p *place.Placement, opts Options, faults ...FaultInjection) Result {
+	o := opts.withDefaults()
+	sim := &simulator{
+		opts:     o,
+		sched:    s,
+		products: make(map[int][]int),
+		inModule: make(map[int]int),
+		res:      &Result{},
+	}
+	if err := sim.setup(p); err != nil {
+		return sim.fail(0, err.Error())
+	}
+	if err := sim.runEvents(faults); err != nil {
+		return *sim.res
+	}
+	sim.collect(s.Makespan)
+	sim.res.Completed = true
+	sim.res.MakespanSec = s.Makespan
+	sim.finish()
+	return *sim.res
+}
+
+func (sim *simulator) setup(p *place.Placement) error {
+	items := sim.sched.BoundItems()
+	if len(items) != len(p.Modules) {
+		return fmt.Errorf("sim: placement has %d modules, schedule binds %d", len(p.Modules), len(items))
+	}
+	for i, it := range items {
+		m := p.Modules[i]
+		if m.Name != it.Op.Name || m.Span != it.Span {
+			return fmt.Errorf("sim: placement module %d (%s %v) does not match schedule item %s %v",
+				i, m.Name, m.Span, it.Op.Name, it.Span)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("sim: placement invalid: %w", err)
+	}
+	sim.placement = p.Clone()
+	sim.placement.Normalize()
+	bb := sim.placement.BoundingBox()
+	sim.array = bb
+	b := sim.opts.Border
+	sim.chip = fluidics.NewChip(bb.W+2*b, bb.H+2*b)
+	sim.state = fluidics.NewState(sim.chip)
+	sim.ports = borderPorts(sim.chip)
+	if len(sim.ports) == 0 {
+		return fmt.Errorf("sim: chip too small for any boundary port")
+	}
+	return nil
+}
+
+// borderPorts enumerates the transport-ring cells clockwise from the
+// origin, keeping every third so simultaneous port droplets respect
+// separation.
+func borderPorts(chip *fluidics.Chip) []geom.Point {
+	w, h := chip.W(), chip.H()
+	var ring []geom.Point
+	for x := 0; x < w; x++ {
+		ring = append(ring, geom.Point{X: x, Y: 0})
+	}
+	for y := 1; y < h; y++ {
+		ring = append(ring, geom.Point{X: w - 1, Y: y})
+	}
+	for x := w - 2; x >= 0; x-- {
+		ring = append(ring, geom.Point{X: x, Y: h - 1})
+	}
+	for y := h - 2; y >= 1; y-- {
+		ring = append(ring, geom.Point{X: 0, Y: y})
+	}
+	var ports []geom.Point
+	for i := 0; i < len(ring); i += 3 {
+		ports = append(ports, ring[i])
+	}
+	return ports
+}
+
+// toChip converts placement coordinates to chip coordinates.
+func (sim *simulator) toChip(p geom.Point) geom.Point {
+	return geom.Point{X: p.X + sim.opts.Border, Y: p.Y + sim.opts.Border}
+}
+
+// toPlacement converts chip coordinates to placement coordinates.
+func (sim *simulator) toPlacement(p geom.Point) geom.Point {
+	return geom.Point{X: p.X - sim.opts.Border, Y: p.Y - sim.opts.Border}
+}
+
+// moduleRect returns module mi's rectangle in chip coordinates.
+func (sim *simulator) moduleRect(mi int) geom.Rect {
+	r := sim.placement.Rect(mi)
+	return r.Translate(sim.opts.Border, sim.opts.Border)
+}
+
+// moduleCenter returns the target cell for droplets inside module mi.
+func (sim *simulator) moduleCenter(mi int) geom.Point {
+	r := sim.moduleRect(mi)
+	return geom.Point{X: r.X + (r.W-1)/2, Y: r.Y + (r.H-1)/2}
+}
+
+// boundIndex maps op IDs to placement module indices.
+func (sim *simulator) boundIndex() map[int]int {
+	m := make(map[int]int)
+	for i, it := range sim.sched.BoundItems() {
+		m[it.Op.ID] = i
+	}
+	return m
+}
+
+// activeRects returns the chip-coordinate rectangles of modules active
+// at second t, excluding the given op IDs.
+func (sim *simulator) activeRects(t int, excludeOps ...int) []geom.Rect {
+	skip := map[int]bool{}
+	for _, e := range excludeOps {
+		skip[e] = true
+	}
+	var out []geom.Rect
+	for i, it := range sim.sched.BoundItems() {
+		if skip[it.Op.ID] || !it.Span.Contains(t) {
+			continue
+		}
+		out = append(out, sim.moduleRect(i))
+	}
+	return out
+}
+
+// otherDroplets returns positions of all droplets except the listed IDs.
+func (sim *simulator) otherDroplets(except ...int) []geom.Point {
+	skip := map[int]bool{}
+	for _, id := range except {
+		skip[id] = true
+	}
+	var out []geom.Point
+	for _, d := range sim.state.Droplets() {
+		if !skip[d.ID] {
+			out = append(out, d.Pos)
+		}
+	}
+	return out
+}
+
+func (sim *simulator) log(t int, kind, format string, args ...any) {
+	sim.res.Events = append(sim.res.Events, Event{TimeSec: t, Kind: kind,
+		Detail: fmt.Sprintf(format, args...)})
+}
+
+func (sim *simulator) trace(t int, kind, format string, args ...any) {
+	if sim.opts.Trace {
+		sim.log(t, kind, format, args...)
+	}
+}
+
+func (sim *simulator) fail(t int, reason string) Result {
+	sim.res.Completed = false
+	sim.res.FailReason = reason
+	sim.log(t, "fail", "%s", reason)
+	sim.finish()
+	return *sim.res
+}
+
+func (sim *simulator) finish() {
+	if sim.state != nil {
+		sim.res.TransportSteps = sim.state.Moves()
+	}
+	sim.res.TransportMS = sim.res.TransportSteps * fluidics.StepMS
+}
+
+// runEvents drives the event loop. It returns a non-nil error after
+// recording a failure.
+func (sim *simulator) runEvents(faults []FaultInjection) error {
+	times := map[int]bool{0: true}
+	for _, it := range sim.sched.Items {
+		times[it.Span.Start] = true
+		times[it.Span.End] = true
+	}
+	for _, f := range faults {
+		times[f.TimeSec] = true
+	}
+	var order []int
+	for t := range times {
+		if t >= 0 {
+			order = append(order, t)
+		}
+	}
+	sort.Ints(order)
+
+	for _, t := range order {
+		for _, f := range faults {
+			if f.TimeSec == t {
+				if err := sim.injectFault(t, f.Cell); err != nil {
+					sim.fail(t, err.Error())
+					return err
+				}
+			}
+		}
+		if err := sim.processEnds(t); err != nil {
+			sim.fail(t, err.Error())
+			return err
+		}
+		if err := sim.processStarts(t); err != nil {
+			sim.fail(t, err.Error())
+			return err
+		}
+	}
+	return nil
+}
+
+// injectFault marks the cell faulty and relocates every unfinished
+// module whose current site contains it.
+func (sim *simulator) injectFault(t int, cell geom.Point) error {
+	if err := sim.chip.InjectFault(cell); err != nil {
+		return err
+	}
+	sim.log(t, "fault", "cell %v failed", cell)
+	pc := sim.toPlacement(cell)
+	if !sim.array.Contains(pc) {
+		return nil // transport-ring fault: routing will steer around it
+	}
+	// Other already-faulty array cells are obstacles for the new site.
+	var obstacles []geom.Point
+	for _, f := range sim.chip.Faults() {
+		if f != cell {
+			if p := sim.toPlacement(f); sim.array.Contains(p) {
+				obstacles = append(obstacles, p)
+			}
+		}
+	}
+	for i, it := range sim.sched.BoundItems() {
+		if it.Span.End <= t || !sim.placement.Rect(i).Contains(pc) {
+			continue
+		}
+		rel, err := reconfig.PlanModule(sim.placement, sim.array, i, pc, obstacles...)
+		if err != nil {
+			return fmt.Errorf("partial reconfiguration failed for %s: %v", it.Op.Name, err)
+		}
+		oldCenter := sim.moduleCenter(i)
+		if err := reconfig.Apply(sim.placement, []reconfig.Relocation{rel}); err != nil {
+			return fmt.Errorf("applying relocation of %s: %v", it.Op.Name, err)
+		}
+		sim.res.Relocations = append(sim.res.Relocations, rel)
+		sim.log(t, "reconfig", "module %s relocated %v -> %v", it.Op.Name, rel.From, rel.To)
+		// If the op is running right now, clear the new site of
+		// bystander droplets and move the module's own droplet over.
+		// A module that has not started yet needs nothing: its start
+		// event evicts and routes as usual. (Its new site may legally
+		// overlap a module active *now* with a disjoint span.)
+		if !it.Span.Contains(t) {
+			continue
+		}
+		if err := sim.evictDroplets(t, sim.moduleRect(i), it.Op.ID); err != nil {
+			return err
+		}
+		if id, ok := sim.inModule[it.Op.ID]; ok {
+			if err := sim.routeDroplet(t, id, sim.moduleCenter(i), it.Op.ID); err != nil {
+				return fmt.Errorf("re-routing droplet of %s from %v: %v", it.Op.Name, oldCenter, err)
+			}
+		}
+	}
+	return nil
+}
+
+// processEnds completes operations whose span ends at t.
+func (sim *simulator) processEnds(t int) error {
+	bi := sim.boundIndex()
+	for _, it := range sim.sched.Items {
+		if !it.Bound || it.Span.End != t || it.Span.Empty() {
+			continue
+		}
+		op := it.Op
+		id, ok := sim.inModule[op.ID]
+		if !ok {
+			return fmt.Errorf("op %s ended with no droplet inside", op.Name)
+		}
+		delete(sim.inModule, op.ID)
+		succs := sim.sched.Graph.Succ(op.ID)
+		if op.Kind.Reconfigurable() && len(succs) > 1 {
+			// Dilution: split the mixed droplet into one per successor.
+			d1, d2, err := sim.state.Split(id, true)
+			if err != nil {
+				return fmt.Errorf("splitting output of %s: %v", op.Name, err)
+			}
+			sim.products[op.ID] = []int{d1.ID, d2.ID}
+		} else {
+			sim.products[op.ID] = []int{id}
+		}
+		sim.log(t, "op-end", "%s done in module %v", op.Name, sim.moduleRect(bi[op.ID]))
+	}
+	return nil
+}
+
+// processStarts launches operations whose span starts at t, in op-ID
+// order. Boundary ops (dispense handled lazily, output immediately).
+func (sim *simulator) processStarts(t int) error {
+	bi := sim.boundIndex()
+	for _, it := range sim.sched.Items {
+		if it.Span.Start != t {
+			continue
+		}
+		op := it.Op
+		switch {
+		case op.Kind == assay.Dispense:
+			// Lazy: the droplet is dispensed when its consumer starts.
+			continue
+		case op.Kind == assay.Output:
+			if err := sim.outputOp(t, op.ID); err != nil {
+				return err
+			}
+		case it.Bound:
+			if it.Span.Empty() {
+				continue
+			}
+			if err := sim.startModuleOp(t, op.ID, bi[op.ID]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// startModuleOp brings the inputs into the module and starts it.
+func (sim *simulator) startModuleOp(t, opID, mi int) error {
+	name := sim.sched.Graph.Op(opID).Name
+	rect := sim.moduleRect(mi)
+	if err := sim.evictDroplets(t, rect, opID); err != nil {
+		return err
+	}
+	sim.log(t, "op-start", "%s in module %v", name, rect)
+
+	var inputs []int
+	for _, pred := range sim.sched.Graph.Pred(opID) {
+		id, err := sim.takeProduct(t, pred, opID)
+		if err != nil {
+			return err
+		}
+		inputs = append(inputs, id)
+	}
+	if len(inputs) == 0 {
+		return fmt.Errorf("op %s started with no inputs", name)
+	}
+
+	center := sim.moduleCenter(mi)
+	// First droplet goes to the centre.
+	if err := sim.routeDroplet(t, inputs[0], center, opID); err != nil {
+		return fmt.Errorf("routing input of %s: %v", name, err)
+	}
+	merged := inputs[0]
+	// Remaining droplets stage at distance 2 and coalesce.
+	for _, id := range inputs[1:] {
+		if err := sim.mergeInto(t, merged, id, opID, center); err != nil {
+			return fmt.Errorf("merging inputs of %s: %v", name, err)
+		}
+	}
+	sim.inModule[opID] = merged
+	return nil
+}
+
+// takeProduct obtains a droplet for consumerOp from pred: dispensing
+// lazily for dispense ops, popping a stored product otherwise.
+func (sim *simulator) takeProduct(t, pred, consumerOp int) (int, error) {
+	op := sim.sched.Graph.Op(pred)
+	if op.Kind == assay.Dispense {
+		return sim.dispense(t, op.Fluid, consumerOp)
+	}
+	avail := sim.products[pred]
+	if len(avail) == 0 {
+		return 0, fmt.Errorf("no product droplet available from %s", op.Name)
+	}
+	id := avail[0]
+	sim.products[pred] = avail[1:]
+	return id, nil
+}
+
+// dispense creates a droplet at a free port.
+func (sim *simulator) dispense(t int, fluid string, consumerOp int) (int, error) {
+	for try := 0; try < len(sim.ports); try++ {
+		port := sim.ports[(sim.nextPort+try)%len(sim.ports)]
+		if sim.chip.IsFaulty(port) {
+			continue
+		}
+		d, err := sim.state.Dispense(fluid, port)
+		if err != nil {
+			continue // occupied or separation-blocked; try next port
+		}
+		sim.nextPort = (sim.nextPort + try + 1) % len(sim.ports)
+		sim.trace(t, "dispense", "%s at port %v (droplet %d)", fluid, port, d.ID)
+		return d.ID, nil
+	}
+	return 0, fmt.Errorf("no free dispense port for %s", fluid)
+}
+
+// routeDroplet moves droplet id to target, avoiding active modules
+// (except the op's own module), faults and other droplets. A droplet
+// that currently sits inside another active module's region — e.g. a
+// product parked where a module is about to start — first escapes to a
+// free cell and then routes normally.
+func (sim *simulator) routeDroplet(t, id int, target geom.Point, ownOp int) error {
+	if err := sim.escapeIfInsideKeepOut(t, id, ownOp); err != nil {
+		return err
+	}
+	d, ok := sim.state.Droplet(id)
+	if !ok {
+		return fmt.Errorf("unknown droplet %d", id)
+	}
+	path, err := router.Route(sim.chip, router.Request{
+		From:          d.Pos,
+		To:            target,
+		KeepOut:       sim.activeRects(t, ownOp),
+		AvoidDroplets: sim.otherDroplets(id),
+	})
+	if err != nil {
+		return err
+	}
+	if err := sim.state.FollowPath(id, path); err != nil {
+		return err
+	}
+	sim.trace(t, "route", "droplet %d %v -> %v (%d steps)", id, path[0], target, router.Steps(path))
+	return nil
+}
+
+// escapeIfInsideKeepOut parks the droplet outside every active module
+// if its current cell lies inside one it does not belong to.
+func (sim *simulator) escapeIfInsideKeepOut(t, id, ownOp int) error {
+	d, ok := sim.state.Droplet(id)
+	if !ok {
+		return fmt.Errorf("unknown droplet %d", id)
+	}
+	for _, r := range sim.activeRects(t, ownOp) {
+		if r.Contains(d.Pos) {
+			return sim.parkDroplet(t, id, ownOp)
+		}
+	}
+	return nil
+}
+
+// mergeInto routes droplet id next to the droplet `into` waiting at
+// center and coalesces them. The droplet is routed to a staging cell
+// at Chebyshev distance 2 (just outside the partner's separation
+// halo), takes one MoveToMerge step onto an approach cell adjacent to
+// the partner, and merges. All cells involved must be healthy; the
+// enumeration tries every (approach, staging) pair deterministically
+// so a fault next to the centre never wedges the operation.
+func (sim *simulator) mergeInto(t, into, id, ownOp int, center geom.Point) error {
+	if err := sim.escapeIfInsideKeepOut(t, id, ownOp); err != nil {
+		return err
+	}
+	d, ok := sim.state.Droplet(id)
+	if !ok {
+		return fmt.Errorf("unknown droplet %d", id)
+	}
+	if chebyshev(d.Pos, center) <= 1 {
+		if _, err := sim.state.Merge(into, id); err != nil {
+			return err
+		}
+		sim.trace(t, "merge", "droplet %d into %d at %v", id, into, center)
+		return nil
+	}
+	keepOut := sim.activeRects(t, ownOp)
+	avoid := sim.otherDroplets(id)
+
+	var approaches []geom.Point
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			approaches = append(approaches, geom.Point{X: center.X + dx, Y: center.Y + dy})
+		}
+	}
+	sortNearest(approaches, d.Pos)
+	for _, a := range approaches {
+		if !sim.chip.In(a) || sim.chip.IsFaulty(a) || !sim.state.SeparationOK(a, id, into) {
+			continue
+		}
+		stagings := a.Neighbors4()
+		for _, s := range stagings {
+			if chebyshev(s, center) != 2 || !sim.chip.In(s) || sim.chip.IsFaulty(s) {
+				continue
+			}
+			path, err := router.Route(sim.chip, router.Request{
+				From: d.Pos, To: s, KeepOut: keepOut, AvoidDroplets: avoid,
+			})
+			if err != nil {
+				continue
+			}
+			if err := sim.state.FollowPath(id, path); err != nil {
+				return err
+			}
+			if err := sim.state.MoveToMerge(id, into, a); err != nil {
+				return err
+			}
+			if _, err := sim.state.Merge(into, id); err != nil {
+				return err
+			}
+			sim.trace(t, "merge", "droplet %d into %d via %v->%v (%d steps)",
+				id, into, s, a, router.Steps(path)+1)
+			return nil
+		}
+	}
+	return fmt.Errorf("no merge approach to %v for droplet %d", center, id)
+}
+
+// sortNearest orders cells by Manhattan distance to from, breaking
+// ties by (Y, X) for determinism.
+func sortNearest(cells []geom.Point, from geom.Point) {
+	sort.Slice(cells, func(i, j int) bool {
+		di, dj := cells[i].Manhattan(from), cells[j].Manhattan(from)
+		if di != dj {
+			return di < dj
+		}
+		if cells[i].Y != cells[j].Y {
+			return cells[i].Y < cells[j].Y
+		}
+		return cells[i].X < cells[j].X
+	})
+}
+
+// evictDroplets clears rect of droplets that do not belong to ownerOp,
+// parking them on free cells outside every active module.
+func (sim *simulator) evictDroplets(t int, rect geom.Rect, ownerOp int) error {
+	for _, d := range sim.state.Droplets() {
+		if !rect.Contains(d.Pos) {
+			continue
+		}
+		if id, ok := sim.inModule[ownerOp]; ok && id == d.ID {
+			continue
+		}
+		if err := sim.parkDroplet(t, d.ID, ownerOp); err != nil {
+			return fmt.Errorf("evicting droplet %d from %v: %v", d.ID, rect, err)
+		}
+	}
+	return nil
+}
+
+// parkDroplet moves the droplet to the nearest cell outside every
+// active module. On its way out it may cross starterOp's module and
+// any module region it currently sits inside (physically it is just
+// leaving); all other active modules stay off limits.
+func (sim *simulator) parkDroplet(t, id, starterOp int) error {
+	d, ok := sim.state.Droplet(id)
+	if !ok {
+		return fmt.Errorf("unknown droplet %d", id)
+	}
+	var crossKeepOut []geom.Rect
+	for _, r := range sim.activeRects(t, starterOp) {
+		if !r.Contains(d.Pos) {
+			crossKeepOut = append(crossKeepOut, r)
+		}
+	}
+	crossable := router.Request{
+		From:          d.Pos,
+		KeepOut:       crossKeepOut,
+		AvoidDroplets: sim.otherDroplets(id),
+	}
+	allRects := sim.activeRects(t)
+	for _, cell := range router.Reachable(sim.chip, crossable) {
+		inModule := false
+		for _, r := range allRects {
+			if r.Contains(cell) {
+				inModule = true
+				break
+			}
+		}
+		if inModule || !sim.state.SeparationOK(cell, id) {
+			continue
+		}
+		if err := sim.routeViaRequest(id, cell, crossable); err == nil {
+			sim.trace(t, "park", "droplet %d parked at %v", id, cell)
+			return nil
+		}
+	}
+	return fmt.Errorf("no parking cell reachable from %v", d.Pos)
+}
+
+func (sim *simulator) routeViaRequest(id int, to geom.Point, req router.Request) error {
+	d, _ := sim.state.Droplet(id)
+	req.From = d.Pos
+	req.To = to
+	path, err := router.Route(sim.chip, req)
+	if err != nil {
+		return err
+	}
+	return sim.state.FollowPath(id, path)
+}
+
+// outputOp routes the input droplet to a collection port and removes
+// it from the array.
+func (sim *simulator) outputOp(t, opID int) error {
+	preds := sim.sched.Graph.Pred(opID)
+	if len(preds) != 1 {
+		return fmt.Errorf("output op %d needs exactly one input", opID)
+	}
+	id, err := sim.takeProduct(t, preds[0], opID)
+	if err != nil {
+		return err
+	}
+	sim.collectDroplet(t, id)
+	return nil
+}
+
+// collect gathers all remaining droplets at the end of the assay.
+func (sim *simulator) collect(t int) {
+	for _, d := range sim.state.Droplets() {
+		sim.collectDroplet(t, d.ID)
+	}
+}
+
+// collectDroplet routes the droplet to the nearest port if possible
+// and removes it, recording its fluid as a product.
+func (sim *simulator) collectDroplet(t, id int) {
+	d, ok := sim.state.Droplet(id)
+	if !ok {
+		return
+	}
+	// Best effort: route to the first reachable port for transport
+	// accounting; removal happens regardless.
+	for _, port := range sim.ports {
+		path, err := router.Route(sim.chip, router.Request{
+			From: d.Pos, To: port,
+			KeepOut:       sim.activeRects(t),
+			AvoidDroplets: sim.otherDroplets(id),
+		})
+		if err == nil {
+			_ = sim.state.FollowPath(id, path)
+			break
+		}
+	}
+	sim.res.ProductFluids = append(sim.res.ProductFluids, d.Fluid)
+	sim.state.Remove(id)
+	sim.log(t, "collect", "droplet %d (%s) collected", id, d.Fluid)
+}
+
+func chebyshev(a, b geom.Point) int {
+	return max(abs(a.X-b.X), abs(a.Y-b.Y))
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

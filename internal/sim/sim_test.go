@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"dmfb/internal/assay"
+	"dmfb/internal/core"
+	"dmfb/internal/fti"
+	"dmfb/internal/geom"
+	"dmfb/internal/modlib"
+	"dmfb/internal/pcr"
+	"dmfb/internal/place"
+	"dmfb/internal/schedule"
+)
+
+// pcrSetup synthesises the PCR case study and places it with the
+// annealing placer at light settings (deterministic per seed).
+func pcrSetup(t *testing.T) (*schedule.Schedule, *place.Placement) {
+	t.Helper()
+	s := pcr.MustSchedule()
+	prob := core.FromSchedule(s)
+	p, _, err := core.AnnealArea(prob, core.Options{Seed: 3, ItersPerModule: 150, WindowPatience: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, p
+}
+
+// ftSetup builds a fault-tolerant (two-stage) PCR placement.
+func ftSetup(t *testing.T) (*schedule.Schedule, *place.Placement) {
+	t.Helper()
+	s := pcr.MustSchedule()
+	prob := core.FromSchedule(s)
+	res, err := core.TwoStage(prob, core.Options{Seed: 3, ItersPerModule: 150, WindowPatience: 5},
+		core.FTOptions{Beta: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, res.Final
+}
+
+func TestFaultFreePCRRun(t *testing.T) {
+	s, p := pcrSetup(t)
+	res := Run(s, p, Options{})
+	if !res.Completed {
+		t.Fatalf("assay failed: %s\nevents:\n%s", res.FailReason, eventDump(res))
+	}
+	if res.MakespanSec != s.Makespan {
+		t.Errorf("makespan %d, want %d", res.MakespanSec, s.Makespan)
+	}
+	if len(res.Relocations) != 0 {
+		t.Errorf("fault-free run performed relocations: %v", res.Relocations)
+	}
+	if res.TransportSteps == 0 {
+		t.Error("no droplet transport recorded")
+	}
+	if res.TransportMS != res.TransportSteps*10 {
+		t.Error("TransportMS inconsistent")
+	}
+	// The final master mix must contain all eight reagents.
+	if len(res.ProductFluids) != 1 {
+		t.Fatalf("products = %v, want exactly the master mix", res.ProductFluids)
+	}
+	for _, reagent := range pcr.Reagents {
+		if !strings.Contains(res.ProductFluids[0], reagent) {
+			t.Errorf("master mix %q missing %s", res.ProductFluids[0], reagent)
+		}
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	s, p := pcrSetup(t)
+	a := Run(s, p, Options{Trace: true})
+	b := Run(s, p, Options{Trace: true})
+	if eventDump(a) != eventDump(b) {
+		t.Error("same inputs produced different event logs")
+	}
+	if a.TransportSteps != b.TransportSteps {
+		t.Error("transport differs between identical runs")
+	}
+}
+
+func TestRunDoesNotMutateCallerPlacement(t *testing.T) {
+	s, p := ftSetup(t)
+	before := p.String()
+	cov := fti.Compute(p)
+	// Find a covered module cell so the run relocates something.
+	cell, ok := coveredModuleCell(p, cov)
+	if !ok {
+		t.Skip("placement has no covered module cell")
+	}
+	res := Run(s, p, Options{}, FaultInjection{TimeSec: 0, Cell: ArrayCell(Options{}, cell)})
+	if !res.Completed {
+		t.Fatalf("recovery failed: %s", res.FailReason)
+	}
+	if len(res.Relocations) == 0 {
+		t.Fatal("no relocation recorded")
+	}
+	if p.String() != before {
+		t.Error("Run mutated the caller's placement")
+	}
+}
+
+func TestFaultOnTransportRing(t *testing.T) {
+	s, p := pcrSetup(t)
+	// Cell (0,0) of the chip is on the border ring (outside the array).
+	res := Run(s, p, Options{}, FaultInjection{TimeSec: 1, Cell: geom.Point{X: 0, Y: 0}})
+	if !res.Completed {
+		t.Fatalf("ring fault should only reroute, got failure: %s", res.FailReason)
+	}
+	if len(res.Relocations) != 0 {
+		t.Error("ring fault triggered module relocation")
+	}
+}
+
+func TestFaultInCoveredCellRecovers(t *testing.T) {
+	s, p := ftSetup(t)
+	cov := fti.Compute(p)
+	cell, ok := coveredModuleCell(p, cov)
+	if !ok {
+		t.Skip("no covered module cell on this placement")
+	}
+	res := Run(s, p, Options{Trace: true},
+		FaultInjection{TimeSec: 1, Cell: ArrayCell(Options{}, cell)})
+	if !res.Completed {
+		t.Fatalf("covered fault not recovered: %s\n%s", res.FailReason, eventDump(res))
+	}
+	if len(res.Relocations) == 0 {
+		t.Fatal("no relocation performed")
+	}
+	// The relocated module must avoid the faulty cell.
+	for _, rel := range res.Relocations {
+		if rel.To.Contains(cell) {
+			t.Errorf("relocation %v still covers the faulty cell", rel)
+		}
+	}
+	// Products unchanged.
+	if len(res.ProductFluids) != 1 || !strings.Contains(res.ProductFluids[0], "dna") {
+		t.Errorf("products after recovery = %v", res.ProductFluids)
+	}
+}
+
+func TestFaultInUncoveredCellFails(t *testing.T) {
+	s, p := pcrSetup(t)
+	cov := fti.Compute(p)
+	// Find an uncovered cell (the area-minimal placement has many).
+	var cell geom.Point
+	found := false
+	for y := 0; y < cov.Array.H && !found; y++ {
+		for x := 0; x < cov.Array.W && !found; x++ {
+			if !cov.CoveredAt(x, y) {
+				cell = geom.Point{X: x, Y: y}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Skip("area-minimal placement unexpectedly has FTI 1")
+	}
+	res := Run(s, p, Options{}, FaultInjection{TimeSec: 0, Cell: ArrayCell(Options{}, cell)})
+	if res.Completed {
+		t.Fatalf("uncovered fault at %v should abort the assay", cell)
+	}
+	if !strings.Contains(res.FailReason, "reconfiguration") {
+		t.Errorf("FailReason = %q", res.FailReason)
+	}
+}
+
+// TestFTIPredictsSurvival: for a fault injected before any module has
+// completed, assay survival must match the FTI coverage map exactly
+// (modulo droplet routing, which the transport ring guarantees here).
+func TestFTIPredictsSurvival(t *testing.T) {
+	s, p := ftSetup(t)
+	cov := fti.Compute(p)
+	mismatches := 0
+	total := 0
+	for y := 0; y < cov.Array.H; y++ {
+		for x := 0; x < cov.Array.W; x++ {
+			cell := geom.Point{X: x, Y: y}
+			res := Run(s, p, Options{}, FaultInjection{TimeSec: 0, Cell: ArrayCell(Options{}, cell)})
+			total++
+			if res.Completed != cov.CoveredAt(x, y) {
+				mismatches++
+				t.Logf("cell %v: covered=%v completed=%v (%s)",
+					cell, cov.CoveredAt(x, y), res.Completed, res.FailReason)
+			}
+		}
+	}
+	if mismatches != 0 {
+		t.Errorf("%d/%d cells disagree between FTI and simulation", mismatches, total)
+	}
+}
+
+func TestTwoFaultsSequential(t *testing.T) {
+	s, p := ftSetup(t)
+	cov := fti.Compute(p)
+	cell, ok := coveredModuleCell(p, cov)
+	if !ok {
+		t.Skip("no covered module cell")
+	}
+	// Second fault on the transport ring to exercise multi-fault
+	// bookkeeping without demanding double coverage.
+	res := Run(s, p, Options{},
+		FaultInjection{TimeSec: 0, Cell: ArrayCell(Options{}, cell)},
+		FaultInjection{TimeSec: 10, Cell: geom.Point{X: 0, Y: 0}},
+	)
+	if !res.Completed {
+		t.Fatalf("two-fault run failed: %s", res.FailReason)
+	}
+}
+
+func TestMismatchedPlacementRejected(t *testing.T) {
+	s, p := pcrSetup(t)
+	short := place.New(p.Modules[:3])
+	res := Run(s, short, Options{})
+	if res.Completed {
+		t.Fatal("mismatched placement accepted")
+	}
+	if !strings.Contains(res.FailReason, "modules") {
+		t.Errorf("FailReason = %q", res.FailReason)
+	}
+}
+
+// TestDilutionWorkload exercises the split path: one dilute feeding
+// two detects.
+func TestDilutionWorkload(t *testing.T) {
+	lib := modlib.Table1()
+	diluter := modlib.Device{Name: "diluter-1x4", Hardware: "4-electrode linear array",
+		Kind: assay.Dilute, Size: geom.Size{W: 3, H: 6}, Duration: 5}
+	g := assay.New("dilution")
+	s1 := g.AddOp("Ds", assay.Dispense, "sample")
+	s2 := g.AddOp("Db", assay.Dispense, "buffer")
+	dil := g.AddOp("Dil", assay.Dilute, "")
+	d1 := g.AddOp("Det1", assay.Detect, "")
+	d2 := g.AddOp("Det2", assay.Detect, "")
+	g.MustEdge(s1, dil)
+	g.MustEdge(s2, dil)
+	g.MustEdge(dil, d1)
+	g.MustEdge(dil, d2)
+	det, _ := lib.Get(modlib.DetectorLED)
+	b := schedule.Binding{dil: diluter, d1: det, d2: det}
+	sch, err := schedule.List(g, b, schedule.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := core.FromSchedule(sch)
+	p, _, err := core.AnnealArea(prob, core.Options{Seed: 1, ItersPerModule: 100, WindowPatience: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(sch, p, Options{Trace: true})
+	if !res.Completed {
+		t.Fatalf("dilution assay failed: %s\n%s", res.FailReason, eventDump(res))
+	}
+	if len(res.ProductFluids) != 2 {
+		t.Fatalf("products = %v, want two diluted droplets", res.ProductFluids)
+	}
+	for _, f := range res.ProductFluids {
+		if !strings.Contains(f, "sample") || !strings.Contains(f, "buffer") {
+			t.Errorf("product %q not a dilution", f)
+		}
+	}
+}
+
+// coveredModuleCell returns a C-covered cell that lies inside at least
+// one module (so the injection actually triggers a relocation).
+func coveredModuleCell(p *place.Placement, cov fti.Result) (geom.Point, bool) {
+	for y := 0; y < cov.Array.H; y++ {
+		for x := 0; x < cov.Array.W; x++ {
+			cell := geom.Point{X: cov.Array.X + x, Y: cov.Array.Y + y}
+			if cov.CoveredAt(x, y) && len(p.ModulesAt(cell)) > 0 {
+				return cell, true
+			}
+		}
+	}
+	return geom.Point{}, false
+}
+
+func eventDump(r Result) string {
+	var b strings.Builder
+	for _, e := range r.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

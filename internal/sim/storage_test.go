@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dmfb/internal/assay"
+	"dmfb/internal/core"
+	"dmfb/internal/modlib"
+	"dmfb/internal/schedule"
+)
+
+// TestStorageWorkload exercises Store modules end to end: a sample is
+// mixed, held in an explicit storage unit while a second mix runs, and
+// then combined with it — the "storage units" the paper lists among
+// the reconfigurable virtual devices.
+func TestStorageWorkload(t *testing.T) {
+	lib := modlib.Table1()
+	g := assay.New("storage")
+	d1 := g.AddOp("D1", assay.Dispense, "a")
+	d2 := g.AddOp("D2", assay.Dispense, "b")
+	m1 := g.AddOp("M1", assay.Mix, "")
+	g.MustEdge(d1, m1)
+	g.MustEdge(d2, m1)
+	st := g.AddOp("S1", assay.Store, "")
+	g.MustEdge(m1, st)
+	d3 := g.AddOp("D3", assay.Dispense, "c")
+	d4 := g.AddOp("D4", assay.Dispense, "d")
+	m2 := g.AddOp("M2", assay.Mix, "")
+	g.MustEdge(d3, m2)
+	g.MustEdge(d4, m2)
+	m3 := g.AddOp("M3", assay.Mix, "")
+	g.MustEdge(st, m3)
+	g.MustEdge(m2, m3)
+
+	mixer, _ := lib.Get(modlib.Mixer2x4)
+	store, _ := lib.Get(modlib.StorageUnit)
+	b := schedule.Binding{m1: mixer, m2: mixer, m3: mixer, st: store}
+	// Serialise the two upstream mixes so storage has real dwell time.
+	sch, err := schedule.List(g, b, schedule.Options{AreaBudget: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	prob := core.FromSchedule(sch)
+	p, _, err := core.AnnealArea(prob, core.Options{Seed: 4, ItersPerModule: 120, WindowPatience: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(sch, p, Options{Trace: true})
+	if !res.Completed {
+		t.Fatalf("storage assay failed: %s\n%s", res.FailReason, eventDump(res))
+	}
+	if len(res.ProductFluids) != 1 {
+		t.Fatalf("products = %v", res.ProductFluids)
+	}
+	for _, fluid := range []string{"a", "b", "c", "d"} {
+		if !strings.Contains(res.ProductFluids[0], fluid) {
+			t.Errorf("final product %q missing %s", res.ProductFluids[0], fluid)
+		}
+	}
+}
+
+// TestSimInvariantNoOverlapDroplets: after every event of a traced
+// run, the event log never reports a constraint violation (the
+// fluidics layer would have errored the run), and transport accounting
+// is consistent with the trace.
+func TestSimTransportAccounting(t *testing.T) {
+	s, p := pcrSetup(t)
+	res := Run(s, p, Options{Trace: true})
+	if !res.Completed {
+		t.Fatal(res.FailReason)
+	}
+	// Sum the per-route/merge steps in the trace; parking and
+	// collection also move droplets, so the total must be >= the sum.
+	sum := 0
+	for _, e := range res.Events {
+		if e.Kind == "route" || e.Kind == "merge" {
+			var steps int
+			if i := strings.LastIndex(e.Detail, "("); i >= 0 {
+				if _, err := fmt.Sscanf(e.Detail[i:], "(%d steps)", &steps); err == nil {
+					sum += steps
+				}
+			}
+		}
+	}
+	if sum == 0 || sum > res.TransportSteps {
+		t.Errorf("trace steps %d inconsistent with total %d", sum, res.TransportSteps)
+	}
+}

@@ -1,0 +1,158 @@
+// Package testdrop implements droplet-based structural testing of the
+// microfluidic array, following the methodology the paper relies on
+// for fault detection (Su et al., ITC 2003; concurrent testing, ITC
+// 2004): a test droplet is dispensed from a test source, routed along
+// a path that covers the cells under test, and observed at a
+// capacitive sensing circuit at the sink. If the droplet arrives
+// within the expected number of control steps, the traversed cells are
+// fault-free; if it gets stuck (a faulty electrode cannot pull the
+// droplet), the array is faulty and the stuck position localises the
+// defect to the first faulty cell of the path.
+//
+// Two modes are provided:
+//
+//   - Offline: a serpentine sweep covering the entire array (run
+//     before the assay, or after fabrication).
+//   - Online: a sweep restricted to the cells not occupied by active
+//     modules, so testing runs concurrently with the assay; this is
+//     what enables the paper's "testing and reconfiguration carried
+//     out frequently" single-fault regime.
+package testdrop
+
+import (
+	"fmt"
+
+	"dmfb/internal/fluidics"
+	"dmfb/internal/geom"
+)
+
+// Report is the outcome of a test pass.
+type Report struct {
+	Tested    int  // cells the droplet actually visited
+	Planned   int  // cells the plan intended to visit
+	Faulty    bool // a fault was detected
+	FaultCell geom.Point
+	Steps     int // control steps consumed by the walk
+}
+
+// String summarises the report.
+func (r Report) String() string {
+	if r.Faulty {
+		return fmt.Sprintf("FAULT at %v after testing %d/%d cells (%d steps)",
+			r.FaultCell, r.Tested, r.Planned, r.Steps)
+	}
+	return fmt.Sprintf("PASS: %d/%d cells fault-free (%d steps)", r.Tested, r.Planned, r.Steps)
+}
+
+// SerpentinePath returns a boustrophedon walk over every cell of the
+// w×h array starting at (0,0): left-to-right on even rows, back on odd
+// rows. Consecutive cells are orthogonally adjacent, so a single test
+// droplet can follow it.
+func SerpentinePath(w, h int) []geom.Point {
+	path := make([]geom.Point, 0, w*h)
+	for y := 0; y < h; y++ {
+		if y%2 == 0 {
+			for x := 0; x < w; x++ {
+				path = append(path, geom.Point{X: x, Y: y})
+			}
+		} else {
+			for x := w - 1; x >= 0; x-- {
+				path = append(path, geom.Point{X: x, Y: y})
+			}
+		}
+	}
+	return path
+}
+
+// walk drives a test droplet along the path on a fresh droplet state,
+// reporting the first cell that refuses the droplet. Cells in skip are
+// stepped around by detouring through the path order (they are simply
+// not entered; the droplet jumps over them via re-dispensing, which
+// physically corresponds to splitting the sweep into several passes).
+func walk(chip *fluidics.Chip, path []geom.Point, skip func(geom.Point) bool) Report {
+	rep := Report{Planned: len(path)}
+	state := fluidics.NewState(chip)
+	var cur *int // droplet id currently walking, nil between segments
+	var id int
+	for _, cell := range path {
+		if skip != nil && skip(cell) {
+			// Segment break: the droplet is routed off (test pass ends
+			// here) and a new one starts after the skipped stretch.
+			if cur != nil {
+				state.Remove(id)
+				cur = nil
+			}
+			continue
+		}
+		if cur == nil {
+			d, err := state.Dispense("test", cell)
+			if err != nil {
+				// The first cell of a segment refuses the droplet:
+				// detected immediately by the dispense sensor.
+				rep.Faulty = true
+				rep.FaultCell = cell
+				rep.Steps++
+				return rep
+			}
+			id = d.ID
+			cur = &id
+			rep.Tested++
+			rep.Steps++
+			continue
+		}
+		if err := state.Move(id, cell); err != nil {
+			// Stuck droplet: capacitive sensing never sees it arrive.
+			rep.Faulty = true
+			rep.FaultCell = cell
+			rep.Steps++
+			return rep
+		}
+		rep.Tested++
+		rep.Steps++
+	}
+	if cur != nil {
+		state.Remove(id)
+	}
+	return rep
+}
+
+// Offline sweeps the whole array with a serpentine test droplet and
+// reports the first fault found (single-fault assumption: testing is
+// run frequently enough that at most one new fault appears between
+// passes, per Section 5.2).
+func Offline(chip *fluidics.Chip) Report {
+	return walk(chip, SerpentinePath(chip.W(), chip.H()), nil)
+}
+
+// Online sweeps only the cells outside the given keep-out rectangles
+// (the segregation regions of currently operating modules), allowing
+// fault testing concurrently with assay execution.
+func Online(chip *fluidics.Chip, keepOut []geom.Rect) Report {
+	skip := func(p geom.Point) bool {
+		for _, r := range keepOut {
+			if r.Contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(chip, SerpentinePath(chip.W(), chip.H()), skip)
+}
+
+// LocalizeAll repeatedly sweeps the array, masking each found fault,
+// until the sweep passes; it returns every faulty cell reachable by
+// the serpentine. This models the multi-pass localisation flow used
+// when more than one fault has accumulated.
+func LocalizeAll(chip *fluidics.Chip) []geom.Point {
+	var found []geom.Point
+	mask := map[geom.Point]bool{}
+	for {
+		skip := func(p geom.Point) bool { return mask[p] }
+		rep := walk(chip, SerpentinePath(chip.W(), chip.H()), skip)
+		if !rep.Faulty {
+			return found
+		}
+		found = append(found, rep.FaultCell)
+		mask[rep.FaultCell] = true
+	}
+}

@@ -1,0 +1,134 @@
+package testdrop
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"dmfb/internal/fluidics"
+	"dmfb/internal/geom"
+)
+
+func TestSerpentineCoversEveryCellOnce(t *testing.T) {
+	for _, d := range [][2]int{{1, 1}, {4, 3}, {7, 9}, {10, 10}} {
+		w, h := d[0], d[1]
+		path := SerpentinePath(w, h)
+		if len(path) != w*h {
+			t.Fatalf("%dx%d: path length %d", w, h, len(path))
+		}
+		seen := map[geom.Point]bool{}
+		for i, p := range path {
+			if seen[p] {
+				t.Fatalf("%dx%d: cell %v visited twice", w, h, p)
+			}
+			seen[p] = true
+			if i > 0 && path[i-1].Manhattan(p) != 1 {
+				t.Fatalf("%dx%d: path not contiguous at %d", w, h, i)
+			}
+		}
+	}
+}
+
+func TestOfflinePassOnHealthyArray(t *testing.T) {
+	chip := fluidics.NewChip(7, 9)
+	rep := Offline(chip)
+	if rep.Faulty {
+		t.Fatalf("healthy array reported faulty: %v", rep)
+	}
+	if rep.Tested != 63 || rep.Planned != 63 {
+		t.Errorf("tested %d/%d, want 63/63", rep.Tested, rep.Planned)
+	}
+	if !strings.Contains(rep.String(), "PASS") {
+		t.Errorf("String = %q", rep.String())
+	}
+}
+
+func TestOfflineDetectsAndLocalizesSingleFault(t *testing.T) {
+	for _, fault := range []geom.Point{{X: 0, Y: 0}, {X: 3, Y: 4}, {X: 6, Y: 8}, {X: 6, Y: 0}} {
+		chip := fluidics.NewChip(7, 9)
+		chip.InjectFault(fault)
+		rep := Offline(chip)
+		if !rep.Faulty {
+			t.Fatalf("fault at %v not detected", fault)
+		}
+		if rep.FaultCell != fault {
+			t.Errorf("fault localised to %v, want %v", rep.FaultCell, fault)
+		}
+		if !strings.Contains(rep.String(), "FAULT") {
+			t.Errorf("String = %q", rep.String())
+		}
+	}
+}
+
+func TestOnlineSkipsActiveModules(t *testing.T) {
+	chip := fluidics.NewChip(9, 7)
+	// A module occupies the middle; a fault inside it must NOT be
+	// detected (those cells are in use and not testable online)...
+	module := geom.Rect{X: 3, Y: 2, W: 4, H: 4}
+	chip.InjectFault(geom.Point{X: 4, Y: 3})
+	rep := Online(chip, []geom.Rect{module})
+	if rep.Faulty {
+		t.Fatalf("online test entered an active module: %v", rep)
+	}
+	if rep.Tested != 9*7-module.Cells() {
+		t.Errorf("tested %d cells, want %d", rep.Tested, 9*7-module.Cells())
+	}
+	// ...but a fault outside the module is found.
+	chip.InjectFault(geom.Point{X: 0, Y: 6})
+	rep = Online(chip, []geom.Rect{module})
+	if !rep.Faulty || rep.FaultCell != (geom.Point{X: 0, Y: 6}) {
+		t.Fatalf("online test missed outside fault: %v", rep)
+	}
+}
+
+func TestLocalizeAllFindsEveryFault(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		chip := fluidics.NewChip(8, 8)
+		want := map[geom.Point]bool{}
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			p := geom.Point{X: rng.Intn(8), Y: rng.Intn(8)}
+			chip.InjectFault(p)
+			want[p] = true
+		}
+		got := LocalizeAll(chip)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: found %v, want %d faults", trial, got, len(want))
+		}
+		for _, p := range got {
+			if !want[p] {
+				t.Fatalf("trial %d: false positive at %v", trial, p)
+			}
+		}
+	}
+}
+
+// Property: the first fault reported by Offline is the first faulty
+// cell in serpentine order.
+func TestOfflineFindsFirstInPathOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		chip := fluidics.NewChip(6, 6)
+		path := SerpentinePath(6, 6)
+		pos := map[geom.Point]int{}
+		for i, p := range path {
+			pos[p] = i
+		}
+		var idxs []int
+		for i := 0; i < 3; i++ {
+			p := geom.Point{X: rng.Intn(6), Y: rng.Intn(6)}
+			chip.InjectFault(p)
+			idxs = append(idxs, pos[p])
+		}
+		sort.Ints(idxs)
+		rep := Offline(chip)
+		if !rep.Faulty {
+			t.Fatal("faults not detected")
+		}
+		if pos[rep.FaultCell] != idxs[0] {
+			t.Fatalf("reported fault at path index %d, want first at %d",
+				pos[rep.FaultCell], idxs[0])
+		}
+	}
+}
