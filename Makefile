@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test race vet fmtcheck bench ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmtcheck:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+ci: vet build test race fmtcheck
+
+clean:
+	$(GO) clean ./...

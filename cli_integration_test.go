@@ -6,6 +6,7 @@ package dmfb
 // dmfb-fti, dmfb-sim and dmfb-test.
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -141,5 +142,154 @@ func TestCLIErrorPaths(t *testing.T) {
 	run(t, filepath.Join(bin, "dmfb-fti"), false) // missing -placement
 	if out := run(t, filepath.Join(bin, "dmfb-route"), false, "-d", "0,0:99,99"); !strings.Contains(out, "off array") {
 		t.Errorf("bad endpoint not rejected:\n%s", out)
+	}
+}
+
+// TestCLITelemetryFlags exercises the shared -trace/-metrics/-profile
+// observability surface end to end: the trace must be valid JSONL
+// with at least one span per annealing temperature level, and the
+// span count must agree with the anneal.levels counter in the metrics
+// snapshot.
+func TestCLITelemetryFlags(t *testing.T) {
+	bin := buildCLI(t)
+	work := t.TempDir()
+	tracePath := filepath.Join(work, "trace.jsonl")
+	metricsPath := filepath.Join(work, "metrics.json")
+	profileDir := filepath.Join(work, "prof")
+
+	run(t, filepath.Join(bin, "dmfb-place"), true,
+		"-trace", tracePath, "-metrics", metricsPath, "-profile", profileDir)
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levelSpans := 0
+	lastSeq := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var rec struct {
+			Seq  int    `json:"seq"`
+			Kind string `json:"kind"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace is not valid JSONL at %q: %v", line, err)
+		}
+		if rec.Seq != lastSeq+1 {
+			t.Fatalf("seq jumped from %d to %d", lastSeq, rec.Seq)
+		}
+		lastSeq = rec.Seq
+		if rec.Kind == "span" && rec.Name == "anneal.level" {
+			levelSpans++
+		}
+	}
+	if levelSpans == 0 {
+		t.Fatal("no anneal.level spans in trace")
+	}
+
+	mraw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(mraw, &snap); err != nil {
+		t.Fatalf("metrics not valid JSON: %v\n%s", err, mraw)
+	}
+	if got := snap.Counters["anneal.levels"]; got != int64(levelSpans) {
+		t.Errorf("anneal.levels counter %d != %d anneal.level spans", got, levelSpans)
+	}
+	if snap.Gauges["place.array_cells"] <= 0 {
+		t.Errorf("place.array_cells gauge = %v, want > 0", snap.Gauges["place.array_cells"])
+	}
+	u := snap.Gauges["place.utilization"]
+	if u <= 0 || u > 1 {
+		t.Errorf("place.utilization gauge = %v, want in (0,1]", u)
+	}
+
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		if fi, err := os.Stat(filepath.Join(profileDir, name)); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", name, err)
+		}
+	}
+}
+
+// TestCLIBenchJSON checks the machine-readable benchmark output.
+func TestCLIBenchJSON(t *testing.T) {
+	bin := buildCLI(t)
+	jsonPath := filepath.Join(t.TempDir(), "results.json")
+	run(t, filepath.Join(bin, "dmfb-bench"), true, "-exp", "table1", "-json", jsonPath)
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []struct {
+		Experiment   string  `json:"experiment"`
+		DurationMS   float64 `json:"duration_ms"`
+		Measurements []struct {
+			Name     string  `json:"name"`
+			Measured float64 `json:"measured"`
+			Paper    float64 `json:"paper"`
+		} `json:"measurements"`
+	}
+	if err := json.Unmarshal(raw, &results); err != nil {
+		t.Fatalf("bench JSON invalid: %v\n%s", err, raw)
+	}
+	if len(results) != 1 || results[0].Experiment != "table1" {
+		t.Fatalf("results = %+v, want one table1 entry", results)
+	}
+	if results[0].DurationMS <= 0 {
+		t.Error("duration_ms not positive")
+	}
+	found := false
+	for _, m := range results[0].Measurements {
+		if m.Name == "bound_operations" && m.Measured == 7 && m.Paper == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("bound_operations measurement missing: %+v", results[0].Measurements)
+	}
+}
+
+// TestCLISimTrace cross-checks dmfb-sim's trace against its printed
+// event log: every printed event line must have a sim.* trace record.
+func TestCLISimTrace(t *testing.T) {
+	bin := buildCLI(t)
+	work := t.TempDir()
+	tracePath := filepath.Join(work, "trace.jsonl")
+
+	out := run(t, filepath.Join(bin, "dmfb-sim"), true, "-trace", tracePath)
+	printed := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "  t=") {
+			printed++
+		}
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var rec struct {
+			Kind string `json:"kind"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("invalid trace line %q: %v", line, err)
+		}
+		if rec.Kind == "event" && strings.HasPrefix(rec.Name, "sim.") {
+			traced++
+		}
+	}
+	if printed == 0 || traced != printed {
+		t.Errorf("printed %d event lines but traced %d sim events", printed, traced)
+	}
+	if !strings.Contains(string(raw), `"name":"sim.run"`) {
+		t.Error("no sim.run span in trace")
 	}
 }

@@ -8,26 +8,66 @@
 //	dmfb-bench                 # all experiments
 //	dmfb-bench -exp table2     # one experiment:
 //	                           # table1 fig5 fig6 baseline fig7 fti fig8 table2 reconfig montecarlo
+//	dmfb-bench -exp table1 -json results.json
+//	dmfb-bench -trace trace.jsonl -metrics metrics.json -profile prof/
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"dmfb"
+	"dmfb/internal/telemetry"
+	"dmfb/internal/telemetry/cliflags"
 )
 
-var seed = flag.Int64("seed", 1, "annealing seed")
+var (
+	seed = flag.Int64("seed", 1, "annealing seed")
+	ts   *cliflags.Session
+)
 
-func main() {
+// measurement is one measured quantity, paired with the paper's
+// reported value when the paper states one.
+type measurement struct {
+	Name     string  `json:"name"`
+	Measured float64 `json:"measured"`
+	Paper    float64 `json:"paper,omitempty"`
+	Unit     string  `json:"unit,omitempty"`
+}
+
+// expResult is the machine-readable record of one experiment run.
+type expResult struct {
+	Experiment   string        `json:"experiment"`
+	DurationMS   float64       `json:"duration_ms"`
+	Measurements []measurement `json:"measurements,omitempty"`
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	exp := flag.String("exp", "all", "experiment to run (see usage)")
+	jsonOut := flag.String("json", "", "write machine-readable results to `file`")
+	obs := cliflags.Register()
 	flag.Parse()
+
+	var err error
+	ts, err = obs.Start("dmfb-bench")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-bench:", err)
+		return 1
+	}
+	defer func() {
+		if err := ts.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dmfb-bench:", err)
+		}
+	}()
 
 	experiments := []struct {
 		name string
-		run  func()
+		run  func() []measurement
 	}{
 		{"table1", table1},
 		{"fig5", fig5},
@@ -40,20 +80,44 @@ func main() {
 		{"reconfig", reconfigExp},
 		{"montecarlo", monteCarlo},
 	}
+	var results []expResult
 	found := false
 	for _, e := range experiments {
-		if *exp == "all" || *exp == e.name {
-			found = true
-			fmt.Printf("==================== %s ====================\n", e.name)
-			start := time.Now()
-			e.run()
-			fmt.Printf("(%s in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		if *exp != "all" && *exp != e.name {
+			continue
 		}
+		found = true
+		fmt.Printf("==================== %s ====================\n", e.name)
+		clock := telemetry.StartStage(e.name)
+		ms := e.run()
+		st := clock.Stop()
+		ts.Tracer.EmitSpan("bench."+e.name, st.Wall,
+			telemetry.Fields{"cpu_us": st.CPU.Microseconds(), "measurements": len(ms)})
+		ts.Metrics.Histogram("bench.exp_ms", telemetry.LatencyBuckets...).
+			Observe(float64(st.Wall.Microseconds()) / 1000)
+		results = append(results, expResult{
+			Experiment:   e.name,
+			DurationMS:   float64(st.Wall.Microseconds()) / 1000,
+			Measurements: ms,
+		})
+		fmt.Printf("(%s in %v)\n\n", e.name, st.Wall.Round(time.Millisecond))
 	}
 	if !found {
 		fmt.Fprintf(os.Stderr, "dmfb-bench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmfb-bench:", err)
+			return 1
+		}
+		fmt.Println("results written to", *jsonOut)
+	}
+	return 0
 }
 
 func must[T any](v T, err error) T {
@@ -64,22 +128,36 @@ func must[T any](v T, err error) T {
 	return v
 }
 
+// placerOpts returns the shared annealing options, with progress
+// telemetry attached when enabled.
+func placerOpts() dmfb.PlacerOptions {
+	return dmfb.PlacerOptions{
+		Seed:     *seed,
+		Observer: dmfb.ObserveAnneal(ts.Tracer, ts.Metrics, "bench"),
+	}
+}
+
 // table1 prints the module catalogue used by the PCR binding.
-func table1() {
+func table1() []measurement {
 	fmt.Println("Table 1: resource binding in PCR (paper: identical by construction)")
 	g, mix := dmfb.PCRAssay()
 	_ = g
 	sched := must(dmfb.PCRSchedule())
 	fmt.Printf("%-4s %-26s %-8s %s\n", "op", "hardware", "module", "mixing time")
+	n := 0
 	for _, it := range sched.BoundItems() {
 		fmt.Printf("%-4s %-26s %-8s %ds\n", it.Op.Name, it.Device.Hardware,
 			it.Device.Size.String()+" cells", it.Device.Duration)
+		n++
 	}
 	_ = mix
+	return []measurement{
+		{Name: "bound_operations", Measured: float64(n), Paper: 7, Unit: "ops"},
+	}
 }
 
 // fig5 prints the PCR sequencing graph.
-func fig5() {
+func fig5() []measurement {
 	fmt.Println("Figure 5: sequencing graph of the PCR mixing stage")
 	g, _ := dmfb.PCRAssay()
 	for _, op := range g.Ops() {
@@ -92,18 +170,25 @@ func fig5() {
 			fmt.Printf("  %-4s (%s %s) -> %s\n", op.Name, op.Kind, op.Fluid, g.Op(s).Name)
 		}
 	}
+	return []measurement{
+		{Name: "graph_ops", Measured: float64(len(g.Ops())), Unit: "ops"},
+	}
 }
 
 // fig6 prints the regenerated module-usage schedule.
-func fig6() {
+func fig6() []measurement {
 	fmt.Println("Figure 6: schedule of module usage (regenerated; the paper does not print its data)")
 	sched := must(dmfb.PCRSchedule())
 	fmt.Print(dmfb.RenderSchedule(sched))
 	fmt.Printf("peak concurrent area: %d cells\n", sched.PeakArea())
+	return []measurement{
+		{Name: "makespan", Measured: float64(sched.Makespan), Unit: "s"},
+		{Name: "peak_area", Measured: float64(sched.PeakArea()), Unit: "cells"},
+	}
 }
 
 // baseline runs the greedy placers (paper Section 6.1: 84 cells / 189 mm²).
-func baseline() {
+func baseline() []measurement {
 	fmt.Println("Baseline greedy placement (paper: 84 cells = 189.00 mm2)")
 	prob := dmfb.PlacementProblemOf(must(dmfb.PCRSchedule()))
 	aware := must(dmfb.PlaceGreedy(prob, true))
@@ -113,14 +198,19 @@ func baseline() {
 	fmt.Printf("time-oblivious greedy:  %3d cells = %7.2f mm2\n",
 		obliv.ArrayCells(), dmfb.AreaMM2(obliv.ArrayCells()))
 	fmt.Println("(the paper's under-specified greedy falls between these bounds)")
+	return []measurement{
+		{Name: "greedy_time_aware", Measured: float64(aware.ArrayCells()), Paper: 84, Unit: "cells"},
+		{Name: "greedy_time_oblivious", Measured: float64(obliv.ArrayCells()), Paper: 84, Unit: "cells"},
+	}
 }
 
 // fig7 runs the area-only SA placer (paper: 63 cells = 141.75 mm², −25% vs baseline).
-func fig7() {
+func fig7() []measurement {
 	fmt.Println("Figure 7: simulated-annealing placement, area only (paper: 7x9 = 63 cells = 141.75 mm2)")
 	prob := dmfb.PlacementProblemOf(must(dmfb.PCRSchedule()))
-	start := time.Now()
-	p, stats, err := dmfb.PlaceAnneal(prob, dmfb.PlacerOptions{Seed: *seed})
+	clock := telemetry.StartStage("fig7.anneal")
+	p, stats, err := dmfb.PlaceAnneal(prob, placerOpts())
+	st := clock.Stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -128,34 +218,44 @@ func fig7() {
 	fmt.Print(dmfb.RenderPlacement(p))
 	fmt.Printf("measured: %d cells = %.2f mm2 (%d evaluations, %d levels, %v)\n",
 		p.ArrayCells(), dmfb.AreaMM2(p.ArrayCells()),
-		stats.Evaluations, stats.Levels, time.Since(start).Round(time.Millisecond))
+		stats.Evaluations, stats.Levels, st.Wall.Round(time.Millisecond))
 	g := must(dmfb.PlaceGreedy(prob, true))
-	fmt.Printf("improvement over greedy baseline: %.1f%% (paper: 25%%)\n",
-		100*(1-float64(p.ArrayCells())/float64(g.ArrayCells())))
+	improvement := 100 * (1 - float64(p.ArrayCells())/float64(g.ArrayCells()))
+	fmt.Printf("improvement over greedy baseline: %.1f%% (paper: 25%%)\n", improvement)
+	return []measurement{
+		{Name: "sa_area", Measured: float64(p.ArrayCells()), Paper: 63, Unit: "cells"},
+		{Name: "sa_area_mm2", Measured: dmfb.AreaMM2(p.ArrayCells()), Paper: 141.75, Unit: "mm2"},
+		{Name: "improvement_vs_greedy", Measured: improvement, Paper: 25, Unit: "%"},
+	}
 }
 
 // ftiExp computes the FTI of the area-minimal placement (paper: 0.1270).
-func ftiExp() {
+func ftiExp() []measurement {
 	fmt.Println("FTI of the area-minimal placement (paper: 0.1270, computed in 1.7 s on a Pentium III)")
 	prob := dmfb.PlacementProblemOf(must(dmfb.PCRSchedule()))
-	p, _, err := dmfb.PlaceAnneal(prob, dmfb.PlacerOptions{Seed: *seed})
+	p, _, err := dmfb.PlaceAnneal(prob, placerOpts())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	start := time.Now()
+	clock := telemetry.StartStage("fti.compute")
 	r := dmfb.ComputeFTI(p)
-	fmt.Printf("measured: %v (computed in %v)\n", r, time.Since(start))
+	st := clock.Stop()
+	fmt.Printf("measured: %v (computed in %v)\n", r, st.Wall)
 	fmt.Print(dmfb.RenderCoverage(r))
+	return []measurement{
+		{Name: "fti", Measured: dmfb.Round4(r.FTI()), Paper: 0.1270},
+		{Name: "fti_compute_ms", Measured: float64(st.Wall.Microseconds()) / 1000, Paper: 1700, Unit: "ms"},
+	}
 }
 
 // fig8 runs the two-stage placer at β=30 (paper: 7x11 = 77 cells =
 // 173.25 mm², FTI 0.8052; +534% FTI for +22.2% area).
-func fig8() {
+func fig8() []measurement {
 	fmt.Println("Figure 8: two-stage fault-tolerant placement, beta=30")
 	fmt.Println("(paper: 77 cells = 173.25 mm2, FTI 0.8052; +534% FTI for +22.2% area)")
 	prob := dmfb.PlacementProblemOf(must(dmfb.PCRSchedule()))
-	res, err := dmfb.PlaceFaultTolerant(prob, dmfb.PlacerOptions{Seed: *seed}, dmfb.FTOptions{Beta: 30})
+	res, err := dmfb.PlaceFaultTolerant(prob, placerOpts(), dmfb.FTOptions{Beta: 30})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -170,14 +270,18 @@ func fig8() {
 		fmt.Printf("FTI gain: +%.0f%%, area growth: +%.1f%%\n",
 			100*(f2-f1)/f1, 100*(float64(a2)/float64(a1)-1))
 	}
+	return []measurement{
+		{Name: "twostage_area", Measured: float64(a2), Paper: 77, Unit: "cells"},
+		{Name: "twostage_fti", Measured: dmfb.Round4(f2), Paper: 0.8052},
+	}
 }
 
 // table2 sweeps β (paper Table 2).
-func table2() {
+func table2() []measurement {
 	fmt.Println("Table 2: solutions for different beta")
 	fmt.Println("(paper: area 141.75->222.75 mm2, FTI 0.2857->1.0 as beta goes 10->60)")
 	prob := dmfb.PlacementProblemOf(must(dmfb.PCRSchedule()))
-	pts, err := dmfb.BetaSweep(prob, dmfb.PlacerOptions{Seed: *seed},
+	pts, err := dmfb.BetaSweep(prob, placerOpts(),
 		dmfb.FTOptions{Restarts: 3}, []float64{10, 20, 30, 40, 50, 60})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -196,14 +300,21 @@ func table2() {
 		fmt.Printf("%10.4f", p.FTI)
 	}
 	fmt.Println()
+	var ms []measurement
+	for _, p := range pts {
+		ms = append(ms,
+			measurement{Name: fmt.Sprintf("beta%.0f_area_mm2", p.Beta), Measured: dmfb.AreaMM2(p.Cells), Unit: "mm2"},
+			measurement{Name: fmt.Sprintf("beta%.0f_fti", p.Beta), Measured: dmfb.Round4(p.FTI)})
+	}
+	return ms
 }
 
 // reconfigExp demonstrates on-line recovery (paper Figure 4b / Section 5.1).
-func reconfigExp() {
+func reconfigExp() []measurement {
 	fmt.Println("Partial reconfiguration during field operation (Section 5.1)")
 	sched := must(dmfb.PCRSchedule())
 	prob := dmfb.PlacementProblemOf(sched)
-	res, err := dmfb.PlaceFaultTolerant(prob, dmfb.PlacerOptions{Seed: *seed}, dmfb.FTOptions{Beta: 50})
+	res, err := dmfb.PlaceFaultTolerant(prob, placerOpts(), dmfb.FTOptions{Beta: 50})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -218,44 +329,69 @@ func reconfigExp() {
 			if !cov.CoveredAt(x, y) || len(p.ModulesAt(cell)) == 0 {
 				continue
 			}
-			sr := dmfb.Simulate(sched, p, dmfb.SimOptions{},
+			sr := dmfb.Simulate(sched, p,
+				dmfb.SimOptions{Telemetry: ts.Tracer, Metrics: ts.Metrics},
 				dmfb.FaultInjection{TimeSec: 1, Cell: dmfb.ArrayCell(dmfb.SimOptions{}, cell)})
 			fmt.Printf("fault at array cell %v at t=1s: completed=%v, %d relocation(s), %d transport steps\n",
 				cell, sr.Completed, len(sr.Relocations), sr.TransportSteps)
 			for _, r := range sr.Relocations {
 				fmt.Println(" ", r)
 			}
-			return
+			completed := 0.0
+			if sr.Completed {
+				completed = 1
+			}
+			return []measurement{
+				{Name: "completed", Measured: completed, Paper: 1},
+				{Name: "relocations", Measured: float64(len(sr.Relocations))},
+			}
 		}
 	}
 	fmt.Println("no covered module cell found")
+	return nil
 }
 
 // monteCarlo validates FTI as a survivability predictor (extension).
-func monteCarlo() {
+func monteCarlo() []measurement {
 	fmt.Println("Monte-Carlo validation: survival rate vs FTI (extension experiment)")
 	prob := dmfb.PlacementProblemOf(must(dmfb.PCRSchedule()))
-	s1, _, err := dmfb.PlaceAnneal(prob, dmfb.PlacerOptions{Seed: *seed})
+	s1, _, err := dmfb.PlaceAnneal(prob, placerOpts())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	res, err := dmfb.PlaceFaultTolerant(prob, dmfb.PlacerOptions{Seed: *seed}, dmfb.FTOptions{Beta: 60})
+	res, err := dmfb.PlaceFaultTolerant(prob, placerOpts(), dmfb.FTOptions{Beta: 60})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	var ms []measurement
 	for _, c := range []struct {
 		label string
+		slug  string
 		p     *dmfb.Placement
-	}{{"area-minimal", s1}, {"fault-tolerant (beta=60)", res.Final}} {
+	}{{"area-minimal", "area_minimal", s1},
+		{"fault-tolerant (beta=60)", "fault_tolerant", res.Final}} {
 		ex := dmfb.ExhaustiveSingleFault(c.p)
 		mc := dmfb.MonteCarloSingleFault(c.p, 10000, *seed)
 		fmt.Printf("%-26s exhaustive: %v\n", c.label, ex)
 		fmt.Printf("%-26s montecarlo: %v\n", c.label, mc)
+		// The FTI is the exact single-fault survival rate, so the
+		// exhaustive rate doubles as the predicted ("paper") value for
+		// the Monte-Carlo estimate.
+		ms = append(ms, measurement{
+			Name:     c.slug + "_mc_survival",
+			Measured: dmfb.Round4(mc.SurvivalRate()),
+			Paper:    dmfb.Round4(ex.SurvivalRate()),
+		})
 		for _, k := range []int{2, 3} {
 			mk := dmfb.MonteCarloMultiFault(c.p, k, 2000, *seed)
 			fmt.Printf("%-26s %d faults:   survived %.4f\n", c.label, k, mk.SurvivalRate())
+			ms = append(ms, measurement{
+				Name:     fmt.Sprintf("%s_%dfault_survival", c.slug, k),
+				Measured: dmfb.Round4(mk.SurvivalRate()),
+			})
 		}
 	}
+	return ms
 }

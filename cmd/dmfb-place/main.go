@@ -8,6 +8,7 @@
 //	dmfb-place -placer twostage -beta 30         # Figure 8 (fault-tolerant)
 //	dmfb-place -placer greedy                    # Section 6.1 baseline
 //	dmfb-place -schedule schedule.json -o placement.json -svg out.svg
+//	dmfb-place -trace trace.jsonl -metrics metrics.json -profile prof/
 package main
 
 import (
@@ -16,9 +17,12 @@ import (
 	"os"
 
 	"dmfb"
+	"dmfb/internal/telemetry/cliflags"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		schedFile = flag.String("schedule", "", "schedule JSON from dmfb-synth (default: built-in PCR)")
 		placer    = flag.String("placer", "sa", "placer: greedy | greedy-oblivious | sa | twostage")
@@ -28,16 +32,32 @@ func main() {
 		svg       = flag.String("svg", "", "write the placement as SVG")
 		coverage  = flag.Bool("coverage", false, "print the C-coverage map")
 	)
+	obs := cliflags.Register()
 	flag.Parse()
+
+	ts, err := obs.Start("dmfb-place")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-place:", err)
+		return 1
+	}
+	defer func() {
+		if err := ts.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dmfb-place:", err)
+		}
+	}()
 
 	sched, err := loadSchedule(*schedFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmfb-place:", err)
-		os.Exit(1)
+		return 1
 	}
 	prob := dmfb.PlacementProblemOf(sched)
-	opts := dmfb.PlacerOptions{Seed: *seed}
+	opts := dmfb.PlacerOptions{
+		Seed:     *seed,
+		Observer: dmfb.ObserveAnneal(ts.Tracer, ts.Metrics, "place"),
+	}
 
+	done := ts.Stage("place")
 	var p *dmfb.Placement
 	switch *placer {
 	case "greedy":
@@ -58,12 +78,17 @@ func main() {
 	default:
 		err = fmt.Errorf("unknown placer %q", *placer)
 	}
+	done()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmfb-place:", err)
-		os.Exit(1)
+		return 1
 	}
+	ts.Metrics.Gauge("place.array_cells").Set(float64(p.ArrayCells()))
+	ts.Metrics.Gauge("place.utilization").Set(p.Utilization())
 
+	doneFTI := ts.Stage("fti")
 	r := dmfb.ComputeFTI(p)
+	doneFTI()
 	fmt.Print(dmfb.RenderPlacement(p))
 	fmt.Printf("area: %d cells = %.2f mm2 at %.1f mm pitch\n",
 		p.ArrayCells(), dmfb.AreaMM2(p.ArrayCells()), dmfb.CellPitchMM)
@@ -79,17 +104,18 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmfb-place:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println("placement written to", *out)
 	}
 	if *svg != "" {
 		if err := os.WriteFile(*svg, []byte(dmfb.RenderPlacementSVG(p, 24)), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "dmfb-place:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println("SVG written to", *svg)
 	}
+	return 0
 }
 
 func loadSchedule(path string) (*dmfb.Schedule, error) {

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"dmfb"
+	"dmfb/internal/telemetry/cliflags"
 )
 
 type endpointList []dmfb.RouteEndpoint
@@ -48,7 +49,9 @@ func (c *cellList) Set(s string) error {
 	return nil
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var eps endpointList
 	var faults cellList
 	var (
@@ -58,28 +61,42 @@ func main() {
 	)
 	flag.Var(&eps, "d", "droplet endpoint x1,y1:x2,y2 (repeatable)")
 	flag.Var(&faults, "fault", "faulty cell x,y (repeatable)")
+	obs := cliflags.Register()
 	flag.Parse()
 
 	if len(eps) == 0 {
 		fmt.Fprintln(os.Stderr, "dmfb-route: at least one -d endpoint required")
-		os.Exit(2)
+		return 2
 	}
+	ts, err := obs.Start("dmfb-route")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-route:", err)
+		return 1
+	}
+	defer func() {
+		if err := ts.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dmfb-route:", err)
+		}
+	}()
+
 	chip := dmfb.NewChip(*w, *h)
 	for _, f := range faults {
 		if err := chip.InjectFault(f); err != nil {
 			fmt.Fprintln(os.Stderr, "dmfb-route:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
-	plan, err := dmfb.PlanDropletRoutes(chip, eps, dmfb.RouteOptions{})
+	doneRoute := ts.Stage("route")
+	plan, err := dmfb.PlanDropletRoutes(chip, eps, dmfb.RouteOptions{Metrics: ts.Metrics})
+	doneRoute()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmfb-route:", err)
-		os.Exit(1)
+		return 1
 	}
 	if err := dmfb.ValidateDropletRoutes(chip, eps, plan, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "dmfb-route: plan failed validation:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("%d droplet(s) routed in %d control steps (%d ms), %d cell moves\n",
 		len(eps), plan.Makespan, plan.Makespan*10, plan.Steps())
@@ -96,7 +113,7 @@ func main() {
 	prog, err := dmfb.CompileActuation(plan, *w, *h)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmfb-route:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("actuation program: %d frames, %d ms\n", len(prog.Frames), prog.DurationMS())
 	if *frames {
@@ -104,4 +121,5 @@ func main() {
 			fmt.Println(" ", f)
 		}
 	}
+	return 0
 }

@@ -8,8 +8,9 @@
 // Usage:
 //
 //	dmfb-sim                                   # fault-free PCR on the SA placement
-//	dmfb-sim -placer twostage -fault 1,2,3 -trace
+//	dmfb-sim -placer twostage -fault 1,2,3 -verbose
 //	dmfb-sim -schedule s.json -placement p.json -fault 0,0,0
+//	dmfb-sim -trace trace.jsonl -metrics metrics.json
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"dmfb"
+	"dmfb/internal/telemetry/cliflags"
 )
 
 type faultList []dmfb.FaultInjection
@@ -37,7 +39,9 @@ func (f *faultList) Set(s string) error {
 	return nil
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var faults faultList
 	var (
 		schedFile = flag.String("schedule", "", "schedule JSON (default: built-in PCR)")
@@ -45,25 +49,45 @@ func main() {
 		placer    = flag.String("placer", "sa", "placer when no -placement given: greedy | sa | twostage")
 		beta      = flag.Float64("beta", 30, "fault-tolerance weight for twostage")
 		seed      = flag.Int64("seed", 1, "annealing seed")
-		trace     = flag.Bool("trace", false, "log every droplet action")
+		verbose   = flag.Bool("verbose", false, "log every droplet action")
 	)
 	flag.Var(&faults, "fault", "inject fault: t,x,y (repeatable; x,y in placed-array cells)")
+	obs := cliflags.Register()
 	flag.Parse()
 
-	sched, p, err := load(*schedFile, *placeFile, *placer, *beta, *seed)
+	ts, err := obs.Start("dmfb-sim")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmfb-sim:", err)
-		os.Exit(1)
+		return 1
+	}
+	defer func() {
+		if err := ts.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dmfb-sim:", err)
+		}
+	}()
+
+	donePlace := ts.Stage("place")
+	sched, p, err := load(*schedFile, *placeFile, *placer, *beta, *seed, ts)
+	donePlace()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-sim:", err)
+		return 1
 	}
 
 	fmt.Print(dmfb.RenderPlacement(p))
-	res := dmfb.Simulate(sched, p, dmfb.SimOptions{Trace: *trace}, faults...)
+	doneSim := ts.Stage("sim")
+	res := dmfb.Simulate(sched, p, dmfb.SimOptions{
+		Trace:     *verbose,
+		Telemetry: ts.Tracer,
+		Metrics:   ts.Metrics,
+	}, faults...)
+	doneSim()
 	for _, e := range res.Events {
 		fmt.Println(" ", e)
 	}
 	if !res.Completed {
 		fmt.Printf("ASSAY FAILED: %s\n", res.FailReason)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("assay completed: %d s of operations + %d transport steps (%d ms)\n",
 		res.MakespanSec, res.TransportSteps, res.TransportMS)
@@ -74,9 +98,12 @@ func main() {
 			fmt.Println(" ", r)
 		}
 	}
+	return 0
 }
 
-func load(schedFile, placeFile, placer string, beta float64, seed int64) (*dmfb.Schedule, *dmfb.Placement, error) {
+func load(schedFile, placeFile, placer string, beta float64, seed int64,
+	ts *cliflags.Session) (*dmfb.Schedule, *dmfb.Placement, error) {
+
 	var sched *dmfb.Schedule
 	var err error
 	if schedFile == "" {
@@ -101,7 +128,10 @@ func load(schedFile, placeFile, placer string, beta float64, seed int64) (*dmfb.
 	}
 
 	prob := dmfb.PlacementProblemOf(sched)
-	opts := dmfb.PlacerOptions{Seed: seed}
+	opts := dmfb.PlacerOptions{
+		Seed:     seed,
+		Observer: dmfb.ObserveAnneal(ts.Tracer, ts.Metrics, "place"),
+	}
 	switch placer {
 	case "greedy":
 		p, err := dmfb.PlaceGreedy(prob, true)

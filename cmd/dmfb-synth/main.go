@@ -16,9 +16,12 @@ import (
 	"os"
 
 	"dmfb"
+	"dmfb/internal/telemetry/cliflags"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		assayName = flag.String("assay", "pcr", "built-in assay: pcr | invitro")
 		graphFile = flag.String("graph", "", "sequencing-graph JSON file (overrides -assay)")
@@ -28,13 +31,29 @@ func main() {
 		policy    = flag.String("bind", "fastest", "binding policy: fastest | smallest")
 		out       = flag.String("o", "", "write the schedule as JSON to this file")
 	)
+	obs := cliflags.Register()
 	flag.Parse()
 
-	sched, err := synthesize(*assayName, *graphFile, *samples, *assays, *budget, *policy)
+	ts, err := obs.Start("dmfb-synth")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmfb-synth:", err)
-		os.Exit(1)
+		return 1
 	}
+	defer func() {
+		if err := ts.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dmfb-synth:", err)
+		}
+	}()
+
+	doneSynth := ts.Stage("synth")
+	sched, err := synthesize(*assayName, *graphFile, *samples, *assays, *budget, *policy)
+	doneSynth()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-synth:", err)
+		return 1
+	}
+	ts.Metrics.Gauge("synth.makespan_sec").Set(float64(sched.Makespan))
+	ts.Metrics.Gauge("synth.peak_area_cells").Set(float64(sched.PeakArea()))
 
 	fmt.Print(dmfb.RenderSchedule(sched))
 	fmt.Printf("peak concurrent module area: %d cells (%.2f mm2)\n",
@@ -44,14 +63,15 @@ func main() {
 		data, err := dmfb.MarshalSchedule(sched)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmfb-synth:", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := os.WriteFile(*out, data, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "dmfb-synth:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println("schedule written to", *out)
 	}
+	return 0
 }
 
 func synthesize(assayName, graphFile string, samples, assays, budget int, policy string) (*dmfb.Schedule, error) {

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"dmfb"
+	"dmfb/internal/telemetry/cliflags"
 )
 
 type cellList []dmfb.Point
@@ -31,7 +32,9 @@ func (c *cellList) Set(s string) error {
 	return nil
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var faults cellList
 	var (
 		w         = flag.Int("w", 9, "array width in cells")
@@ -39,13 +42,25 @@ func main() {
 		placeFile = flag.String("placement", "", "mask this placement's modules (online test)")
 	)
 	flag.Var(&faults, "fault", "faulty cell x,y (repeatable)")
+	obs := cliflags.Register()
 	flag.Parse()
+
+	ts, err := obs.Start("dmfb-test")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-test:", err)
+		return 1
+	}
+	defer func() {
+		if err := ts.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dmfb-test:", err)
+		}
+	}()
 
 	chip := dmfb.NewChip(*w, *h)
 	for _, f := range faults {
 		if err := chip.InjectFault(f); err != nil {
 			fmt.Fprintln(os.Stderr, "dmfb-test:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -53,29 +68,35 @@ func main() {
 		data, err := os.ReadFile(*placeFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmfb-test:", err)
-			os.Exit(1)
+			return 1
 		}
 		p, err := dmfb.UnmarshalPlacement(data)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmfb-test:", err)
-			os.Exit(1)
+			return 1
 		}
 		var keepOut []dmfb.Rect
 		for i := range p.Modules {
 			keepOut = append(keepOut, p.Rect(i))
 		}
+		doneOnline := ts.Stage("sweep_online")
+		rep := dmfb.TestArrayOnline(chip, keepOut)
+		doneOnline()
 		fmt.Println("online sweep (module regions masked):")
-		fmt.Println(" ", dmfb.TestArrayOnline(chip, keepOut))
+		fmt.Println(" ", rep)
 	}
 
 	fmt.Println("offline sweep:")
+	doneOffline := ts.Stage("sweep_offline")
 	rep := dmfb.TestArray(chip)
+	doneOffline()
 	fmt.Println(" ", rep)
 	if rep.Faulty {
 		fmt.Println("localising all faults by repeated sweeps:")
 		for _, f := range dmfb.LocateAllFaults(chip) {
 			fmt.Println("  fault at", f)
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -26,9 +26,11 @@
 package dmfb
 
 import (
+	"io"
 	"math"
 
 	"dmfb/internal/actuation"
+	"dmfb/internal/anneal"
 	"dmfb/internal/assay"
 	"dmfb/internal/core"
 	"dmfb/internal/faultsim"
@@ -46,6 +48,7 @@ import (
 	"dmfb/internal/router"
 	"dmfb/internal/schedule"
 	"dmfb/internal/sim"
+	"dmfb/internal/telemetry"
 	"dmfb/internal/testdrop"
 )
 
@@ -444,3 +447,39 @@ func AnalyzeConcentrations(g *Assay) (*CompositionResult, error) {
 
 // Round4 rounds to four decimals, the paper's FTI reporting precision.
 func Round4(v float64) float64 { return math.Round(v*1e4) / 1e4 }
+
+// Observability. The telemetry layer is optional everywhere: nil
+// tracers and registries are valid disabled sinks, so callers only
+// pay a nil check when these are off.
+type (
+	// Tracer emits structured JSONL trace records (spans and events).
+	Tracer = telemetry.Tracer
+	// TraceFields is the free-form payload of a trace record.
+	TraceFields = telemetry.Fields
+	// MetricsRegistry holds named counters, gauges and histograms,
+	// safe for concurrent use.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a JSON-marshalable capture of a registry.
+	MetricsSnapshot = telemetry.Snapshot
+	// AnnealObserver receives progress callbacks from the annealing
+	// placers (one per temperature level plus best-cost improvements);
+	// set it on PlacerOptions.Observer.
+	AnnealObserver = anneal.Observer
+	// AnnealProgress is the payload of an AnnealObserver callback.
+	AnnealProgress = anneal.Progress
+)
+
+// NewTracer returns a Tracer writing JSONL records to w; timestamps
+// are monotonic microseconds since this call.
+func NewTracer(w io.Writer) *Tracer { return telemetry.New(w) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// ObserveAnneal adapts telemetry sinks into an AnnealObserver: each
+// temperature level becomes an "anneal.level" span and updates the
+// anneal.* metrics, tagged with the given stage name. Either sink may
+// be nil; with both nil the returned observer is nil (zero overhead).
+func ObserveAnneal(tr *Tracer, reg *MetricsRegistry, stage string) AnnealObserver {
+	return telemetry.AnnealObserver(tr, reg, stage)
+}

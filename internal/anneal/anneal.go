@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 )
 
 // Schedule holds the annealing parameters. The defaults mirror the
@@ -54,6 +55,11 @@ type Level struct {
 	Improved int     // accepted moves with ΔC < 0
 	BestCost float64 // best cost seen so far (global)
 	CurCost  float64 // cost of current state at level end
+	// Duration is the wall-clock time Run spent on this level, so
+	// convergence-versus-time plots (paper Fig. 5/6 style) need no
+	// external timing. Zero while a level is still in progress (as
+	// seen by ProgressNewBest observer notifications).
+	Duration time.Duration
 }
 
 // AcceptRate returns the fraction of proposals accepted at this level.
@@ -73,7 +79,36 @@ type Result[S any] struct {
 	Evaluations int
 }
 
-// Problem bundles the three callbacks that define an annealing run.
+// ProgressKind distinguishes Observer notifications.
+type ProgressKind int
+
+const (
+	// ProgressLevel reports a completed temperature level; Level is
+	// final, including its Duration.
+	ProgressLevel ProgressKind = iota
+	// ProgressNewBest reports a strict improvement of the global best
+	// cost, observed from inside the inner loop; Level is a snapshot
+	// of the current level so far (Duration still zero).
+	ProgressNewBest
+)
+
+// Progress is one Observer notification.
+type Progress struct {
+	Kind        ProgressKind
+	Level       Level
+	BestCost    float64
+	Evaluations int // cost evaluations so far, including the initial state
+}
+
+// Observer receives progress notifications during Run: one
+// ProgressLevel per temperature level and one ProgressNewBest per
+// strict best-cost improvement. It runs synchronously on the
+// annealing goroutine, so implementations must be fast; a nil
+// Observer costs a single nil check per event site and allocates
+// nothing.
+type Observer func(Progress)
+
+// Problem bundles the callbacks that define an annealing run.
 type Problem[S any] struct {
 	// Cost evaluates a state. Lower is better.
 	Cost func(S) float64
@@ -84,6 +119,10 @@ type Problem[S any] struct {
 	// returning true ends the run. This is where the paper's
 	// "controlling window reached its minimum span" criterion plugs in.
 	Stop func(l Level) bool
+	// Observer, if non-nil, receives progress notifications (per
+	// temperature level and on best-cost improvement) — the hook the
+	// telemetry layer attaches to.
+	Observer Observer
 }
 
 // Run executes simulated annealing from the initial state and returns
@@ -111,6 +150,7 @@ func Run[S any](initial S, p Problem[S], sched Schedule, rng *rand.Rand) Result[
 	T := sched.T0
 	for level := 0; level < maxLevels; level++ {
 		l := Level{Index: level, T: T}
+		levelStart := time.Now()
 		for i := 0; i < sched.Iters; i++ {
 			next := p.Neighbor(cur, T, rng)
 			nextCost := p.Cost(next)
@@ -127,12 +167,21 @@ func Run[S any](initial S, p Problem[S], sched Schedule, rng *rand.Rand) Result[
 				if curCost < bestCost {
 					best = cur
 					bestCost = curCost
+					if p.Observer != nil {
+						p.Observer(Progress{Kind: ProgressNewBest, Level: l,
+							BestCost: bestCost, Evaluations: res.Evaluations})
+					}
 				}
 			}
 		}
 		l.BestCost = bestCost
 		l.CurCost = curCost
+		l.Duration = time.Since(levelStart)
 		res.Levels = append(res.Levels, l)
+		if p.Observer != nil {
+			p.Observer(Progress{Kind: ProgressLevel, Level: l,
+				BestCost: bestCost, Evaluations: res.Evaluations})
+		}
 		if p.Stop != nil && p.Stop(l) {
 			break
 		}
@@ -151,7 +200,9 @@ func StopBelow(tMin float64) func(Level) bool {
 
 // StopFrozen returns a stop criterion that fires after `patience`
 // consecutive levels without any accepted move — the configuration is
-// frozen.
+// frozen. The returned closure is stateful: it assumes it is called
+// exactly once per level, in order, and must not be shared between
+// runs (build a fresh one per Run).
 func StopFrozen(patience int) func(Level) bool {
 	quiet := 0
 	return func(l Level) bool {
@@ -164,8 +215,16 @@ func StopFrozen(patience int) func(Level) bool {
 	}
 }
 
-// StopAny combines criteria; it fires when any of them fires. Each
-// criterion is always evaluated, so stateful criteria keep counting.
+// StopAny combines criteria; it fires when any of them fires.
+//
+// Stateful criteria (StopFrozen, the placers' controlling-window
+// rule) count calls: they assume exactly one evaluation per
+// temperature level. StopAny therefore deliberately does NOT
+// short-circuit — every criterion is evaluated on every call, even
+// after an earlier one has fired, so each criterion sees every level
+// exactly once and keeps counting correctly. Like the criteria it
+// wraps, the combined closure is single-use: build a fresh StopAny
+// (with fresh constituent criteria) for each Run.
 func StopAny(stops ...func(Level) bool) func(Level) bool {
 	return func(l Level) bool {
 		fire := false

@@ -139,6 +139,14 @@ type Options struct {
 	// the window must sit at its minimum span before annealing stops —
 	// the paper's stopping criterion.
 	WindowPatience int
+
+	// Observer, if non-nil, receives annealing progress notifications
+	// (per temperature level and on best-cost improvement) from every
+	// annealing run these options configure. Wire telemetry through it
+	// with telemetry.AnnealObserver. With parallel restarts
+	// (AnnealAreaBestOf) the observer is shared across goroutines and
+	// must be safe for concurrent use.
+	Observer anneal.Observer
 }
 
 func (o Options) withDefaults(nm int) Options {
@@ -396,7 +404,8 @@ func AnnealArea(prob Problem, opts Options) (*place.Placement, Stats, error) {
 		Neighbor: func(cur *place.Placement, T float64, rng *rand.Rand) *place.Placement {
 			return neighbor(cur, prob, o, T, rng, false)
 		},
-		Stop: windowStop(o, span, o.WindowPatience),
+		Stop:     windowStop(o, span, o.WindowPatience),
+		Observer: o.Observer,
 	}
 	sched := anneal.Schedule{T0: o.T0, Alpha: o.Alpha, Iters: o.ItersPerModule * len(prob.Modules)}
 	res := anneal.Run(initialPlacement(prob), problem, sched, rng)
@@ -566,6 +575,7 @@ func AnnealFaultTolerance(start *place.Placement, prob Problem, opts Options, ft
 				windowStop(o, span, o.WindowPatience),
 				anneal.StopBelow(o.Alpha/1000*f.T0),
 			),
+			Observer: o.Observer,
 		}
 		res := anneal.Run(start.Clone(), problem, sched, rng)
 		stats.Levels += len(res.Levels)

@@ -115,6 +115,32 @@ func (p *Placement) BoundingBox() geom.Rect {
 // metric of the paper (reported in mm² via modlib.AreaMM2).
 func (p *Placement) ArrayCells() int { return p.BoundingBox().Cells() }
 
+// CoveredCells returns the number of array cells covered by at least
+// one module at some time during the assay.
+func (p *Placement) CoveredCells() int {
+	bb := p.BoundingBox()
+	if bb.Empty() {
+		return 0
+	}
+	g := grid.New(bb.W, bb.H)
+	for i := range p.Modules {
+		g.SetRect(p.Rect(i).Translate(-bb.X, -bb.Y), true)
+	}
+	return g.CountOccupied()
+}
+
+// Utilization returns CoveredCells/ArrayCells: the fraction of the
+// fabricated array ever claimed by a module. The remainder is spare
+// area, useful only as relocation headroom for reconfiguration — a
+// key quantity for the telemetry layer's placement-quality gauges.
+func (p *Placement) Utilization() float64 {
+	cells := p.ArrayCells()
+	if cells == 0 {
+		return 0
+	}
+	return float64(p.CoveredCells()) / float64(cells)
+}
+
 // OverlapCells returns the total number of doubly-claimed cells over
 // all time-conflicting module pairs: the forbidden-overlap penalty
 // term of the annealer's cost function. Zero means feasible.

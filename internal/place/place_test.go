@@ -284,3 +284,49 @@ func TestNormalizeIdempotentQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCoveredCellsAndUtilization(t *testing.T) {
+	// Two 2x2 modules side by side inside a 4x2 bounding box: full
+	// coverage.
+	mods := []Module{
+		{ID: 0, Size: geom.Size{W: 2, H: 2}, Span: geom.Interval{Start: 0, End: 2}},
+		{ID: 1, Size: geom.Size{W: 2, H: 2}, Span: geom.Interval{Start: 0, End: 2}},
+	}
+	p := New(mods)
+	p.Pos[1] = geom.Point{X: 2, Y: 0}
+	if got := p.CoveredCells(); got != 8 {
+		t.Errorf("CoveredCells = %d, want 8", got)
+	}
+	if got := p.Utilization(); got != 1 {
+		t.Errorf("Utilization = %v, want 1", got)
+	}
+
+	// Spread the second module out: bounding box 6x2 = 12 cells, 8
+	// covered.
+	p.Pos[1] = geom.Point{X: 4, Y: 0}
+	if got := p.CoveredCells(); got != 8 {
+		t.Errorf("CoveredCells = %d, want 8", got)
+	}
+	if got, want := p.Utilization(), 8.0/12.0; got != want {
+		t.Errorf("Utilization = %v, want %v", got, want)
+	}
+
+	// Time-disjoint overlap counts each cell once.
+	disjoint := []Module{
+		{ID: 0, Size: geom.Size{W: 2, H: 2}, Span: geom.Interval{Start: 0, End: 1}},
+		{ID: 1, Size: geom.Size{W: 2, H: 2}, Span: geom.Interval{Start: 1, End: 2}},
+	}
+	q := New(disjoint)
+	if got := q.CoveredCells(); got != 4 {
+		t.Errorf("stacked CoveredCells = %d, want 4", got)
+	}
+	if got := q.Utilization(); got != 1 {
+		t.Errorf("stacked Utilization = %v, want 1", got)
+	}
+
+	empty := New(nil)
+	if empty.CoveredCells() != 0 || empty.Utilization() != 0 {
+		t.Errorf("empty placement: covered %d, utilization %v",
+			empty.CoveredCells(), empty.Utilization())
+	}
+}

@@ -10,11 +10,25 @@ package reconfig
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"dmfb/internal/emptyrect"
 	"dmfb/internal/geom"
 	"dmfb/internal/place"
+	"dmfb/internal/telemetry"
 )
+
+// instr is the package-level metrics hook. Reconfiguration planning
+// is invoked deep inside the simulator and the fault-injection
+// campaigns, with no options struct to thread a registry through, so
+// the hook is process-wide; the disabled cost is one atomic load.
+var instr atomic.Pointer[telemetry.Registry]
+
+// Instrument directs reconfiguration metrics (reconfig.plan_ms,
+// reconfig.relocations, reconfig.plan_failures, reconfig.applies) to
+// reg; nil disables them.
+func Instrument(reg *telemetry.Registry) { instr.Store(reg) }
 
 // Relocation describes one successful partial reconfiguration.
 type Relocation struct {
@@ -68,6 +82,11 @@ func Plan(p *place.Placement, array geom.Rect, fault geom.Point) ([]Relocation, 
 // as occupied when searching for a site. The placement is not
 // modified.
 func PlanModule(p *place.Placement, array geom.Rect, mi int, fault geom.Point, obstacles ...geom.Point) (Relocation, error) {
+	reg := instr.Load()
+	var start time.Time
+	if reg != nil {
+		start = time.Now()
+	}
 	if mi < 0 || mi >= len(p.Modules) {
 		return Relocation{}, fmt.Errorf("reconfig: unknown module %d", mi)
 	}
@@ -79,6 +98,15 @@ func PlanModule(p *place.Placement, array geom.Rect, mi int, fault geom.Point, o
 	mers := emptyrect.Maximal(g)
 	local := geom.Point{X: fault.X - array.X, Y: fault.Y - array.Y}
 	to, ok := emptyrect.BestFitAvoiding(mers, m.Size, local)
+	if reg != nil {
+		reg.Histogram("reconfig.plan_ms", telemetry.LatencyBuckets...).
+			Observe(float64(time.Since(start).Microseconds()) / 1000)
+		if ok {
+			reg.Counter("reconfig.relocations").Inc()
+		} else {
+			reg.Counter("reconfig.plan_failures").Inc()
+		}
+	}
 	if !ok {
 		return Relocation{}, fmt.Errorf(
 			"reconfig: module %s (%v) cannot be relocated for fault at %v: no accommodating empty rectangle",
@@ -120,6 +148,9 @@ func Apply(p *place.Placement, rels []Relocation) error {
 	}
 	copy(p.Pos, next.Pos)
 	copy(p.Rot, next.Rot)
+	if reg := instr.Load(); reg != nil {
+		reg.Counter("reconfig.applies").Add(int64(len(rels)))
+	}
 	return nil
 }
 

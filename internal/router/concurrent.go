@@ -3,9 +3,11 @@ package router
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"dmfb/internal/fluidics"
 	"dmfb/internal/geom"
+	"dmfb/internal/telemetry"
 )
 
 // Concurrent droplet routing: several droplets move simultaneously,
@@ -34,6 +36,10 @@ type ConcurrentOptions struct {
 	// MaxOrders bounds how many priority orders are attempted
 	// (default: one per droplet).
 	MaxOrders int
+	// Metrics, if non-nil, receives router.plan_ms, router.path_len
+	// and router.plan_orders observations for this planning call. The
+	// registry is safe for use from concurrent planners.
+	Metrics *telemetry.Registry
 }
 
 // ConcurrentPlan is a synchronised trajectory set: Paths[i][t] is
@@ -117,14 +123,33 @@ func PlanConcurrent(chip *fluidics.Chip, eps []Endpoint, opts ConcurrentOptions)
 		return base[a] < base[b]
 	})
 
+	planStart := time.Now()
 	var lastErr error
 	for rot := 0; rot < maxOrders; rot++ {
 		order := append(base[rot:], base[:rot]...)
 		plan, err := planInOrder(chip, eps, order, horizon, opts.KeepOut)
 		if err == nil {
+			if reg := opts.Metrics; reg != nil {
+				reg.Histogram("router.plan_ms", telemetry.LatencyBuckets...).
+					Observe(float64(time.Since(planStart).Microseconds()) / 1000)
+				reg.Counter("router.plan_orders").Add(int64(rot + 1))
+				h := reg.Histogram("router.path_len", telemetry.PathLenBuckets...)
+				for _, path := range plan.Paths {
+					moves := 0
+					for t := 1; t < len(path); t++ {
+						if path[t] != path[t-1] {
+							moves++
+						}
+					}
+					h.Observe(float64(moves))
+				}
+			}
 			return plan, nil
 		}
 		lastErr = err
+	}
+	if reg := opts.Metrics; reg != nil {
+		reg.Counter("router.plan_failures").Inc()
 	}
 	return nil, fmt.Errorf("router: concurrent planning failed after %d orders: %w", maxOrders, lastErr)
 }

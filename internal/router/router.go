@@ -17,6 +17,7 @@ import (
 
 	"dmfb/internal/fluidics"
 	"dmfb/internal/geom"
+	"dmfb/internal/telemetry"
 )
 
 // Request describes one routing query.
@@ -38,6 +39,21 @@ type Request struct {
 // or an error when no path exists. The path's first element is From
 // and its last is To; consecutive elements are orthogonally adjacent.
 func Route(chip *fluidics.Chip, req Request) ([]geom.Point, error) {
+	path, err := routeBFS(chip, req)
+	if reg := instrumented(); reg != nil {
+		if err != nil {
+			reg.Counter("router.route_failures").Inc()
+		} else {
+			reg.Counter("router.routes").Inc()
+			reg.Histogram("router.path_len", telemetry.PathLenBuckets...).
+				Observe(float64(Steps(path)))
+		}
+	}
+	return path, err
+}
+
+// routeBFS is the uninstrumented breadth-first search behind Route.
+func routeBFS(chip *fluidics.Chip, req Request) ([]geom.Point, error) {
 	w, h := chip.W(), chip.H()
 	if !chip.In(req.From) || !chip.In(req.To) {
 		return nil, fmt.Errorf("router: endpoints %v -> %v outside %dx%d array",

@@ -1,0 +1,21 @@
+package router
+
+import (
+	"sync/atomic"
+
+	"dmfb/internal/telemetry"
+)
+
+// instr is the package-level metrics hook for the single-droplet
+// Route path. Route is called deep inside the simulator and the
+// Monte-Carlo fault campaigns, far from any options struct, so the
+// hook is process-wide; an atomic pointer keeps the disabled cost at
+// one load + nil check and makes enabling race-free.
+var instr atomic.Pointer[telemetry.Registry]
+
+// Instrument directs Route metrics (router.routes,
+// router.route_failures, router.path_len) to reg; nil disables them.
+// The registry itself is safe for concurrent use.
+func Instrument(reg *telemetry.Registry) { instr.Store(reg) }
+
+func instrumented() *telemetry.Registry { return instr.Load() }

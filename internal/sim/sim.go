@@ -27,6 +27,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"dmfb/internal/assay"
 	"dmfb/internal/fluidics"
@@ -35,6 +36,7 @@ import (
 	"dmfb/internal/reconfig"
 	"dmfb/internal/router"
 	"dmfb/internal/schedule"
+	"dmfb/internal/telemetry"
 )
 
 // Options configures a simulation run.
@@ -46,6 +48,14 @@ type Options struct {
 	// otherwise only milestones (op start/end, fault, reconfiguration)
 	// are logged.
 	Trace bool
+	// Telemetry, when non-nil, mirrors every Event as a structured
+	// "sim.<kind>" trace record and wraps the run in a "sim.run" span.
+	// The Events slice in Result is unchanged either way.
+	Telemetry *telemetry.Tracer
+	// Metrics, when non-nil, receives sim.* metrics: event counts,
+	// transport totals, droplet route lengths and the latency of
+	// partial reconfiguration (sim.reconfig_latency_ms).
+	Metrics *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -127,6 +137,17 @@ func Run(s *schedule.Schedule, p *place.Placement, opts Options, faults ...Fault
 		inModule: make(map[int]int),
 		res:      &Result{},
 	}
+	span := o.Telemetry.Start("sim.run")
+	defer func() {
+		span.End(telemetry.Fields{
+			"completed":       sim.res.Completed,
+			"makespan_sec":    sim.res.MakespanSec,
+			"transport_steps": sim.res.TransportSteps,
+			"relocations":     len(sim.res.Relocations),
+		})
+		o.Metrics.Gauge("sim.transport_steps").Set(float64(sim.res.TransportSteps))
+		o.Metrics.Gauge("sim.transport_ms").Set(float64(sim.res.TransportMS))
+	}()
 	if err := sim.setup(p); err != nil {
 		return sim.fail(0, err.Error())
 	}
@@ -258,8 +279,10 @@ func (sim *simulator) otherDroplets(except ...int) []geom.Point {
 }
 
 func (sim *simulator) log(t int, kind, format string, args ...any) {
-	sim.res.Events = append(sim.res.Events, Event{TimeSec: t, Kind: kind,
-		Detail: fmt.Sprintf(format, args...)})
+	detail := fmt.Sprintf(format, args...)
+	sim.res.Events = append(sim.res.Events, Event{TimeSec: t, Kind: kind, Detail: detail})
+	sim.opts.Telemetry.Event("sim."+kind, telemetry.Fields{"t_sec": t, "detail": detail})
+	sim.opts.Metrics.Counter("sim.events").Inc()
 }
 
 func (sim *simulator) trace(t int, kind, format string, args ...any) {
@@ -347,6 +370,7 @@ func (sim *simulator) injectFault(t int, cell geom.Point) error {
 		if it.Span.End <= t || !sim.placement.Rect(i).Contains(pc) {
 			continue
 		}
+		reconfigStart := time.Now()
 		rel, err := reconfig.PlanModule(sim.placement, sim.array, i, pc, obstacles...)
 		if err != nil {
 			return fmt.Errorf("partial reconfiguration failed for %s: %v", it.Op.Name, err)
@@ -355,6 +379,8 @@ func (sim *simulator) injectFault(t int, cell geom.Point) error {
 		if err := reconfig.Apply(sim.placement, []reconfig.Relocation{rel}); err != nil {
 			return fmt.Errorf("applying relocation of %s: %v", it.Op.Name, err)
 		}
+		sim.opts.Metrics.Histogram("sim.reconfig_latency_ms", telemetry.LatencyBuckets...).
+			Observe(float64(time.Since(reconfigStart).Microseconds()) / 1000)
 		sim.res.Relocations = append(sim.res.Relocations, rel)
 		sim.log(t, "reconfig", "module %s relocated %v -> %v", it.Op.Name, rel.From, rel.To)
 		// If the op is running right now, clear the new site of
@@ -531,6 +557,8 @@ func (sim *simulator) routeDroplet(t, id int, target geom.Point, ownOp int) erro
 	if err := sim.state.FollowPath(id, path); err != nil {
 		return err
 	}
+	sim.opts.Metrics.Histogram("sim.route_steps", telemetry.PathLenBuckets...).
+		Observe(float64(router.Steps(path)))
 	sim.trace(t, "route", "droplet %d %v -> %v (%d steps)", id, path[0], target, router.Steps(path))
 	return nil
 }

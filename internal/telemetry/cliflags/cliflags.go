@@ -1,0 +1,177 @@
+// Package cliflags provides the shared observability command-line
+// surface of the dmfb tools. Every binary under cmd/ registers the
+// same three flags:
+//
+//	-trace=<file>    structured JSONL trace (see telemetry package doc)
+//	-metrics=<file>  JSON metrics snapshot written on exit
+//	-profile=<dir>   CPU + heap pprof profiles written on exit
+//
+// Usage:
+//
+//	cfg := cliflags.Register()
+//	flag.Parse()
+//	ts, err := cfg.Start("dmfb-place")
+//	if err != nil { ... }
+//	defer ts.Close()
+//
+// All Session fields are nil-safe: when a flag is absent the
+// corresponding sink is nil and instrumented code pays only a nil
+// check.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmfb/internal/reconfig"
+	"dmfb/internal/router"
+	"dmfb/internal/telemetry"
+)
+
+// Config holds the parsed flag values.
+type Config struct {
+	TracePath   string
+	MetricsPath string
+	ProfileDir  string
+}
+
+// Register installs -trace, -metrics and -profile on the default
+// flag set. Call before flag.Parse.
+func Register() *Config {
+	return RegisterOn(flag.CommandLine)
+}
+
+// RegisterOn installs the observability flags on an explicit flag set.
+func RegisterOn(fs *flag.FlagSet) *Config {
+	c := &Config{}
+	fs.StringVar(&c.TracePath, "trace", "", "write a structured JSONL trace to `file`")
+	fs.StringVar(&c.MetricsPath, "metrics", "", "write a JSON metrics snapshot to `file` on exit")
+	fs.StringVar(&c.ProfileDir, "profile", "", "write cpu.pprof and heap.pprof to `dir` on exit")
+	return c
+}
+
+// Session is the live observability state of one tool invocation.
+type Session struct {
+	Tracer  *telemetry.Tracer
+	Metrics *telemetry.Registry
+
+	tool        string
+	root        telemetry.Span
+	traceFile   *os.File
+	metricsPath string
+	profiler    *telemetry.Profiler
+}
+
+// Start opens the sinks requested by the parsed flags. It returns a
+// Session whose Tracer/Metrics are nil when the corresponding flag was
+// not given; Start with no flags set returns a fully inert Session,
+// so callers never need to branch. On success the process-wide
+// router/reconfig hooks are pointed at the session registry.
+func (c *Config) Start(tool string) (*Session, error) {
+	s := &Session{tool: tool, metricsPath: c.MetricsPath}
+	if c.TracePath != "" {
+		f, err := os.Create(c.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: open trace file: %w", err)
+		}
+		s.traceFile = f
+		s.Tracer = telemetry.New(f)
+	}
+	if c.MetricsPath != "" {
+		s.Metrics = telemetry.NewRegistry()
+	}
+	if c.ProfileDir != "" {
+		p, err := telemetry.StartProfiles(c.ProfileDir)
+		if err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+		s.profiler = p
+	}
+	router.Instrument(s.Metrics)
+	reconfig.Instrument(s.Metrics)
+	s.Tracer.Event("tool.start", telemetry.Fields{"tool": tool})
+	s.root = s.Tracer.Start("tool.run")
+	return s, nil
+}
+
+// Stage wraps a pipeline stage: it measures wall and CPU time,
+// emits a "stage.<name>" span and observes a "stage.<name>_ms"
+// histogram. Call the returned function when the stage completes.
+func (s *Session) Stage(name string) func() {
+	if s == nil {
+		return func() {}
+	}
+	clock := telemetry.StartStage(name)
+	span := s.Tracer.Start("stage." + name)
+	return func() {
+		st := clock.Stop()
+		span.End(telemetry.Fields{
+			"tool":   s.tool,
+			"cpu_us": st.CPU.Microseconds(),
+		})
+		s.Metrics.Histogram("stage."+name+"_ms", telemetry.LatencyBuckets...).
+			Observe(float64(st.Wall.Microseconds()) / 1000)
+	}
+}
+
+// Close ends the root span, flushes the metrics snapshot, stops the
+// profiler and closes the trace file. It reports the first error
+// encountered (including any deferred trace-write error) and is safe
+// to call on a nil or inert Session.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.root.End(nil)
+	var first error
+	if s.Metrics != nil && s.metricsPath != "" {
+		if err := s.writeMetrics(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.profiler != nil {
+		if err := s.profiler.Stop(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.Tracer != nil {
+		if err := s.Tracer.Err(); err != nil && first == nil {
+			first = fmt.Errorf("telemetry: trace write: %w", err)
+		}
+	}
+	if err := s.closeFiles(); err != nil && first == nil {
+		first = err
+	}
+	router.Instrument(nil)
+	reconfig.Instrument(nil)
+	return first
+}
+
+// writeMetrics renders the registry snapshot, augmented with span
+// duration summaries when a tracer is active, to the -metrics file.
+func (s *Session) writeMetrics() error {
+	f, err := os.Create(s.metricsPath)
+	if err != nil {
+		return fmt.Errorf("telemetry: open metrics file: %w", err)
+	}
+	defer f.Close()
+	snap := s.Metrics.Snapshot()
+	if s.Tracer != nil {
+		snap.Spans = s.Tracer.Summaries()
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		return fmt.Errorf("telemetry: write metrics: %w", err)
+	}
+	return f.Close()
+}
+
+func (s *Session) closeFiles() error {
+	if s.traceFile == nil {
+		return nil
+	}
+	err := s.traceFile.Close()
+	s.traceFile = nil
+	return err
+}

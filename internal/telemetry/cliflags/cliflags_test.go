@@ -1,0 +1,147 @@
+package cliflags
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegisterOnAndStartInert(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg := RegisterOn(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := cfg.Start("tool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Tracer != nil || ts.Metrics != nil {
+		t.Error("inert session has live sinks")
+	}
+	done := ts.Stage("noop") // must not panic with nil sinks
+	done()
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionWritesTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.json")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg := RegisterOn(fs)
+	if err := fs.Parse([]string{"-trace", tracePath, "-metrics", metricsPath}); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := cfg.Start("dmfb-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Tracer == nil || ts.Metrics == nil {
+		t.Fatal("sinks not opened")
+	}
+	ts.Metrics.Counter("work.items").Add(3)
+	done := ts.Stage("work")
+	time.Sleep(time.Millisecond)
+	done()
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("invalid trace line %q: %v", line, err)
+		}
+	}
+	text := string(raw)
+	for _, want := range []string{`"tool.start"`, `"stage.work"`, `"tool.run"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace missing %s:\n%s", want, text)
+		}
+	}
+
+	mraw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters   map[string]int64          `json:"counters"`
+		Histograms map[string]map[string]any `json:"histograms"`
+		Spans      map[string]any            `json:"spans"`
+	}
+	if err := json.Unmarshal(mraw, &snap); err != nil {
+		t.Fatalf("invalid metrics JSON: %v\n%s", err, mraw)
+	}
+	if snap.Counters["work.items"] != 3 {
+		t.Errorf("work.items = %d, want 3", snap.Counters["work.items"])
+	}
+	if _, ok := snap.Histograms["stage.work_ms"]; !ok {
+		t.Errorf("no stage.work_ms histogram: %s", mraw)
+	}
+	if _, ok := snap.Spans["stage.work"]; !ok {
+		t.Errorf("no stage.work span summary: %s", mraw)
+	}
+}
+
+func TestSessionProfileCapture(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg := RegisterOn(fs)
+	if err := fs.Parse([]string{"-profile", filepath.Join(dir, "prof")}); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := cfg.Start("tool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(dir, "prof", name))
+		if err != nil {
+			t.Errorf("%s not written: %v", name, err)
+		} else if fi.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestStartFailsOnBadTracePath(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg := RegisterOn(fs)
+	bad := filepath.Join(t.TempDir(), "missing-dir", "trace.jsonl")
+	if err := fs.Parse([]string{"-trace", bad}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cfg.Start("tool"); err == nil {
+		t.Error("Start succeeded with an uncreatable trace path")
+	}
+}
+
+func TestNilSessionSafe(t *testing.T) {
+	var ts *Session
+	ts.Stage("x")()
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package telemetry
+
+import "time"
+
+// processCPUTime is unsupported on this platform; stage CPU timings
+// read as zero.
+func processCPUTime() time.Duration { return 0 }

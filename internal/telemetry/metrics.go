@@ -1,0 +1,314 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dmfb/internal/stats"
+)
+
+// Registry holds named metrics. All methods are safe for concurrent
+// use, including metric creation; Counter/Gauge/Histogram return the
+// same instrument for the same name. A nil *Registry is a valid
+// disabled registry: lookups return nil instruments whose methods
+// no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (LatencyBuckets when none are
+// given). Bounds must be sorted ascending; an implicit +Inf bucket
+// catches the overflow. Later calls ignore the bounds argument.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value float metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last value set (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution metric: counts per bucket
+// plus running count, sum, min and max. Observe is lock-free.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets
+	}
+	bounds = append([]float64(nil), bounds...)
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("telemetry: histogram bounds not sorted: %v", bounds))
+	}
+	h := &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one sample. Bucket i counts samples v <= bounds[i];
+// samples above every bound land in the implicit +Inf bucket.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Standard bucket layouts.
+var (
+	// LatencyBuckets covers sub-millisecond to tens of seconds, for
+	// *_ms histograms.
+	LatencyBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+	// PathLenBuckets covers droplet path lengths in cells.
+	PathLenBuckets = []float64{1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128}
+)
+
+// ExpBuckets returns n upper bounds start, start*factor, ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("telemetry: invalid ExpBuckets(%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// BucketCount is one histogram bucket in a snapshot.
+type BucketCount struct {
+	LE float64 `json:"le"` // upper bound; +Inf encoded as "inf"
+	N  int64   `json:"n"`
+}
+
+// MarshalJSON encodes the +Inf bound as the string "inf" (JSON has no
+// infinity literal).
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		LE any   `json:"le"`
+		N  int64 `json:"n"`
+	}
+	a := alias{LE: b.LE, N: b.N}
+	if math.IsInf(b.LE, 1) {
+		a.LE = "inf"
+	}
+	return json.Marshal(a)
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Mean    float64       `json:"mean"`
+	Min     float64       `json:"min"`
+	Max     float64       `json:"max"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of every metric, JSON-marshalable.
+// Spans is optionally filled in by the caller from Tracer.Summaries.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      map[string]stats.Summary     `json:"spans,omitempty"`
+}
+
+// WriteJSON writes the snapshot as indented JSON followed by a
+// newline.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Snapshot captures every metric. Concurrent writers may race with
+// the capture; each individual value is read atomically.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+			if hs.Count > 0 {
+				hs.Mean = hs.Sum / float64(hs.Count)
+				hs.Min = math.Float64frombits(h.minBits.Load())
+				hs.Max = math.Float64frombits(h.maxBits.Load())
+			}
+			for i := range h.buckets {
+				le := math.Inf(1)
+				if i < len(h.bounds) {
+					le = h.bounds[i]
+				}
+				hs.Buckets = append(hs.Buckets, BucketCount{LE: le, N: h.buckets[i].Load()})
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// WriteJSON writes an indented JSON snapshot of the registry. A nil
+// registry writes an empty object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}

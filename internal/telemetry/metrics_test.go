@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("x") != c {
+		t.Error("same name returned a different counter")
+	}
+	g := r.Gauge("y")
+	g.Set(2.5)
+	g.Set(-1)
+	if g.Value() != -1 {
+		t.Errorf("gauge = %v, want -1", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 1, 10, 100)
+	for _, v := range []float64{0.5, 1, 5, 10, 99, 100, 101, 1e9} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot().Histograms["lat"]
+	if snap.Count != 8 {
+		t.Fatalf("count = %d, want 8", snap.Count)
+	}
+	// le semantics: bucket i counts v <= bounds[i] (and > bounds[i-1]).
+	wantN := []int64{2, 2, 2, 2} // [<=1, <=10, <=100, +Inf]
+	for i, b := range snap.Buckets {
+		if b.N != wantN[i] {
+			t.Errorf("bucket %d (le %v) = %d, want %d", i, b.LE, b.N, wantN[i])
+		}
+	}
+	if snap.Min != 0.5 || snap.Max != 1e9 {
+		t.Errorf("min/max = %v/%v, want 0.5/1e9", snap.Min, snap.Max)
+	}
+	if want := (0.5 + 1 + 5 + 10 + 99 + 100 + 101 + 1e9) / 8; snap.Mean != want {
+		t.Errorf("mean = %v, want %v", snap.Mean, want)
+	}
+}
+
+func TestHistogramDefaultsAndPanics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("default")
+	h.Observe(1)
+	if got := len(r.Snapshot().Histograms["default"].Buckets); got != len(LatencyBuckets)+1 {
+		t.Errorf("default buckets = %d, want %d", got, len(LatencyBuckets)+1)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted bounds did not panic")
+		}
+	}()
+	r.Histogram("bad", 10, 1)
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNilRegistryAndInstrumentsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(1)
+	r.Histogram("c", 1, 2).Observe(5)
+	if v := r.Counter("a").Value(); v != 0 {
+		t.Errorf("nil counter value = %d", v)
+	}
+	if v := r.Gauge("b").Value(); v != 0 {
+		t.Errorf("nil gauge value = %v", v)
+	}
+	if v := r.Histogram("c").Count(); v != 0 {
+		t.Errorf("nil histogram count = %d", v)
+	}
+	snap := r.Snapshot()
+	if snap.Counters != nil || snap.Gauges != nil || snap.Histograms != nil {
+		t.Error("nil registry snapshot not empty")
+	}
+	var buf strings.Builder
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "{}" {
+		t.Errorf("nil registry JSON = %q, want {}", buf.String())
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	r.Gauge("rate").Set(0.25)
+	r.Histogram("ms", 1, 10).Observe(5)
+
+	var buf strings.Builder
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]float64
+		Histograms map[string]struct {
+			Count   int64
+			Buckets []struct {
+				LE any `json:"le"`
+				N  int64
+			}
+		}
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.Counters["hits"] != 3 || decoded.Gauges["rate"] != 0.25 {
+		t.Errorf("decoded %+v", decoded)
+	}
+	h := decoded.Histograms["ms"]
+	if h.Count != 1 {
+		t.Errorf("histogram count = %d", h.Count)
+	}
+	// The +Inf bucket must encode as the string "inf" (JSON has no
+	// infinity literal).
+	last := h.Buckets[len(h.Buckets)-1]
+	if last.LE != "inf" {
+		t.Errorf(`+Inf bucket le = %v (%T), want "inf"`, last.LE, last.LE)
+	}
+}
+
+func TestBucketCountMarshalFinite(t *testing.T) {
+	b, err := json.Marshal(BucketCount{LE: 2.5, N: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"le":2.5,"n":7}` {
+		t.Errorf("marshal = %s", b)
+	}
+	if _, err := json.Marshal(BucketCount{LE: math.Inf(1), N: 0}); err != nil {
+		t.Fatalf("+Inf bucket failed to marshal: %v", err)
+	}
+}

@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"dmfb/internal/anneal"
+)
+
+// AnnealObserver adapts the tracer and metrics registry to the
+// annealing engine's Observer hook. Per completed temperature level
+// it emits one "anneal.level" span (duration = the level's wall time)
+// and updates the anneal.* metrics; per best-cost improvement it
+// emits an "anneal.best" event. stage tags the records so concurrent
+// or staged runs (area annealing vs. LTSA refinement) stay
+// distinguishable. Returns nil — the engine's fully disabled fast
+// path — when both sinks are nil.
+func AnnealObserver(tr *Tracer, reg *Registry, stage string) anneal.Observer {
+	if tr == nil && reg == nil {
+		return nil
+	}
+	return func(p anneal.Progress) {
+		switch p.Kind {
+		case anneal.ProgressLevel:
+			l := p.Level
+			tr.EmitSpan("anneal.level", l.Duration, Fields{
+				"stage":     stage,
+				"level":     l.Index,
+				"T":         l.T,
+				"proposed":  l.Proposed,
+				"accepted":  l.Accepted,
+				"improved":  l.Improved,
+				"best_cost": l.BestCost,
+				"cur_cost":  l.CurCost,
+			})
+			reg.Counter("anneal.levels").Inc()
+			reg.Counter("anneal.proposed").Add(int64(l.Proposed))
+			reg.Counter("anneal.accepted").Add(int64(l.Accepted))
+			reg.Gauge("anneal.accept_rate").Set(l.AcceptRate())
+			reg.Gauge("anneal.best_cost").Set(p.BestCost)
+			reg.Histogram("anneal.level_ms", LatencyBuckets...).
+				Observe(float64(l.Duration.Microseconds()) / 1000)
+		case anneal.ProgressNewBest:
+			tr.Event("anneal.best", Fields{
+				"stage":       stage,
+				"level":       p.Level.Index,
+				"T":           p.Level.T,
+				"best_cost":   p.BestCost,
+				"evaluations": p.Evaluations,
+			})
+			reg.Counter("anneal.improvements").Inc()
+			reg.Gauge("anneal.best_cost").Set(p.BestCost)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler captures CPU and heap profiles for one run. Create with
+// StartProfiles; Stop finishes both captures. A nil *Profiler is a
+// valid disabled profiler.
+type Profiler struct {
+	dir     string
+	cpuFile *os.File
+}
+
+// StartProfiles creates dir if needed and starts a CPU profile into
+// dir/cpu.pprof. Stop completes it and writes dir/heap.pprof.
+func StartProfiles(dir string) (*Profiler, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("telemetry: profile dir: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	return &Profiler{dir: dir, cpuFile: f}, nil
+}
+
+// Stop ends the CPU profile and writes a heap profile (after a GC, so
+// it reflects live objects). Safe to call on a nil Profiler.
+func (p *Profiler) Stop() error {
+	if p == nil {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	err := p.cpuFile.Close()
+	hf, herr := os.Create(filepath.Join(p.dir, "heap.pprof"))
+	if herr != nil {
+		if err == nil {
+			err = herr
+		}
+		return err
+	}
+	runtime.GC()
+	if werr := pprof.WriteHeapProfile(hf); werr != nil && err == nil {
+		err = werr
+	}
+	if cerr := hf.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Concurrent writers hammer a shared registry; run with -race. Totals
+// must be exact: every atomic update must land.
+func TestRegistryConcurrentHammering(t *testing.T) {
+	const goroutines = 16
+	const perG = 2000
+
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Metric creation races with updates on purpose.
+				r.Counter("ops").Inc()
+				r.Gauge("last").Set(float64(i))
+				r.Histogram("lat", 1, 4, 16, 64).Observe(float64(i % 100))
+				if i%64 == 0 {
+					r.Snapshot() // concurrent readers
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	const total = goroutines * perG
+	if v := r.Counter("ops").Value(); v != total {
+		t.Errorf("counter = %d, want %d", v, total)
+	}
+	h := r.Snapshot().Histograms["lat"]
+	if h.Count != total {
+		t.Errorf("histogram count = %d, want %d", h.Count, total)
+	}
+	var bucketSum int64
+	for _, b := range h.Buckets {
+		bucketSum += b.N
+	}
+	if bucketSum != total {
+		t.Errorf("bucket sum = %d, want %d", bucketSum, total)
+	}
+	// Each goroutine observes 0..99 repeatedly: min 0, max 99, and the
+	// CAS-looped sum must equal the exact arithmetic total.
+	if h.Min != 0 || h.Max != 99 {
+		t.Errorf("min/max = %v/%v, want 0/99", h.Min, h.Max)
+	}
+	perCycle := 0.0
+	for i := 0; i < 100; i++ {
+		perCycle += float64(i)
+	}
+	if want := perCycle * total / 100; h.Sum != want {
+		t.Errorf("sum = %v, want %v", h.Sum, want)
+	}
+}
+
+// Concurrent span and event emission must keep seq contiguous and one
+// record per line.
+func TestTracerConcurrentEmission(t *testing.T) {
+	var mu sync.Mutex
+	var buf strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	tr := New(w)
+
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sp := tr.Start("work")
+				tr.Event("tick", Fields{"i": i})
+				sp.End(nil)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	mu.Unlock()
+	if len(lines) != goroutines*perG*2 {
+		t.Fatalf("%d lines, want %d", len(lines), goroutines*perG*2)
+	}
+	sums := tr.Summaries()
+	if s := sums["work"]; s.N != goroutines*perG {
+		t.Errorf("work summary N = %d, want %d", s.N, goroutines*perG)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// StartStage must tolerate concurrent use and Stop must be callable
+// more than once.
+func TestStageClockConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := StartStage("stage")
+			time.Sleep(time.Millisecond)
+			st1 := c.Stop()
+			st2 := c.Stop()
+			if st1.Wall <= 0 {
+				t.Errorf("wall = %v, want > 0", st1.Wall)
+			}
+			if st2.Wall < st1.Wall {
+				t.Errorf("second Stop went backwards: %v < %v", st2.Wall, st1.Wall)
+			}
+		}()
+	}
+	wg.Wait()
+}

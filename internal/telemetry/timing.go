@@ -1,0 +1,28 @@
+package telemetry
+
+import "time"
+
+// StageTiming reports one pipeline stage's resource usage.
+type StageTiming struct {
+	Name string
+	Wall time.Duration // elapsed wall-clock time
+	CPU  time.Duration // process CPU time (user+system) consumed; 0 where unsupported
+}
+
+// StageClock measures a pipeline stage. Create with StartStage.
+type StageClock struct {
+	name string
+	wall time.Time
+	cpu  time.Duration
+}
+
+// StartStage starts measuring wall and process CPU time for a stage.
+func StartStage(name string) *StageClock {
+	return &StageClock{name: name, wall: time.Now(), cpu: processCPUTime()}
+}
+
+// Stop returns the stage's timing. It may be called multiple times;
+// each call reports the time elapsed since StartStage.
+func (c *StageClock) Stop() StageTiming {
+	return StageTiming{Name: c.name, Wall: time.Since(c.wall), CPU: processCPUTime() - c.cpu}
+}

@@ -1,0 +1,190 @@
+// Package telemetry is the stdlib-only observability layer of the
+// toolkit: a structured trace emitter (typed events and spans written
+// as JSONL to any io.Writer), a metrics registry (named counters,
+// gauges and fixed-bucket histograms, safe for concurrent use), and
+// per-stage wall/CPU timing plus pprof capture hooks.
+//
+// Every entry point is nil-safe: a nil *Tracer, *Registry, *Counter,
+// *Gauge or *Histogram turns the corresponding call into a no-op, so
+// instrumented hot paths pay a single nil check when telemetry is
+// disabled.
+//
+// Trace schema (one JSON object per line):
+//
+//		{"seq":3,"t_us":1042,"kind":"event","name":"sim.fault","fields":{...}}
+//		{"seq":4,"t_us":1042,"kind":"span","name":"anneal.level","dur_us":981,"fields":{...}}
+//
+//	  - seq    strictly increasing emission sequence number
+//	  - t_us   microseconds since the tracer was created (monotonic
+//	           clock); for spans this is the span's start time
+//	  - kind   "event" (a point in time) or "span" (a completed
+//	           duration, carrying dur_us)
+//	  - name   dotted stage.verb identifier, e.g. "anneal.level",
+//	           "sim.reconfig", "cli.run"
+//	  - fields free-form payload; keys are sorted by the JSON encoder,
+//	           so output is deterministic given deterministic inputs
+//
+// Records are ordered by seq (emission order). Because a span is
+// emitted when it ends, its t_us may precede that of an earlier line.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"dmfb/internal/stats"
+)
+
+// Fields is the free-form payload of a trace record.
+type Fields map[string]any
+
+// maxSpanSamples bounds the per-name duration samples kept for
+// Summaries, so long campaigns cannot grow memory without bound.
+const maxSpanSamples = 8192
+
+// Tracer writes structured trace records as JSONL. Create one with
+// New (or NewWithClock for deterministic tests); the zero value is not
+// usable, but a nil *Tracer is: every method no-ops.
+type Tracer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	clock func() time.Duration // monotonic time since tracer creation
+	seq   uint64
+	err   error
+	durs  map[string][]float64 // span duration samples in milliseconds
+}
+
+// New returns a Tracer emitting JSONL records to w. Timestamps are
+// microseconds since this call, taken from the monotonic clock.
+func New(w io.Writer) *Tracer {
+	start := time.Now()
+	return NewWithClock(w, func() time.Duration { return time.Since(start) })
+}
+
+// NewWithClock is New with an injectable monotonic clock, for
+// deterministic (golden-output) tests.
+func NewWithClock(w io.Writer, clock func() time.Duration) *Tracer {
+	return &Tracer{w: w, clock: clock, durs: make(map[string][]float64)}
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Err returns the first write or encoding error encountered, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// record is the wire format of one JSONL line.
+type record struct {
+	Seq    uint64 `json:"seq"`
+	TUS    int64  `json:"t_us"`
+	Kind   string `json:"kind"`
+	Name   string `json:"name"`
+	DurUS  int64  `json:"dur_us,omitempty"`
+	Fields Fields `json:"fields,omitempty"`
+}
+
+// Event emits a point-in-time record.
+func (t *Tracer) Event(name string, fields Fields) {
+	if t == nil {
+		return
+	}
+	t.emit(record{TUS: t.clock().Microseconds(), Kind: "event", Name: name, Fields: fields})
+}
+
+// EmitSpan emits a completed span retrospectively: a span of the
+// given duration ending now. Used when the caller measured the
+// duration itself (e.g. anneal.Level.Duration).
+func (t *Tracer) EmitSpan(name string, dur time.Duration, fields Fields) {
+	if t == nil {
+		return
+	}
+	end := t.clock()
+	start := end - dur
+	if start < 0 {
+		start = 0
+	}
+	t.emit(record{TUS: start.Microseconds(), Kind: "span", Name: name,
+		DurUS: dur.Microseconds(), Fields: fields})
+	t.sample(name, dur)
+}
+
+// Span is an in-flight span started by Start. The zero Span (from a
+// nil tracer) is valid and End no-ops.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Duration
+}
+
+// Start begins a span. End emits it as one "span" record.
+func (t *Tracer) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: t.clock()}
+}
+
+// End completes the span, attaching the given fields.
+func (s Span) End(fields Fields) {
+	if s.t == nil {
+		return
+	}
+	dur := s.t.clock() - s.start
+	s.t.emit(record{TUS: s.start.Microseconds(), Kind: "span", Name: s.name,
+		DurUS: dur.Microseconds(), Fields: fields})
+	s.t.sample(s.name, dur)
+}
+
+func (t *Tracer) emit(rec record) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	rec.Seq = t.seq
+	b, err := json.Marshal(rec)
+	if err != nil {
+		if t.err == nil {
+			t.err = err
+		}
+		return
+	}
+	b = append(b, '\n')
+	if _, err := t.w.Write(b); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+func (t *Tracer) sample(name string, dur time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.durs[name]) < maxSpanSamples {
+		t.durs[name] = append(t.durs[name], float64(dur)/float64(time.Millisecond))
+	}
+}
+
+// Summaries returns descriptive statistics of span durations (in
+// milliseconds) per span name, for end-of-run reporting. Only the
+// first maxSpanSamples spans per name contribute.
+func (t *Tracer) Summaries() map[string]stats.Summary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.durs) == 0 {
+		return nil
+	}
+	out := make(map[string]stats.Summary, len(t.durs))
+	for name, ds := range t.durs {
+		out[name] = stats.Describe(ds)
+	}
+	return out
+}

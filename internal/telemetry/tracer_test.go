@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a clock advancing by step on every reading.
+func fakeClock(step time.Duration) func() time.Duration {
+	var now time.Duration
+	return func() time.Duration {
+		now += step
+		return now
+	}
+}
+
+// The golden JSONL output for a fixed clock: the full wire format is
+// part of the tool contract (external consumers parse it).
+func TestTracerGoldenOutput(t *testing.T) {
+	var buf strings.Builder
+	tr := NewWithClock(&buf, fakeClock(100*time.Microsecond))
+
+	tr.Event("sim.fault", Fields{"t_sec": 1, "cell": "(3,4)"})
+	sp := tr.Start("anneal.level")                 // reads clock: 200us
+	sp.End(Fields{"level": 0})                     // reads clock: 300us -> dur 100us
+	tr.EmitSpan("route", 50*time.Microsecond, nil) // reads clock: 400us -> start 350us
+	tr.Event("done", nil)
+
+	want := strings.Join([]string{
+		`{"seq":1,"t_us":100,"kind":"event","name":"sim.fault","fields":{"cell":"(3,4)","t_sec":1}}`,
+		`{"seq":2,"t_us":200,"kind":"span","name":"anneal.level","dur_us":100,"fields":{"level":0}}`,
+		`{"seq":3,"t_us":350,"kind":"span","name":"route","dur_us":50}`,
+		`{"seq":4,"t_us":500,"kind":"event","name":"done"}`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("trace output mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	tr.Event("x", Fields{"a": 1}) // must not panic
+	sp := tr.Start("y")
+	sp.End(nil)
+	tr.EmitSpan("z", time.Second, nil)
+	if tr.Err() != nil {
+		t.Error("nil tracer reports an error")
+	}
+	if tr.Summaries() != nil {
+		t.Error("nil tracer reports summaries")
+	}
+}
+
+type failWriter struct{ err error }
+
+func (w failWriter) Write([]byte) (int, error) { return 0, w.err }
+
+func TestTracerErrSticky(t *testing.T) {
+	wantErr := errors.New("disk full")
+	tr := NewWithClock(failWriter{wantErr}, fakeClock(time.Microsecond))
+	tr.Event("a", nil)
+	tr.Event("b", nil)
+	if !errors.Is(tr.Err(), wantErr) {
+		t.Errorf("Err() = %v, want %v", tr.Err(), wantErr)
+	}
+}
+
+func TestTracerEmitSpanClampsNegativeStart(t *testing.T) {
+	var buf strings.Builder
+	tr := NewWithClock(&buf, fakeClock(10*time.Microsecond))
+	tr.EmitSpan("long", time.Hour, nil) // dur exceeds elapsed time
+	if !strings.Contains(buf.String(), `"t_us":0`) {
+		t.Errorf("span start not clamped to 0: %s", buf.String())
+	}
+}
+
+func TestTracerSummaries(t *testing.T) {
+	var buf strings.Builder
+	tr := NewWithClock(&buf, fakeClock(time.Microsecond))
+	for i := 0; i < 5; i++ {
+		tr.EmitSpan("stage.place", 2*time.Millisecond, nil)
+	}
+	tr.EmitSpan("stage.route", 4*time.Millisecond, nil)
+
+	sums := tr.Summaries()
+	if len(sums) != 2 {
+		t.Fatalf("summaries for %d names, want 2", len(sums))
+	}
+	if s := sums["stage.place"]; s.N != 5 || s.Mean != 2 {
+		t.Errorf("stage.place summary = %+v, want N=5 Mean=2ms", s)
+	}
+	if s := sums["stage.route"]; s.N != 1 || s.Max != 4 {
+		t.Errorf("stage.route summary = %+v, want N=1 Max=4ms", s)
+	}
+}
+
+func TestTracerSeqStrictlyIncreasing(t *testing.T) {
+	var buf strings.Builder
+	tr := NewWithClock(&buf, fakeClock(time.Microsecond))
+	for i := 0; i < 10; i++ {
+		tr.Event("tick", nil)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("%d lines, want 10", len(lines))
+	}
+	for i, l := range lines {
+		if !strings.Contains(l, `"seq":`+strconv.Itoa(i+1)+`,`) {
+			t.Errorf("line %d missing seq %d: %s", i, i+1, l)
+		}
+	}
+}
