@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmtcheck bench ci clean
+.PHONY: all build test race vet fmtcheck bench benchquick ci clean
 
 all: build
 
@@ -22,7 +22,18 @@ fmtcheck:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# bench measures the annealing inner loop (clone-and-recompute vs the
+# incremental move kernel) and one end-to-end fault-tolerant PCR
+# placement, then assembles BENCH_place.json at the repo root.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkStage|BenchmarkActiveDuring' \
+		-benchtime 200000x -benchmem ./internal/core/ ./internal/place/ \
+		| tee bench_go.out
+	$(GO) run ./cmd/dmfb-bench -exp fig8 -json bench_exp.json
+	$(GO) run ./tools/benchreport -go bench_go.out -exp bench_exp.json -out BENCH_place.json
+	rm -f bench_go.out bench_exp.json
+
+benchquick:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 
 ci: vet build test race fmtcheck

@@ -134,6 +134,7 @@ func placerOpts() dmfb.PlacerOptions {
 	return dmfb.PlacerOptions{
 		Seed:     *seed,
 		Observer: dmfb.ObserveAnneal(ts.Tracer, ts.Metrics, "bench"),
+		Metrics:  ts.Metrics,
 	}
 }
 

@@ -55,6 +55,7 @@ func run() int {
 	opts := dmfb.PlacerOptions{
 		Seed:     *seed,
 		Observer: dmfb.ObserveAnneal(ts.Tracer, ts.Metrics, "place"),
+		Metrics:  ts.Metrics,
 	}
 
 	done := ts.Stage("place")

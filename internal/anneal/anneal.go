@@ -8,7 +8,6 @@ package anneal
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"time"
 )
@@ -129,67 +128,40 @@ type Problem[S any] struct {
 // the best state encountered. It panics on an invalid schedule (a
 // static configuration bug) and requires a non-nil rng for
 // reproducibility.
+//
+// Run is a thin adapter over the move-based engine (RunMoves): a
+// "move" is simply the cloned candidate state, Delta evaluates its
+// full cost, Commit adopts it and Revert drops it. Clone-based
+// problems therefore share one annealing loop with the incremental
+// placers and inherit identical scheduling, acceptance, Observer and
+// Stop behaviour.
 func Run[S any](initial S, p Problem[S], sched Schedule, rng *rand.Rand) Result[S] {
-	if err := sched.Validate(); err != nil {
-		panic(err)
-	}
-	if rng == nil {
-		panic("anneal: nil rng")
-	}
-	maxLevels := sched.MaxLevels
-	if maxLevels == 0 {
-		maxLevels = 1000
-	}
-
 	cur := initial
-	curCost := p.Cost(cur)
-	best := cur
-	bestCost := curCost
-	res := Result[S]{Evaluations: 1}
-
-	T := sched.T0
-	for level := 0; level < maxLevels; level++ {
-		l := Level{Index: level, T: T}
-		levelStart := time.Now()
-		for i := 0; i < sched.Iters; i++ {
-			next := p.Neighbor(cur, T, rng)
-			nextCost := p.Cost(next)
-			res.Evaluations++
-			l.Proposed++
-			dC := nextCost - curCost
-			if dC < 0 || rng.Float64() < math.Exp(-dC/T) {
-				cur = next
-				curCost = nextCost
-				l.Accepted++
-				if dC < 0 {
-					l.Improved++
-				}
-				if curCost < bestCost {
-					best = cur
-					bestCost = curCost
-					if p.Observer != nil {
-						p.Observer(Progress{Kind: ProgressNewBest, Level: l,
-							BestCost: bestCost, Evaluations: res.Evaluations})
-					}
-				}
+	var curCost, nextCost float64
+	haveCur := false
+	mp := MoveProblem[S, S]{
+		Cost: func() float64 {
+			if !haveCur {
+				curCost = p.Cost(cur)
+				haveCur = true
 			}
-		}
-		l.BestCost = bestCost
-		l.CurCost = curCost
-		l.Duration = time.Since(levelStart)
-		res.Levels = append(res.Levels, l)
-		if p.Observer != nil {
-			p.Observer(Progress{Kind: ProgressLevel, Level: l,
-				BestCost: bestCost, Evaluations: res.Evaluations})
-		}
-		if p.Stop != nil && p.Stop(l) {
-			break
-		}
-		T *= sched.Alpha
+			return curCost
+		},
+		Propose: func(T float64, rng *rand.Rand) S { return p.Neighbor(cur, T, rng) },
+		Delta: func(next S) float64 {
+			nextCost = p.Cost(next)
+			return nextCost - curCost
+		},
+		Commit: func(next S) {
+			cur = next
+			curCost = nextCost
+		},
+		Revert:   func(S) {},
+		Snapshot: func() S { return cur },
+		Stop:     p.Stop,
+		Observer: p.Observer,
 	}
-	res.Best = best
-	res.BestCost = bestCost
-	return res
+	return RunMoves(mp, sched, rng)
 }
 
 // StopBelow returns a stop criterion that fires once the temperature

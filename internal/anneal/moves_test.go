@@ -1,0 +1,118 @@
+package anneal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// intVec is a toy state for equivalence testing: cost is the sum of
+// squares of the entries (integer-valued, so incremental deltas are
+// float-exact).
+type intVec []int
+
+func sumSquares(v intVec) int {
+	s := 0
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}
+
+type vecMove struct {
+	idx, delta int
+}
+
+// TestRunMovesMatchesRun runs the same toy problem through the
+// clone-based adapter (Run) and a genuinely incremental MoveProblem
+// (delta arithmetic, in-place commit/revert) with identical seeds, and
+// asserts the two engines produce identical results: same best state,
+// same cost, same level and evaluation counts.
+func TestRunMovesMatchesRun(t *testing.T) {
+	sched := Schedule{T0: 50, Alpha: 0.8, Iters: 300, MaxLevels: 40}
+	init := intVec{9, -7, 4, 12, -3}
+
+	proposeDims := func(n int, T float64, rng *rand.Rand) vecMove {
+		step := 1 + int(T/10)
+		return vecMove{idx: rng.Intn(n), delta: rng.Intn(2*step+1) - step}
+	}
+
+	// Clone-based path.
+	cloneProb := Problem[intVec]{
+		Cost: func(v intVec) float64 { return float64(sumSquares(v)) },
+		Neighbor: func(cur intVec, T float64, rng *rand.Rand) intVec {
+			m := proposeDims(len(cur), T, rng)
+			next := append(intVec(nil), cur...)
+			next[m.idx] += m.delta
+			return next
+		},
+	}
+	cloneRes := Run(append(intVec(nil), init...), cloneProb, sched, rand.New(rand.NewSource(17)))
+
+	// Incremental path: in-place mutation, exact integer delta.
+	cur := append(intVec(nil), init...)
+	sum := sumSquares(cur)
+	moveProb := MoveProblem[intVec, vecMove]{
+		Cost: func() float64 { return float64(sum) },
+		Propose: func(T float64, rng *rand.Rand) vecMove {
+			return proposeDims(len(cur), T, rng)
+		},
+		Delta: func(m vecMove) float64 {
+			v := cur[m.idx]
+			return float64((v+m.delta)*(v+m.delta) - v*v)
+		},
+		Commit: func(m vecMove) {
+			v := cur[m.idx]
+			sum += (v+m.delta)*(v+m.delta) - v*v
+			cur[m.idx] = v + m.delta
+		},
+		Revert:   func(vecMove) {}, // Delta staged nothing to undo
+		Snapshot: func() intVec { return append(intVec(nil), cur...) },
+	}
+	moveRes := RunMoves(moveProb, sched, rand.New(rand.NewSource(17)))
+
+	if cloneRes.BestCost != moveRes.BestCost {
+		t.Errorf("best cost: clone %v, move %v", cloneRes.BestCost, moveRes.BestCost)
+	}
+	if cloneRes.Evaluations != moveRes.Evaluations {
+		t.Errorf("evaluations: clone %d, move %d", cloneRes.Evaluations, moveRes.Evaluations)
+	}
+	if len(cloneRes.Levels) != len(moveRes.Levels) {
+		t.Errorf("levels: clone %d, move %d", len(cloneRes.Levels), len(moveRes.Levels))
+	}
+	for i := range cloneRes.Best {
+		if cloneRes.Best[i] != moveRes.Best[i] {
+			t.Fatalf("best state diverged at %d: clone %v, move %v", i, cloneRes.Best, moveRes.Best)
+		}
+	}
+	for i := range cloneRes.Levels {
+		cl, ml := cloneRes.Levels[i], moveRes.Levels[i]
+		if cl.Accepted != ml.Accepted || cl.Improved != ml.Improved || cl.Proposed != ml.Proposed {
+			t.Fatalf("level %d bookkeeping diverged: clone %+v, move %+v", i, cl, ml)
+		}
+	}
+}
+
+func TestRunMovesPanicsOnBadInput(t *testing.T) {
+	ok := MoveProblem[int, int]{
+		Cost:     func() float64 { return 0 },
+		Propose:  func(float64, *rand.Rand) int { return 0 },
+		Delta:    func(int) float64 { return 0 },
+		Commit:   func(int) {},
+		Revert:   func(int) {},
+		Snapshot: func() int { return 0 },
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad schedule", func() {
+		RunMoves(ok, Schedule{T0: -1, Alpha: 0.5, Iters: 1}, rand.New(rand.NewSource(1)))
+	})
+	mustPanic("nil rng", func() {
+		RunMoves(ok, Schedule{T0: 10, Alpha: 0.5, Iters: 1}, nil)
+	})
+}

@@ -32,6 +32,7 @@ import (
 	"dmfb/internal/geom"
 	"dmfb/internal/place"
 	"dmfb/internal/schedule"
+	"dmfb/internal/telemetry"
 )
 
 // Problem is a placement problem: the module set (footprints with
@@ -147,6 +148,13 @@ type Options struct {
 	// (AnnealAreaBestOf) the observer is shared across goroutines and
 	// must be safe for concurrent use.
 	Observer anneal.Observer
+
+	// Metrics, if non-nil, receives the incremental kernel's counters
+	// at the end of every annealing run: moves proposed / committed /
+	// reverted, delta vs from-scratch cost evaluations, and the FTI
+	// cache hit rate. With parallel restarts the registry is shared
+	// across goroutines (it is safe for concurrent use).
+	Metrics *telemetry.Registry
 }
 
 func (o Options) withDefaults(nm int) Options {
@@ -383,7 +391,9 @@ func windowStop(o Options, span, patience int) func(anneal.Level) bool {
 }
 
 // AnnealArea runs the fault-oblivious placer of Section 4, minimising
-// array area with a forbidden-overlap penalty.
+// array area with a forbidden-overlap penalty. Moves are priced
+// incrementally by a moveKernel; results are bit-identical to the
+// historical clone-and-recompute placer for any given seed.
 func AnnealArea(prob Problem, opts Options) (*place.Placement, Stats, error) {
 	if err := prob.Validate(); err != nil {
 		return nil, Stats{}, err
@@ -392,23 +402,20 @@ func AnnealArea(prob Problem, opts Options) (*place.Placement, Stats, error) {
 	rng := rand.New(rand.NewSource(o.Seed))
 	span := max(prob.MaxW, prob.MaxH)
 
-	cost := func(p *place.Placement) float64 {
-		c := float64(p.ArrayCells()) + o.OverlapPenalty*float64(p.OverlapCells())
-		if len(prob.Obstacles) > 0 {
-			c += o.OverlapPenalty * float64(prob.obstacleHits(p))
-		}
-		return c
-	}
-	problem := anneal.Problem[*place.Placement]{
-		Cost: cost,
-		Neighbor: func(cur *place.Placement, T float64, rng *rand.Rand) *place.Placement {
-			return neighbor(cur, prob, o, T, rng, false)
-		},
+	k := newMoveKernel(initialPlacement(prob), prob, o, 0, false, false)
+	problem := anneal.MoveProblem[*place.Placement, kernelMove]{
+		Cost:     k.Cost,
+		Propose:  k.Propose,
+		Delta:    k.Delta,
+		Commit:   k.Commit,
+		Revert:   k.Revert,
+		Snapshot: k.Snapshot,
 		Stop:     windowStop(o, span, o.WindowPatience),
 		Observer: o.Observer,
 	}
 	sched := anneal.Schedule{T0: o.T0, Alpha: o.Alpha, Iters: o.ItersPerModule * len(prob.Modules)}
-	res := anneal.Run(initialPlacement(prob), problem, sched, rng)
+	res := anneal.RunMoves(problem, sched, rng)
+	k.flushMetrics(o.Metrics, "area")
 
 	best := res.Best.Clone()
 	// Do not normalise when obstacles pin absolute coordinates.
@@ -428,7 +435,11 @@ func AnnealArea(prob Problem, opts Options) (*place.Placement, Stats, error) {
 // parallel and returns the best placement found (ties favour the
 // lowest seed, so results stay deterministic). Simulated annealing is
 // embarrassingly parallel across restarts; this is the practical way
-// to spend extra cores on placement quality.
+// to spend extra cores on placement quality. The restarts share the
+// immutable Problem; all mutable annealing state (the placement, its
+// incremental cost caches, the RNG) is private to each goroutine's
+// moveKernel, so no locking is needed and each restart is bit-identical
+// to a standalone AnnealArea run with that seed.
 func AnnealAreaBestOf(prob Problem, opts Options, n int) (*place.Placement, Stats, error) {
 	if n < 1 {
 		return nil, Stats{}, fmt.Errorf("core: need at least one restart, got %d", n)
@@ -566,18 +577,24 @@ func AnnealFaultTolerance(start *place.Placement, prob Problem, opts Options, ft
 	stats := Stats{}
 	for r := 0; r < f.Restarts; r++ {
 		rng := rand.New(rand.NewSource(o.Seed + 1 + int64(r)))
-		problem := anneal.Problem[*place.Placement]{
-			Cost: func(p *place.Placement) float64 { return ftCost(p, prob2, o, f.Beta) },
-			Neighbor: func(cur *place.Placement, T float64, rng *rand.Rand) *place.Placement {
-				return neighbor(cur, prob2, o, T, rng, true) // single displacement only
-			},
+		// Single displacement only; the FTI term is priced by the
+		// incremental per-module cache.
+		k := newMoveKernel(start.Clone(), prob2, o, f.Beta, true, true)
+		problem := anneal.MoveProblem[*place.Placement, kernelMove]{
+			Cost:     k.Cost,
+			Propose:  k.Propose,
+			Delta:    k.Delta,
+			Commit:   k.Commit,
+			Revert:   k.Revert,
+			Snapshot: k.Snapshot,
 			Stop: anneal.StopAny(
 				windowStop(o, span, o.WindowPatience),
 				anneal.StopBelow(o.Alpha/1000*f.T0),
 			),
 			Observer: o.Observer,
 		}
-		res := anneal.Run(start.Clone(), problem, sched, rng)
+		res := anneal.RunMoves(problem, sched, rng)
+		k.flushMetrics(o.Metrics, "ft")
 		stats.Levels += len(res.Levels)
 		stats.Evaluations += res.Evaluations
 		if best == nil || res.BestCost < bestCost {

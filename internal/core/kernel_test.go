@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmfb/internal/geom"
+	"dmfb/internal/place"
+)
+
+// scratchCost is the historical clone-based cost: the AnnealArea cost
+// closure for stage 1, ftCost for stage 2. The kernel must reproduce
+// it to the last bit.
+func scratchCost(p *place.Placement, prob Problem, o Options, beta float64, useFTI bool) float64 {
+	if useFTI {
+		return ftCost(p, prob, o, beta)
+	}
+	c := float64(p.ArrayCells()) + o.OverlapPenalty*float64(p.OverlapCells())
+	if len(prob.Obstacles) > 0 {
+		c += o.OverlapPenalty * float64(prob.obstacleHits(p))
+	}
+	return c
+}
+
+func samePlacement(a, b *place.Placement) bool {
+	for i := range a.Modules {
+		if a.Pos[i] != b.Pos[i] || a.Rot[i] != b.Rot[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runKernelDifferential drives the move kernel and the historical
+// clone-based neighbor function from identically seeded RNGs and
+// asserts, move for move:
+//
+//   - Propose consumes the RNG exactly as neighbor did (the staged
+//     placements coincide);
+//   - Delta's staged cost equals the from-scratch cost bit for bit;
+//   - Revert restores the placement and cost exactly.
+func runKernelDifferential(t *testing.T, prob Problem, o Options, beta float64, useFTI, singleOnly bool, seed int64, moves int) {
+	t.Helper()
+	o = o.withDefaults(len(prob.Modules))
+
+	k := newMoveKernel(initialPlacement(prob), prob, o, beta, useFTI, singleOnly)
+	cur := k.st.P.Clone() // mirror for the clone-based path
+	rngK := rand.New(rand.NewSource(seed))
+	rngN := rand.New(rand.NewSource(seed))
+	rngD := rand.New(rand.NewSource(seed + 1000)) // accept/reject decisions
+
+	curCost := scratchCost(cur, prob, o, beta, useFTI)
+	if k.Cost() != curCost {
+		t.Fatalf("initial cost = %v, scratch %v", k.Cost(), curCost)
+	}
+
+	T := o.T0
+	if useFTI {
+		T = 5 // LTSA regime
+	}
+	for mv := 0; mv < moves; mv++ {
+		m := k.Propose(T, rngK)
+		next := neighbor(cur, prob, o, T, rngN, singleOnly)
+		dC := k.Delta(m)
+
+		if !samePlacement(k.st.P, next) {
+			t.Fatalf("move %d: kernel staged placement diverged from neighbor()", mv)
+		}
+		want := scratchCost(next, prob, o, beta, useFTI)
+		if k.pending != want {
+			t.Fatalf("move %d: staged cost = %v, scratch %v", mv, k.pending, want)
+		}
+		if dC != want-curCost {
+			t.Fatalf("move %d: delta = %v, scratch %v", mv, dC, want-curCost)
+		}
+
+		if rngD.Intn(2) == 0 {
+			k.Commit(m)
+			cur = next
+			curCost = want
+		} else {
+			k.Revert(m)
+			if !samePlacement(k.st.P, cur) {
+				t.Fatalf("move %d: revert did not restore the placement", mv)
+			}
+		}
+		if k.Cost() != curCost {
+			t.Fatalf("move %d: committed cost = %v, scratch %v", mv, k.Cost(), curCost)
+		}
+		if k.st.Overlap() != cur.OverlapCells() || k.st.BoundingBox() != cur.BoundingBox() {
+			t.Fatalf("move %d: incremental state drifted from scratch", mv)
+		}
+		// Cool gradually so the controlling window sweeps its range.
+		if mv%50 == 49 {
+			T *= 0.95
+			if T < 0.05 {
+				T = o.T0
+			}
+		}
+	}
+}
+
+func kernelTestProblem(rng *rand.Rand, n int) Problem {
+	mods := make([]place.Module, n)
+	for i := range mods {
+		start := rng.Intn(15)
+		mods[i] = place.Module{
+			ID:   i,
+			Name: "M",
+			Size: geom.Size{W: 1 + rng.Intn(4), H: 1 + rng.Intn(4)},
+			Span: geom.Interval{Start: start, End: start + 1 + rng.Intn(8)},
+		}
+	}
+	return NewProblem(mods)
+}
+
+func TestKernelDifferentialArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 3; round++ {
+		prob := kernelTestProblem(rng, 4+rng.Intn(5))
+		runKernelDifferential(t, prob, Options{}, 0, false, false, int64(round)*7+1, 2000)
+	}
+}
+
+func TestKernelDifferentialObstacles(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	prob := kernelTestProblem(rng, 6)
+	prob.Obstacles = []geom.Point{{X: 2, Y: 2}, {X: 5, Y: 1}, {X: 0, Y: 4}}
+	runKernelDifferential(t, prob, Options{}, 0, false, false, 77, 3000)
+}
+
+func TestKernelDifferentialFTI(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for round := 0; round < 2; round++ {
+		prob := kernelTestProblem(rng, 4+rng.Intn(4))
+		runKernelDifferential(t, prob, Options{}, 30, true, true, int64(round)*13+5, 2500)
+	}
+}

@@ -25,16 +25,55 @@ import (
 // sorted by (Y, X, W, H) so output is deterministic. The slice is nil
 // when the grid is fully occupied.
 func Maximal(g *grid.Grid) []geom.Rect {
+	return AppendMaximal(nil, g)
+}
+
+// AppendMaximal appends every maximal empty rectangle of g to dst and
+// returns the extended slice. Ordering matches Maximal: the appended
+// region is sorted by (Y, X, W, H).
+func AppendMaximal(dst []geom.Rect, g *grid.Grid) []geom.Rect {
+	var m Miner
+	base := len(dst)
+	out := m.AppendMaximal(dst, g)
+	sortRects(out[base:])
+	return out
+}
+
+// Miner enumerates maximal empty rectangles with reusable scan
+// buffers, so hot loops (the incremental FTI kernel re-mines MERs on
+// every annealing move) run allocation-free. The zero value is ready
+// to use; a Miner must not be shared between goroutines.
+type Miner struct {
+	up        []int // free-run length ending at the current row
+	occPrefix []int // prefix of occupied cells in the row above
+	stack     []minerBar
+}
+
+type minerBar struct{ start, h int }
+
+// AppendMaximal appends every maximal empty rectangle of g to dst and
+// returns the extended slice. Unlike the package-level function, the
+// appended rectangles are in unspecified order — callers that need
+// determinism across runs must sort, but set-valued consumers (the
+// relocatability tests) should skip that cost.
+func (mn *Miner) AppendMaximal(dst []geom.Rect, g *grid.Grid) []geom.Rect {
 	w, h := g.W(), g.H()
-	up := make([]int, w)          // free-run length ending at the current row
-	occPrefix := make([]int, w+1) // prefix of occupied cells in the row above
-	type bar struct{ start, h int }
-	stack := make([]bar, 0, w+1)
-	var out []geom.Rect
+	if cap(mn.up) < w {
+		mn.up = make([]int, w)
+		mn.occPrefix = make([]int, w+1)
+		mn.stack = make([]minerBar, 0, w+1)
+	}
+	up := mn.up[:w]
+	for i := range up {
+		up[i] = 0
+	}
+	occPrefix := mn.occPrefix[:w+1]
+	out := dst
 
 	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			if g.Occupied(geom.Point{X: x, Y: y}) {
+		row := g.Row(y)
+		for x, occ := range row {
+			if occ {
 				up[x] = 0
 			} else {
 				up[x]++
@@ -44,21 +83,18 @@ func Maximal(g *grid.Grid) []geom.Rect {
 		// edge at row y is maximal only if it cannot grow into row y+1.
 		topRow := y == h-1
 		if !topRow {
-			for x := 0; x < w; x++ {
-				occPrefix[x+1] = occPrefix[x]
-				if g.Occupied(geom.Point{X: x, Y: y + 1}) {
-					occPrefix[x+1]++
+			above := g.Row(y + 1)
+			s := 0
+			occPrefix[0] = 0
+			for x, occ := range above {
+				if occ {
+					s++
 				}
+				occPrefix[x+1] = s
 			}
-		}
-		blockedAbove := func(x0, x1 int) bool { // inclusive column span
-			if topRow {
-				return true
-			}
-			return occPrefix[x1+1]-occPrefix[x0] > 0
 		}
 
-		stack = stack[:0]
+		stack := mn.stack[:0]
 		for x := 0; x <= w; x++ {
 			cur := -1 // sentinel flushes the stack at the right edge
 			if x < w {
@@ -68,17 +104,18 @@ func Maximal(g *grid.Grid) []geom.Rect {
 			for len(stack) > 0 && stack[len(stack)-1].h > cur {
 				b := stack[len(stack)-1]
 				stack = stack[:len(stack)-1]
-				if b.h > 0 && blockedAbove(b.start, x-1) {
+				// Maximal only if blocked above (inclusive span b.start..x-1).
+				if b.h > 0 && (topRow || occPrefix[x]-occPrefix[b.start] > 0) {
 					out = append(out, geom.Rect{X: b.start, Y: y - b.h + 1, W: x - b.start, H: b.h})
 				}
 				start = b.start
 			}
 			if len(stack) == 0 || stack[len(stack)-1].h < cur {
-				stack = append(stack, bar{start, cur})
+				stack = append(stack, minerBar{start, cur})
 			}
 		}
+		mn.stack = stack[:0]
 	}
-	sortRects(out)
 	return out
 }
 

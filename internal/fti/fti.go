@@ -27,6 +27,7 @@ import (
 
 	"dmfb/internal/emptyrect"
 	"dmfb/internal/geom"
+	"dmfb/internal/grid"
 	"dmfb/internal/place"
 )
 
@@ -95,23 +96,18 @@ func ComputeOn(p *place.Placement, array geom.Rect) Result {
 		res.CoveredMap[i] = true
 	}
 
-	for mi, m := range p.Modules {
-		// Occupancy during M's time span with M removed. Any module
-		// whose span overlaps M's is an obstacle somewhere during M's
-		// operation.
-		g := p.OccupancyDuring(array, m.Span, mi)
-		mers := emptyrect.Maximal(g)
-		cells := p.Rect(mi).Intersect(array)
-		anyRelocatable := false
-		for _, pt := range cells.Points() {
-			local := geom.Point{X: pt.X - array.X, Y: pt.Y - array.Y}
-			if emptyrect.AccommodatesAvoiding(mers, m.Size, local) {
-				anyRelocatable = true
-				continue
-			}
-			res.CoveredMap[local.Y*array.W+local.X] = false
+	var scratch *moduleEval
+	var uncov []int32
+	for mi := range p.Modules {
+		if scratch == nil {
+			scratch = newModuleEval(array)
 		}
-		res.ModuleRelocatable[mi] = anyRelocatable
+		var relocatable bool
+		uncov, relocatable = scratch.eval(p, mi, uncov[:0])
+		for _, c := range uncov {
+			res.CoveredMap[c] = false
+		}
+		res.ModuleRelocatable[mi] = relocatable
 	}
 
 	for _, c := range res.CoveredMap {
@@ -120,6 +116,48 @@ func ComputeOn(p *place.Placement, array geom.Rect) Result {
 		}
 	}
 	return res
+}
+
+// moduleEval holds the reusable scratch buffers of the per-module
+// relocatability test: the occupancy grid of the array and the MER
+// list mined from it. One instance serves any number of evaluations on
+// the same array size.
+type moduleEval struct {
+	array geom.Rect
+	g     *grid.Grid
+	miner emptyrect.Miner
+	mers  []geom.Rect
+}
+
+func newModuleEval(array geom.Rect) *moduleEval {
+	return &moduleEval{array: array, g: grid.New(array.W, array.H)}
+}
+
+// eval runs the Section 5.3 per-module procedure for module mi: encode
+// the configuration during mi's time span with mi removed, mine the
+// maximal empty rectangles once, and test each of mi's cells
+// arithmetically. It appends the array-local indices of mi's cells
+// that defeat relocation to dst and reports whether any cell of mi is
+// relocatable.
+func (e *moduleEval) eval(p *place.Placement, mi int, dst []int32) ([]int32, bool) {
+	m := p.Modules[mi]
+	// Occupancy during M's time span with M removed. Any module whose
+	// span overlaps M's is an obstacle somewhere during M's operation.
+	p.FillOccupancyDuring(e.g, e.array, m.Span, mi)
+	e.mers = e.miner.AppendMaximal(e.mers[:0], e.g)
+	cells := p.Rect(mi).Intersect(e.array)
+	anyRelocatable := false
+	for y := cells.Y; y < cells.MaxY(); y++ {
+		for x := cells.X; x < cells.MaxX(); x++ {
+			local := geom.Point{X: x - e.array.X, Y: y - e.array.Y}
+			if emptyrect.AccommodatesAvoiding(e.mers, m.Size, local) {
+				anyRelocatable = true
+				continue
+			}
+			dst = append(dst, int32(local.Y*e.array.W+local.X))
+		}
+	}
+	return dst, anyRelocatable
 }
 
 // ComputeBrute is an exhaustive oracle for the test suite: for every

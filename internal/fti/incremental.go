@@ -1,0 +1,385 @@
+package fti
+
+import (
+	"fmt"
+
+	"dmfb/internal/geom"
+	"dmfb/internal/place"
+)
+
+// Incremental maintains the fault tolerance index of a placement
+// across single- and pair-move perturbations, so the stage-2 annealer
+// prices a move by re-evaluating only the moved modules and the
+// modules whose time spans conflict with them, instead of all Nm.
+//
+// The cache is keyed per module: module j's relocatability analysis
+// depends only on the array, j's own rectangle, and the rectangles of
+// the modules active during j's span (its span-overlap neighbours).
+// Moving module i therefore invalidates exactly {i} ∪ adj(i); every
+// other module's knocked-out cell set is reused verbatim. When the
+// array (the placement's bounding box) changes, every module's
+// analysis is over a different matrix and the whole cache is rebuilt.
+//
+// Coverage is aggregated through per-cell knockout counters: knock[c]
+// counts the modules whose analysis marks array cell c uncovered, and
+// Covered is the number of cells with a zero count — identical, cell
+// for cell, to ComputeOn's CoveredMap (the differential tests assert
+// exact equality over long random move sequences).
+//
+// The speculation protocol mirrors the annealing kernel: mutate the
+// placement, call Apply with the new array and the dirty module set,
+// then either Commit (keep) or Revert (restore the placement first,
+// then call Revert — the previous analysis is reinstated from the
+// saved entries without re-evaluating anything).
+//
+// On top of the dirty-set reuse sits a per-module memo table: module
+// j's analysis is a pure function of (array, j's rectangle, the
+// rectangles of j's span-overlap neighbours), so its result is cached
+// under that exact key and never needs invalidation. Low-temperature
+// annealing revisits the same few configurations over and over —
+// rejected proposals displace a module by a cell and bounce back — so
+// after warm-up most dirty-set re-evaluations and most full rebuilds
+// (bounding-box changes) are pure lookups.
+type Incremental struct {
+	p   *place.Placement
+	adj [][]int // span-overlap adjacency, index-aligned with modules
+
+	array     geom.Rect
+	knock     []int32   // per-cell knockout counters, array-local
+	uncovered [][]int32 // per-module knocked-out cell indices
+	reloc     []bool    // per-module relocatability
+	covered   int
+
+	// Staged speculation (one level deep).
+	staged     bool
+	fullSwap   bool // array changed: whole state saved aside
+	savedArray geom.Rect
+	savedCover int
+	savedKnock []int32
+	savedUncov [][]int32
+	savedReloc []bool
+	dirty      []int // modules re-evaluated by the staged Apply
+
+	// Spare buffers recycled across full rebuilds.
+	spareKnock []int32
+	spareUncov [][]int32
+	spareReloc []bool
+
+	// Per-module memo of the pure analysis function. Values are
+	// immutable once stored; uncovered[mi] and savedUncov alias them.
+	memo   []map[memoKey]memoVal
+	memoOK []bool // adjacency degree fits the key; coordinates checked per key
+
+	scratch *moduleEval
+
+	evals int64 // per-module evaluations performed
+	hits  int64 // per-module evaluations avoided by the caches
+}
+
+// memoKey captures every input of one module's relocatability
+// analysis: the array and the packed configuration of the module and
+// its span-overlap neighbours (footprints and spans are immutable).
+type memoKey struct {
+	aXY, aWH uint64
+	cfg      [12]uint64
+}
+
+type memoVal struct {
+	uncovered []int32
+	reloc     bool
+}
+
+// memoCapPerModule bounds each module's memo; when exceeded the table
+// is dropped and rebuilt (exactness is unaffected — it is a cache of a
+// pure function).
+const memoCapPerModule = 4096
+
+// packCfg encodes module i's position and orientation. Bit 63 marks
+// the slot as used so an empty slot can never collide with a real
+// configuration; 31 bits per coordinate cover every realistic array.
+func packCfg(p *place.Placement, i int) (uint64, bool) {
+	x, y := p.Pos[i].X, p.Pos[i].Y
+	if x < 0 || y < 0 || x >= 1<<31 || y >= 1<<31 {
+		return 0, false
+	}
+	rot := uint64(0)
+	if p.Rot[i] {
+		rot = 1
+	}
+	return 1<<63 | uint64(x)<<32 | uint64(y)<<1 | rot, true
+}
+
+// memoKeyFor builds module mi's memo key; ok is false when the
+// configuration cannot be encoded (oversized coordinates).
+func (inc *Incremental) memoKeyFor(mi int) (memoKey, bool) {
+	var k memoKey
+	k.aXY = uint64(uint32(inc.array.X))<<32 | uint64(uint32(inc.array.Y))
+	k.aWH = uint64(uint32(inc.array.W))<<32 | uint64(uint32(inc.array.H))
+	c, ok := packCfg(inc.p, mi)
+	if !ok {
+		return k, false
+	}
+	k.cfg[0] = c
+	for t, j := range inc.adj[mi] {
+		if c, ok = packCfg(inc.p, j); !ok {
+			return k, false
+		}
+		k.cfg[t+1] = c
+	}
+	return k, true
+}
+
+// evalModule returns module mi's analysis for the current array and
+// placement, consulting the memo first. Returned slices are memo-owned
+// and must not be mutated.
+func (inc *Incremental) evalModule(mi int) ([]int32, bool) {
+	if inc.memoOK[mi] {
+		if key, ok := inc.memoKeyFor(mi); ok {
+			if v, hit := inc.memo[mi][key]; hit {
+				inc.hits++
+				return v.uncovered, v.reloc
+			}
+			inc.evals++
+			u, r := inc.scratch.eval(inc.p, mi, nil)
+			if len(inc.memo[mi]) >= memoCapPerModule {
+				inc.memo[mi] = make(map[memoKey]memoVal)
+			}
+			inc.memo[mi][key] = memoVal{u, r}
+			return u, r
+		}
+	}
+	inc.evals++
+	return inc.scratch.eval(inc.p, mi, nil)
+}
+
+// NewIncremental builds the incremental evaluator for p on its current
+// bounding box, evaluating every module once.
+func NewIncremental(p *place.Placement) *Incremental {
+	inc := &Incremental{
+		p:         p,
+		adj:       place.ConflictAdjacency(p.Modules),
+		uncovered: make([][]int32, len(p.Modules)),
+		reloc:     make([]bool, len(p.Modules)),
+		memo:      make([]map[memoKey]memoVal, len(p.Modules)),
+		memoOK:    make([]bool, len(p.Modules)),
+	}
+	var zero memoKey
+	for i := range p.Modules {
+		if len(inc.adj[i])+1 <= len(zero.cfg) {
+			inc.memoOK[i] = true
+			inc.memo[i] = make(map[memoKey]memoVal)
+		}
+	}
+	inc.rebuild(p.BoundingBox())
+	return inc
+}
+
+// Covered returns the number of C-covered cells on the current array;
+// it equals ComputeOn(p, Array()).Covered.
+func (inc *Incremental) Covered() int { return inc.covered }
+
+// Total returns the cell count of the current array.
+func (inc *Incremental) Total() int { return inc.array.Cells() }
+
+// Array returns the array the index is currently computed over.
+func (inc *Incremental) Array() geom.Rect { return inc.array }
+
+// FTI returns the fault tolerance index, computed with the same
+// floating-point expression as Result.FTI.
+func (inc *Incremental) FTI() float64 {
+	if inc.Total() == 0 {
+		return 0
+	}
+	return float64(inc.covered) / float64(inc.Total())
+}
+
+// Stats reports the cumulative per-module evaluation counts: evals is
+// the number of module analyses actually run, hits the number skipped
+// because their inputs were unchanged. The cache hit rate is
+// hits/(evals+hits).
+func (inc *Incremental) Stats() (evals, hits int64) { return inc.evals, inc.hits }
+
+// AffectedBy returns the modules whose analysis a move of the listed
+// modules invalidates: the moved modules plus their span-overlap
+// neighbours, deduplicated. This is the dirty set to pass to Apply
+// (when the array is unchanged — Apply rebuilds everything anyway when
+// it moves).
+func (inc *Incremental) AffectedBy(moved ...int) []int {
+	seen := make(map[int]bool, 4)
+	var out []int
+	add := func(i int) {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	for _, i := range moved {
+		add(i)
+		for _, j := range inc.adj[i] {
+			add(j)
+		}
+	}
+	return out
+}
+
+// Apply re-evaluates the placement after a mutation: the placement
+// must already reflect the move, array must be its new bounding box,
+// and dirty must contain (at least) every module whose inputs changed,
+// without duplicates. The previous analysis is retained until Commit
+// or Revert; Apply panics if a speculation is already staged.
+func (inc *Incremental) Apply(array geom.Rect, dirty []int) {
+	if inc.staged {
+		panic("fti: Apply while a speculation is staged")
+	}
+	inc.staged = true
+	if array != inc.array {
+		// The matrix every module is analysed on changed: full rebuild,
+		// with the old state saved aside wholesale.
+		inc.fullSwap = true
+		inc.savedArray = inc.array
+		inc.savedCover = inc.covered
+		inc.savedKnock = inc.knock
+		inc.savedUncov = inc.uncovered
+		inc.savedReloc = inc.reloc
+		inc.knock = inc.spareKnock
+		inc.uncovered = inc.spareUncov
+		inc.reloc = inc.spareReloc
+		if inc.uncovered == nil {
+			inc.uncovered = make([][]int32, len(inc.p.Modules))
+			inc.reloc = make([]bool, len(inc.p.Modules))
+		}
+		inc.rebuild(array)
+		return
+	}
+	inc.fullSwap = false
+	inc.savedCover = inc.covered
+	if len(dirty) > 0 {
+		inc.ensureScratch()
+	}
+	inc.dirty = append(inc.dirty[:0], dirty...)
+	if inc.savedUncov == nil {
+		inc.savedUncov = make([][]int32, 0, 8)
+		inc.savedReloc = make([]bool, 0, 8)
+	}
+	inc.savedUncov = inc.savedUncov[:0]
+	inc.savedReloc = inc.savedReloc[:0]
+	for _, mi := range dirty {
+		inc.savedUncov = append(inc.savedUncov, inc.uncovered[mi])
+		inc.savedReloc = append(inc.savedReloc, inc.reloc[mi])
+		inc.knockRemove(inc.uncovered[mi])
+		inc.uncovered[mi], inc.reloc[mi] = inc.evalModule(mi)
+		inc.knockAdd(inc.uncovered[mi])
+	}
+	inc.hits += int64(len(inc.p.Modules) - len(dirty))
+}
+
+// Commit keeps the staged analysis, releasing the saved one.
+func (inc *Incremental) Commit() {
+	if !inc.staged {
+		panic("fti: Commit without Apply")
+	}
+	inc.staged = false
+	if inc.fullSwap {
+		inc.spareKnock = inc.savedKnock
+		inc.spareUncov = inc.savedUncov
+		inc.spareReloc = inc.savedReloc
+		inc.savedKnock, inc.savedUncov, inc.savedReloc = nil, nil, nil
+		return
+	}
+	inc.savedUncov = inc.savedUncov[:0]
+	inc.savedReloc = inc.savedReloc[:0]
+}
+
+// Revert discards the staged analysis and reinstates the saved one.
+// The caller must restore the placement to its pre-move configuration
+// before the next Apply.
+func (inc *Incremental) Revert() {
+	if !inc.staged {
+		panic("fti: Revert without Apply")
+	}
+	inc.staged = false
+	if inc.fullSwap {
+		inc.spareKnock = inc.knock
+		inc.spareUncov = inc.uncovered
+		inc.spareReloc = inc.reloc
+		inc.array = inc.savedArray
+		inc.covered = inc.savedCover
+		inc.knock = inc.savedKnock
+		inc.uncovered = inc.savedUncov
+		inc.reloc = inc.savedReloc
+		inc.savedKnock, inc.savedUncov, inc.savedReloc = nil, nil, nil
+		return
+	}
+	for i := len(inc.dirty) - 1; i >= 0; i-- {
+		mi := inc.dirty[i]
+		inc.knockRemove(inc.uncovered[mi])
+		inc.knockAdd(inc.savedUncov[i])
+		inc.uncovered[mi] = inc.savedUncov[i]
+		inc.reloc[mi] = inc.savedReloc[i]
+	}
+	inc.savedUncov = inc.savedUncov[:0]
+	inc.savedReloc = inc.savedReloc[:0]
+	if inc.covered != inc.savedCover {
+		panic(fmt.Sprintf("fti: revert mismatch: covered %d != saved %d",
+			inc.covered, inc.savedCover))
+	}
+}
+
+// rebuild evaluates every module from scratch on the given array.
+func (inc *Incremental) rebuild(array geom.Rect) {
+	inc.array = array
+	total := array.Cells()
+	if cap(inc.knock) < total {
+		inc.knock = make([]int32, total)
+	} else {
+		inc.knock = inc.knock[:total]
+		for i := range inc.knock {
+			inc.knock[i] = 0
+		}
+	}
+	inc.covered = total
+	if total > 0 && len(inc.p.Modules) > 0 {
+		inc.ensureScratch()
+		for mi := range inc.p.Modules {
+			inc.uncovered[mi], inc.reloc[mi] = inc.evalModule(mi)
+			inc.knockAdd(inc.uncovered[mi])
+		}
+	} else {
+		for mi := range inc.uncovered {
+			inc.uncovered[mi] = nil
+			inc.reloc[mi] = false
+		}
+	}
+}
+
+// ensureScratch (re)sizes the shared evaluation buffers for the
+// current array. The grid is reallocated only when the dimensions
+// change; an origin-only array shift reuses it.
+func (inc *Incremental) ensureScratch() {
+	if inc.scratch == nil {
+		inc.scratch = newModuleEval(inc.array)
+		return
+	}
+	if inc.scratch.g.W() != inc.array.W || inc.scratch.g.H() != inc.array.H {
+		inc.scratch.g.Resize(inc.array.W, inc.array.H)
+	}
+	inc.scratch.array = inc.array
+}
+
+func (inc *Incremental) knockAdd(cells []int32) {
+	for _, c := range cells {
+		if inc.knock[c] == 0 {
+			inc.covered--
+		}
+		inc.knock[c]++
+	}
+}
+
+func (inc *Incremental) knockRemove(cells []int32) {
+	for _, c := range cells {
+		inc.knock[c]--
+		if inc.knock[c] == 0 {
+			inc.covered++
+		}
+	}
+}

@@ -70,6 +70,33 @@ func (g *Grid) Occupied(p geom.Point) bool {
 // Free reports whether cell p is inside the grid and unoccupied.
 func (g *Grid) Free(p geom.Point) bool { return !g.Occupied(p) }
 
+// Row returns row y of the occupancy matrix as a shared slice (do not
+// mutate; it aliases the grid's storage). It panics if y is out of
+// range. Scanline algorithms iterate this instead of per-cell
+// Occupied calls.
+func (g *Grid) Row(y int) []bool {
+	return g.cells[y*g.w : (y+1)*g.w]
+}
+
+// Resize reshapes the grid to w×h and marks every cell free, reusing
+// the backing storage when it is large enough. It panics on
+// non-positive dimensions, like New.
+func (g *Grid) Resize(w, h int) {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("grid: invalid dimensions %dx%d", w, h))
+	}
+	n := w * h
+	if cap(g.cells) < n {
+		g.cells = make([]bool, n)
+	} else {
+		g.cells = g.cells[:n]
+		for i := range g.cells {
+			g.cells[i] = false
+		}
+	}
+	g.w, g.h = w, h
+}
+
 // Set marks cell p occupied (true) or free (false). Out-of-bounds
 // writes are ignored.
 func (g *Grid) Set(p geom.Point, occupied bool) {

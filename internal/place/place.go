@@ -11,6 +11,7 @@ package place
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"dmfb/internal/geom"
 	"dmfb/internal/grid"
@@ -170,17 +171,32 @@ func (p *Placement) FitsIn(w, h int) bool {
 // ActiveDuring returns the indices of modules whose spans overlap iv,
 // excluding the listed indices.
 func (p *Placement) ActiveDuring(iv geom.Interval, exclude ...int) []int {
-	skip := map[int]bool{}
-	for _, e := range exclude {
-		skip[e] = true
+	return p.AppendActiveDuring(nil, iv, exclude...)
+}
+
+// AppendActiveDuring appends to dst the indices of modules whose spans
+// overlap iv, excluding the listed indices, and returns the extended
+// slice. The exclude list is scanned directly (it is one or two
+// entries everywhere in the flow), so a caller that reuses dst runs
+// allocation-free — this sits in the inner loop of the FTI and
+// reconfiguration engines.
+func (p *Placement) AppendActiveDuring(dst []int, iv geom.Interval, exclude ...int) []int {
+	for i := range p.Modules {
+		if containsIdx(exclude, i) || !p.Modules[i].Span.Overlaps(iv) {
+			continue
+		}
+		dst = append(dst, i)
 	}
-	var out []int
-	for i, m := range p.Modules {
-		if !skip[i] && m.Span.Overlaps(iv) {
-			out = append(out, i)
+	return dst
+}
+
+func containsIdx(s []int, v int) bool {
+	for _, e := range s {
+		if e == v {
+			return true
 		}
 	}
-	return out
+	return false
 }
 
 // OccupancyDuring builds the occupancy grid of the given array for the
@@ -190,10 +206,26 @@ func (p *Placement) ActiveDuring(iv geom.Interval, exclude ...int) []int {
 // grid cell (0,0).
 func (p *Placement) OccupancyDuring(array geom.Rect, iv geom.Interval, exclude ...int) *grid.Grid {
 	g := grid.New(array.W, array.H)
-	for _, i := range p.ActiveDuring(iv, exclude...) {
+	p.FillOccupancyDuring(g, array, iv, exclude...)
+	return g
+}
+
+// FillOccupancyDuring clears g and fills it with the occupancy of the
+// array during iv, exactly as OccupancyDuring, but into a caller-owned
+// grid so hot loops (incremental FTI, reconfiguration planning) can
+// reuse one buffer. g's dimensions must match the array's.
+func (p *Placement) FillOccupancyDuring(g *grid.Grid, array geom.Rect, iv geom.Interval, exclude ...int) {
+	if g.W() != array.W || g.H() != array.H {
+		panic(fmt.Sprintf("place: %dx%d grid cannot hold %dx%d array occupancy",
+			g.W(), g.H(), array.W, array.H))
+	}
+	g.Clear()
+	for i := range p.Modules {
+		if containsIdx(exclude, i) || !p.Modules[i].Span.Overlaps(iv) {
+			continue
+		}
 		g.SetRect(p.Rect(i).Translate(-array.X, -array.Y), true)
 	}
-	return g
 }
 
 // ModulesAt returns the indices of modules whose rectangle contains
@@ -253,9 +285,10 @@ func (p *Placement) String() string {
 		return idx[a] < idx[b]
 	})
 	bb := p.BoundingBox()
-	s := fmt.Sprintf("placement: array %dx%d = %d cells\n", bb.W, bb.H, bb.Cells())
+	var b strings.Builder
+	fmt.Fprintf(&b, "placement: array %dx%d = %d cells\n", bb.W, bb.H, bb.Cells())
 	for _, i := range idx {
-		s += fmt.Sprintf("  %-4s %v %s\n", p.Modules[i].Name, p.Rect(i), p.Modules[i].Span)
+		fmt.Fprintf(&b, "  %-4s %v %s\n", p.Modules[i].Name, p.Rect(i), p.Modules[i].Span)
 	}
-	return s
+	return b.String()
 }

@@ -1,0 +1,141 @@
+// benchreport assembles BENCH_place.json, the machine-readable record
+// of the placer's performance: the micro-benchmarks of the annealing
+// inner loop (clone-and-recompute vs the incremental move kernel) and
+// the end-to-end experiment timings reported by dmfb-bench -json.
+//
+// Usage:
+//
+//	benchreport -go bench.out -exp exp.json -out BENCH_place.json
+//
+// where bench.out is the raw output of `go test -bench ... -benchmem`
+// and exp.json is the output of `dmfb-bench -json`. The report derives
+// the stage-2 ns-per-iteration speedup from the Stage2IterClone /
+// Stage2IterMove pair; the repository's acceptance bar is ≥5×.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	Benchmark        string          `json:"benchmark"`
+	GoVersion        string          `json:"go_version,omitempty"`
+	Benchmarks       []benchmark     `json:"benchmarks"`
+	Stage2CloneNs    float64         `json:"stage2_clone_ns_per_op,omitempty"`
+	Stage2MoveNs     float64         `json:"stage2_move_ns_per_op,omitempty"`
+	Stage2Speedup    float64         `json:"stage2_speedup,omitempty"`
+	Stage1CloneNs    float64         `json:"stage1_clone_ns_per_op,omitempty"`
+	Stage1MoveNs     float64         `json:"stage1_move_ns_per_op,omitempty"`
+	Stage1Speedup    float64         `json:"stage1_speedup,omitempty"`
+	Experiments      json.RawMessage `json:"experiments,omitempty"`
+	ExperimentSource string          `json:"experiment_source,omitempty"`
+}
+
+// benchLine matches one line of `go test -bench -benchmem` output, e.g.
+//
+//	BenchmarkStage2IterMove-8   300000   743.2 ns/op   49 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	goOut := flag.String("go", "", "`file` holding raw go test -bench output")
+	expJSON := flag.String("exp", "", "`file` holding dmfb-bench -json output (optional)")
+	out := flag.String("out", "BENCH_place.json", "output `file`")
+	flag.Parse()
+	if *goOut == "" {
+		fmt.Fprintln(os.Stderr, "benchreport: -go is required")
+		os.Exit(2)
+	}
+
+	rep := report{
+		Benchmark: "PCR (polymerase chain reaction) assay placement",
+		GoVersion: runtime.Version(),
+	}
+
+	data, err := os.ReadFile(*goOut)
+	if err != nil {
+		fatal(err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := benchmark{Name: m[1]}
+		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+		switch b.Name {
+		case "BenchmarkStage2IterClone":
+			rep.Stage2CloneNs = b.NsPerOp
+		case "BenchmarkStage2IterMove":
+			rep.Stage2MoveNs = b.NsPerOp
+		case "BenchmarkStage1IterClone":
+			rep.Stage1CloneNs = b.NsPerOp
+		case "BenchmarkStage1IterMove":
+			rep.Stage1MoveNs = b.NsPerOp
+		}
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in %s", *goOut))
+	}
+	if rep.Stage2CloneNs > 0 && rep.Stage2MoveNs > 0 {
+		rep.Stage2Speedup = round2(rep.Stage2CloneNs / rep.Stage2MoveNs)
+	}
+	if rep.Stage1CloneNs > 0 && rep.Stage1MoveNs > 0 {
+		rep.Stage1Speedup = round2(rep.Stage1CloneNs / rep.Stage1MoveNs)
+	}
+
+	if *expJSON != "" {
+		raw, err := os.ReadFile(*expJSON)
+		if err != nil {
+			fatal(err)
+		}
+		if !json.Valid(raw) {
+			fatal(fmt.Errorf("%s: not valid JSON", *expJSON))
+		}
+		rep.Experiments = json.RawMessage(strings.TrimSpace(string(raw)))
+		rep.ExperimentSource = "dmfb-bench -json"
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchreport: wrote %s (%d benchmarks", *out, len(rep.Benchmarks))
+	if rep.Stage2Speedup > 0 {
+		fmt.Printf(", stage-2 speedup %.2fx", rep.Stage2Speedup)
+	}
+	fmt.Println(")")
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}
