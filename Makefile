@@ -1,6 +1,9 @@
 GO ?= go
+FUZZTIME ?= 10s
+CAMPAIGN_TRIALS ?= 10000
+CAMPAIGN_WORKERS ?= 8
 
-.PHONY: all build test race vet fmtcheck bench benchquick ci clean
+.PHONY: all build test race vet fmtcheck fuzz bench benchquick ci clean
 
 all: build
 
@@ -22,16 +25,33 @@ fmtcheck:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# fuzz smoke-runs every native fuzz target for FUZZTIME each (go only
+# accepts one -fuzz pattern per invocation). Seed corpora live in the
+# packages' testdata/fuzz directories and also replay under plain
+# `make test`.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzPlanModule$$' -fuzztime $(FUZZTIME) ./internal/reconfig/
+	$(GO) test -run '^$$' -fuzz '^FuzzRecover$$' -fuzztime $(FUZZTIME) ./internal/reconfig/
+	$(GO) test -run '^$$' -fuzz '^FuzzMiner$$' -fuzztime $(FUZZTIME) ./internal/emptyrect/
+
 # bench measures the annealing inner loop (clone-and-recompute vs the
-# incremental move kernel) and one end-to-end fault-tolerant PCR
-# placement, then assembles BENCH_place.json at the repo root.
+# incremental move kernel), one end-to-end fault-tolerant PCR
+# placement, and the fault-injection campaign's worker scaling (the
+# same seeded campaign at 1 and CAMPAIGN_WORKERS workers; summaries
+# must be identical, wall-clock speedup is recorded), then assembles
+# BENCH_place.json at the repo root.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkStage|BenchmarkActiveDuring' \
 		-benchtime 200000x -benchmem ./internal/core/ ./internal/place/ \
 		| tee bench_go.out
 	$(GO) run ./cmd/dmfb-bench -exp fig8 -json bench_exp.json
-	$(GO) run ./tools/benchreport -go bench_go.out -exp bench_exp.json -out BENCH_place.json
-	rm -f bench_go.out bench_exp.json
+	$(GO) run ./cmd/dmfb-campaign -trials $(CAMPAIGN_TRIALS) -k 3 -workers 1 \
+		-quiet -json bench_campaign1.json
+	$(GO) run ./cmd/dmfb-campaign -trials $(CAMPAIGN_TRIALS) -k 3 -workers $(CAMPAIGN_WORKERS) \
+		-quiet -json bench_campaignN.json
+	$(GO) run ./tools/benchreport -go bench_go.out -exp bench_exp.json \
+		-campaign1 bench_campaign1.json -campaignN bench_campaignN.json -out BENCH_place.json
+	rm -f bench_go.out bench_exp.json bench_campaign1.json bench_campaignN.json
 
 benchquick:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...

@@ -16,6 +16,7 @@ import (
 
 var cliTools = []string{
 	"dmfb-synth", "dmfb-place", "dmfb-fti", "dmfb-sim", "dmfb-bench", "dmfb-test", "dmfb-route",
+	"dmfb-campaign",
 }
 
 // buildCLI compiles every tool once per test binary invocation.
@@ -129,6 +130,72 @@ func TestCLIBenchSmoke(t *testing.T) {
 	if !strings.Contains(out, "unknown experiment") {
 		t.Errorf("unknown experiment not rejected:\n%s", out)
 	}
+}
+
+func TestCLICampaign(t *testing.T) {
+	bin := buildCLI(t)
+	tool := filepath.Join(bin, "dmfb-campaign")
+	dir := t.TempDir()
+
+	// Same seed at different worker counts -> identical summary JSON.
+	var sums []string
+	for _, w := range []string{"1", "4"} {
+		jsonPath := filepath.Join(dir, "w"+w+".json")
+		out := run(t, tool, true, "-trials", "500", "-seed", "7", "-workers", w,
+			"-quiet", "-json", jsonPath)
+		if !strings.Contains(out, "Wilson CI") {
+			t.Errorf("campaign output missing Wilson interval:\n%s", out)
+		}
+		var got struct {
+			Summary      json.RawMessage `json:"summary"`
+			PredictedFTI float64         `json:"predicted_fti"`
+			Workers      int             `json:"workers"`
+		}
+		data, err := os.ReadFile(jsonPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("campaign JSON invalid: %v\n%s", err, data)
+		}
+		if got.PredictedFTI <= 0 || got.PredictedFTI > 1 {
+			t.Errorf("predicted FTI %v out of range", got.PredictedFTI)
+		}
+		sums = append(sums, string(got.Summary))
+	}
+	if sums[0] != sums[1] {
+		t.Errorf("summaries differ across worker counts:\n%s\nvs\n%s", sums[0], sums[1])
+	}
+
+	// Checkpointed run, then resume over the finished checkpoint:
+	// resumed summary must match.
+	ckpt := filepath.Join(dir, "run.jsonl")
+	jsonA := filepath.Join(dir, "a.json")
+	jsonB := filepath.Join(dir, "b.json")
+	run(t, tool, true, "-trials", "300", "-seed", "3", "-quiet", "-checkpoint", ckpt, "-json", jsonA)
+	out := run(t, tool, true, "-trials", "300", "-seed", "3", "-quiet",
+		"-checkpoint", ckpt, "-resume", "-json", jsonB)
+	if !strings.Contains(out, "replayed from checkpoint") {
+		t.Errorf("resume did not replay the checkpoint:\n%s", out)
+	}
+	var a, b struct {
+		Summary json.RawMessage `json:"summary"`
+	}
+	da, _ := os.ReadFile(jsonA)
+	db, _ := os.ReadFile(jsonB)
+	if err := json.Unmarshal(da, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(db, &b); err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Summary) != string(b.Summary) {
+		t.Errorf("resumed summary differs:\n%s\nvs\n%s", a.Summary, b.Summary)
+	}
+
+	// Error paths: unknown mode, resume without checkpoint.
+	run(t, tool, false, "-mode", "bogus")
+	run(t, tool, false, "-resume", "-trials", "10")
 }
 
 func TestCLIErrorPaths(t *testing.T) {

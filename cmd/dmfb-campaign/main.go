@@ -1,0 +1,194 @@
+// dmfb-campaign runs large randomized fault-injection campaigns
+// against the PCR case-study placement: place once, then inject
+// faults trial after trial and attempt recovery via partial
+// reconfiguration (Section 5.1), optionally falling back to full
+// re-placement. Trials run across a worker pool with per-trial
+// deterministic RNG streams, so the same seed produces the same
+// summary at any worker count, and campaigns checkpoint to a JSONL
+// file so an interrupted run resumes exactly where it stopped.
+//
+// Usage:
+//
+//	dmfb-campaign -trials 10000                      # 2-fault campaign, all cores
+//	dmfb-campaign -mode single -trials 100000        # uniform single faults
+//	dmfb-campaign -mode yield -q 0.02 -full          # defect-density yield
+//	dmfb-campaign -trials 1e6 -checkpoint run.jsonl  # interruptible
+//	dmfb-campaign -trials 1e6 -checkpoint run.jsonl -resume
+//	dmfb-campaign -trace t.jsonl -metrics m.json     # observability
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dmfb/internal/campaign"
+	"dmfb/internal/core"
+	"dmfb/internal/faultsim"
+	"dmfb/internal/fti"
+	"dmfb/internal/pcr"
+	"dmfb/internal/place"
+	"dmfb/internal/stats"
+	"dmfb/internal/telemetry/cliflags"
+)
+
+// output is the machine-readable record of one campaign run.
+type output struct {
+	Summary      campaign.Summary `json:"summary"`
+	PredictedFTI float64          `json:"predicted_fti"`
+	Workers      int              `json:"workers"`
+	Resumed      int              `json:"resumed,omitempty"`
+	ElapsedMS    float64          `json:"elapsed_ms"`
+	TrialMS      stats.Summary    `json:"trial_ms"`
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		mode      = flag.String("mode", "multi", "campaign kind: single | multi | yield | exhaustive")
+		trials    = flag.Int("trials", 10000, "number of trials (ignored for -mode exhaustive)")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		seed      = flag.Int64("seed", 1, "campaign seed; same seed => same summary at any worker count")
+		k         = flag.Int("k", 2, "faults per trial in -mode multi")
+		q         = flag.Float64("q", 0.01, "per-cell defect probability in -mode yield")
+		full      = flag.Bool("full", false, "fall back to full re-placement when partial reconfiguration fails")
+		timeout   = flag.Duration("timeout", 0, "per-trial timeout (0 = none; breaks determinism when it fires)")
+		ckpt      = flag.String("checkpoint", "", "JSONL checkpoint `file` (appended per trial)")
+		resume    = flag.Bool("resume", false, "resume a previous run from -checkpoint")
+		jsonOut   = flag.String("json", "", "write machine-readable results to `file`")
+		placeSeed = flag.Int64("place-seed", 2, "annealing seed of the PCR placement under test")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
+	)
+	obs := cliflags.Register()
+	flag.Parse()
+
+	ts, err := obs.Start("dmfb-campaign")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-campaign:", err)
+		return 1
+	}
+	defer func() {
+		if err := ts.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dmfb-campaign:", err)
+		}
+	}()
+
+	p, err := pcrPlacement(*placeSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-campaign:", err)
+		return 1
+	}
+	array := p.BoundingBox()
+	predicted := fti.Compute(p).FTI()
+	fmt.Printf("placement: PCR, %d modules on %dx%d array, predicted FTI %.4f\n",
+		len(p.Modules), array.W, array.H, predicted)
+
+	heavy := core.Options{Seed: 3, ItersPerModule: 40, WindowPatience: 2}
+	var fn campaign.TrialFunc
+	name := *mode
+	switch *mode {
+	case "single":
+		fn = faultsim.SingleFaultTrial(p)
+	case "multi":
+		fn = faultsim.MultiFaultTrial(p, *k, *full, heavy)
+		name = fmt.Sprintf("multi-k%d", *k)
+	case "yield":
+		fn = faultsim.YieldTrial(p, *q, *full, heavy)
+		name = fmt.Sprintf("yield-q%g", *q)
+	case "exhaustive":
+		fn = faultsim.ExhaustiveTrial(p)
+		*trials = array.Cells()
+	default:
+		fmt.Fprintf(os.Stderr, "dmfb-campaign: unknown -mode %q\n", *mode)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := campaign.Config{
+		Name:         name,
+		Trials:       *trials,
+		Workers:      *workers,
+		Seed:         *seed,
+		TrialTimeout: *timeout,
+		Checkpoint:   *ckpt,
+		Resume:       *resume,
+		Metrics:      ts.Metrics,
+		Tracer:       ts.Tracer,
+	}
+	if !*quiet {
+		lastPct := -1
+		cfg.Progress = func(done, total int) {
+			if pct := done * 100 / total; pct != lastPct && pct%5 == 0 {
+				lastPct = pct
+				fmt.Fprintf(os.Stderr, "\r%3d%% (%d/%d trials)", pct, done, total)
+			}
+		}
+	}
+
+	rep, runErr := campaign.Run(ctx, cfg, fn)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-campaign:", runErr)
+		if ctx.Err() != nil && *ckpt != "" {
+			fmt.Fprintf(os.Stderr, "dmfb-campaign: %d trials checkpointed; rerun with -resume to continue\n",
+				rep.Summary.Trials)
+		}
+		return 1
+	}
+
+	s := rep.Summary
+	fmt.Printf("%s\n", s)
+	fmt.Printf("survival %.4f, 95%% Wilson CI [%.4f, %.4f] (predicted FTI %.4f)\n",
+		s.SurvivalRate, s.Wilson95Lo, s.Wilson95Hi, predicted)
+	if s.Values != nil {
+		fmt.Printf("values: mean %.3f, median %.1f, p95 %.1f, max %.1f\n",
+			s.Values.Mean, s.Values.Median, s.Values.P95, s.Values.Max)
+	}
+	fmt.Printf("%d workers, %d trials in %.1fms (median %.3fms/trial)",
+		rep.Workers, s.Trials, float64(rep.Elapsed.Microseconds())/1000, rep.TrialMS.Median)
+	if rep.Resumed > 0 {
+		fmt.Printf(", %d replayed from checkpoint", rep.Resumed)
+	}
+	fmt.Println()
+
+	if *jsonOut != "" {
+		out := output{
+			Summary:      s,
+			PredictedFTI: predicted,
+			Workers:      rep.Workers,
+			Resumed:      rep.Resumed,
+			ElapsedMS:    float64(rep.Elapsed.Microseconds()) / 1000,
+			TrialMS:      rep.TrialMS,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmfb-campaign:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// pcrPlacement synthesises and places the PCR case study with
+// experiment-grade area-minimal annealing.
+func pcrPlacement(seed int64) (*place.Placement, error) {
+	s, err := pcr.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	p, _, err := core.AnnealArea(core.FromSchedule(s),
+		core.Options{Seed: seed, ItersPerModule: 120, WindowPatience: 4})
+	return p, err
+}

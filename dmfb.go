@@ -26,12 +26,14 @@
 package dmfb
 
 import (
+	"context"
 	"io"
 	"math"
 
 	"dmfb/internal/actuation"
 	"dmfb/internal/anneal"
 	"dmfb/internal/assay"
+	"dmfb/internal/campaign"
 	"dmfb/internal/core"
 	"dmfb/internal/faultsim"
 	"dmfb/internal/fluidics"
@@ -150,6 +152,21 @@ type (
 	TestReport = testdrop.Report
 	// FaultCampaign summarises Monte-Carlo fault injection.
 	FaultCampaign = faultsim.Summary
+	// CampaignConfig configures a parallel fault-injection campaign.
+	CampaignConfig = campaign.Config
+	// CampaignTrial is one trial's identity: index, derived seed, and
+	// private RNG stream.
+	CampaignTrial = campaign.Trial
+	// CampaignOutcome is one trial's result.
+	CampaignOutcome = campaign.Outcome
+	// CampaignReport is a finished campaign: deterministic summary plus
+	// wall-clock execution facts.
+	CampaignReport = campaign.Report
+	// CampaignSummary is the worker-count-independent aggregate of a
+	// campaign.
+	CampaignSummary = campaign.Summary
+	// TrialFunc executes one campaign trial.
+	TrialFunc = campaign.TrialFunc
 )
 
 // CellPitchMM is the electrode pitch of the Table 1 target chip.
@@ -386,6 +403,29 @@ func FullReconfigure(old *Placement, dead []Point, opts PlacerOptions) (*Placeme
 func EstimateYield(p *Placement, defectProb float64, trials int, seed int64,
 	withFull bool, opts PlacerOptions) FaultCampaign {
 	return faultsim.Yield(p, defectProb, trials, seed, withFull, opts)
+}
+
+// RunCampaign executes a fault-injection campaign across a worker
+// pool: trials are dispatched concurrently, each drawing randomness
+// only from its own deterministic stream, so the summary is identical
+// at any worker count and across checkpoint resumes. The context
+// cancels the campaign between trials.
+func RunCampaign(ctx context.Context, cfg CampaignConfig, fn TrialFunc) (CampaignReport, error) {
+	return campaign.Run(ctx, cfg, fn)
+}
+
+// SingleFaultTrial is the uniform single-fault campaign workload on p.
+func SingleFaultTrial(p *Placement) TrialFunc { return faultsim.SingleFaultTrial(p) }
+
+// MultiFaultTrial is the sequential k-fault campaign workload on p,
+// with full re-placement fallback when withFull is set.
+func MultiFaultTrial(p *Placement, k int, withFull bool, opts PlacerOptions) TrialFunc {
+	return faultsim.MultiFaultTrial(p, k, withFull, opts)
+}
+
+// YieldTrial is the defect-density yield campaign workload on p.
+func YieldTrial(p *Placement, defectProb float64, withFull bool, opts PlacerOptions) TrialFunc {
+	return faultsim.YieldTrial(p, defectProb, withFull, opts)
 }
 
 // RenderPlacement draws a placement as ASCII art.

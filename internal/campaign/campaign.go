@@ -1,0 +1,389 @@
+// Package campaign is the fault-injection campaign engine: it runs
+// large numbers of randomized, independent end-to-end trials (place →
+// inject faults → recover) across a worker pool and aggregates the
+// outcomes into survival statistics.
+//
+// The engine's contract is determinism at scale. Trial t of a campaign
+// seeded with S always executes with the RNG stream TrialRNG(S, t),
+// derived by a splitmix64 splitter, never with a stream shared between
+// trials — so the campaign's aggregate is bit-identical whether it ran
+// on one worker or sixty-four, locally or resumed from a checkpoint
+// after a kill. Trials are scheduled in chunks through a lock-free
+// cursor, completed trials stream to an append-only JSONL checkpoint,
+// and cancellation (context or per-trial timeout) is honoured between
+// and — cooperatively — within trials.
+//
+// The legacy sequential entry points of internal/faultsim predate this
+// engine and drew all trials from one shared RNG stream; they are kept
+// bit-identical via Config.SharedRNG, which pins the campaign to one
+// worker and threads a single stream through the trials in index
+// order. New campaigns should never set it.
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmfb/internal/stats"
+	"dmfb/internal/telemetry"
+)
+
+// Trial is the per-trial context handed to a TrialFunc.
+type Trial struct {
+	// Index is the trial number in [0, Config.Trials).
+	Index int
+	// Seed is the derived per-trial seed, DeriveSeed(campaign seed,
+	// Index). Trial functions that seed nested stochastic stages (a
+	// full-reconfiguration annealer, say) must derive sub-seeds from it
+	// with DeriveSeed rather than inventing arithmetic on the campaign
+	// seed.
+	Seed int64
+	// RNG is the trial's private random stream, already positioned at
+	// its start. In SharedRNG mode it is the campaign-wide stream
+	// instead (and trials run strictly in index order).
+	RNG *rand.Rand
+}
+
+// Outcome is what one trial reports back.
+type Outcome struct {
+	// Survived records whether the configuration absorbed the injected
+	// fault(s).
+	Survived bool
+	// Value is an optional per-trial measurement (faults absorbed,
+	// relocations performed, defects on the die, ...) aggregated into
+	// Summary.Values quantiles.
+	Value float64
+	// Err marks an infrastructure failure (timeout, invalid input) as
+	// opposed to a plain non-survival. Erroneous trials count in
+	// Summary.Errors and never in Survived.
+	Err error
+}
+
+// TrialFunc executes one independent trial. It must be safe for
+// concurrent invocation (each call owns its Trial.RNG) and should poll
+// ctx in long loops so per-trial timeouts and campaign cancellation
+// take effect; the engine also enforces both between trials.
+type TrialFunc func(ctx context.Context, t Trial) Outcome
+
+// Config parameterises a campaign run.
+type Config struct {
+	// Name identifies the campaign in checkpoints and summaries.
+	Name string
+	// Trials is the number of independent trials (required, > 0).
+	Trials int
+	// Workers sizes the pool; 0 means GOMAXPROCS.
+	Workers int
+	// Seed is the campaign seed from which every trial stream derives.
+	Seed int64
+	// TrialTimeout bounds each trial's wall time; 0 disables. A timed
+	// out trial is recorded as an error, which makes the aggregate
+	// dependent on machine speed — leave timeouts off when
+	// bit-reproducibility matters.
+	TrialTimeout time.Duration
+	// Checkpoint is the JSONL checkpoint path; "" disables
+	// checkpointing.
+	Checkpoint string
+	// Resume replays completed trials from the checkpoint file instead
+	// of re-running them. Requires Checkpoint; incompatible with
+	// SharedRNG (a shared stream cannot skip trials).
+	Resume bool
+	// SharedRNG runs all trials in index order on one worker, sharing
+	// a single legacy math/rand stream seeded with Seed. It exists so
+	// the pre-engine sequential campaigns in internal/faultsim stay
+	// bit-identical; new campaigns should never set it.
+	SharedRNG bool
+	// Metrics, if non-nil, receives campaign.* counters and the
+	// campaign.trial_ms histogram.
+	Metrics *telemetry.Registry
+	// Tracer, if non-nil, receives a campaign.run span.
+	Tracer *telemetry.Tracer
+	// Progress, if non-nil, is called after every completed trial with
+	// the running completion count. It is called from worker
+	// goroutines under a lock; keep it fast.
+	Progress func(done, total int)
+}
+
+// Summary is the deterministic aggregate of a campaign: for a given
+// (trial function, Name, Seed, Trials) it is bit-identical at any
+// worker count, across checkpoint resumes, and across platforms —
+// which is what the determinism golden tests pin. Wall-clock facts
+// live in Report, never here.
+type Summary struct {
+	Name         string         `json:"name,omitempty"`
+	Seed         int64          `json:"seed"`
+	Trials       int            `json:"trials"`
+	Survived     int            `json:"survived"`
+	Errors       int            `json:"errors,omitempty"`
+	SurvivalRate float64        `json:"survival_rate"`
+	Wilson95Lo   float64        `json:"wilson95_lo"`
+	Wilson95Hi   float64        `json:"wilson95_hi"`
+	Values       *stats.Summary `json:"values,omitempty"`
+}
+
+// String renders the summary's headline numbers.
+func (s Summary) String() string {
+	return fmt.Sprintf("%s: survived %d/%d (%.4f, 95%% CI [%.4f, %.4f], %d errors)",
+		s.Name, s.Survived, s.Trials, s.SurvivalRate, s.Wilson95Lo, s.Wilson95Hi, s.Errors)
+}
+
+// MarshalDeterministic returns the canonical JSON encoding of the
+// summary — the byte string the determinism tests compare across
+// worker counts and resumes.
+func (s Summary) MarshalDeterministic() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Report is the full outcome of Run: the deterministic Summary plus
+// the run's wall-clock facts, which vary machine to machine.
+type Report struct {
+	Summary Summary
+	// Workers is the realised pool size.
+	Workers int
+	// Elapsed is the campaign wall time.
+	Elapsed time.Duration
+	// TrialMS summarises per-trial wall times in milliseconds
+	// (executed trials only; zero-valued when every trial was replayed
+	// from a checkpoint).
+	TrialMS stats.Summary
+	// Resumed counts trials replayed from the checkpoint rather than
+	// executed.
+	Resumed int
+}
+
+// trialResult is one slot of the in-memory result table.
+type trialResult struct {
+	done     bool
+	survived bool
+	value    float64
+	errMsg   string
+}
+
+// Run executes the campaign and returns its report. The error is
+// non-nil only for infrastructure failures: invalid configuration,
+// checkpoint I/O, or cancellation before every trial completed (the
+// partial Report still describes the completed trials, and the
+// checkpoint — if any — holds them for a later Resume).
+func Run(ctx context.Context, cfg Config, fn TrialFunc) (Report, error) {
+	if fn == nil {
+		return Report{}, fmt.Errorf("campaign: nil trial function")
+	}
+	if cfg.Trials <= 0 {
+		return Report{}, fmt.Errorf("campaign: need at least one trial, got %d", cfg.Trials)
+	}
+	if cfg.Resume && cfg.Checkpoint == "" {
+		return Report{}, fmt.Errorf("campaign: Resume requires a Checkpoint path")
+	}
+	if cfg.Resume && cfg.SharedRNG {
+		return Report{}, fmt.Errorf("campaign: SharedRNG campaigns cannot resume (the stream cannot skip trials)")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SharedRNG || workers > cfg.Trials {
+		if cfg.SharedRNG {
+			workers = 1
+		} else {
+			workers = cfg.Trials
+		}
+	}
+
+	start := time.Now()
+	span := cfg.Tracer.Start("campaign.run")
+
+	results := make([]trialResult, cfg.Trials)
+	resumed := 0
+	hdr := checkpointHeader{V: checkpointVersion, Campaign: cfg.Name, Seed: cfg.Seed, Trials: cfg.Trials}
+	if cfg.Resume {
+		done, err := loadCheckpoint(cfg.Checkpoint, hdr)
+		if err != nil {
+			return Report{}, err
+		}
+		for idx, line := range done {
+			results[idx] = trialResult{done: true, survived: line.Survived, value: line.Value, errMsg: line.Err}
+			resumed++
+		}
+	}
+	var cw *checkpointWriter
+	if cfg.Checkpoint != "" {
+		var err error
+		if cw, err = newCheckpointWriter(cfg.Checkpoint, hdr); err != nil {
+			return Report{}, err
+		}
+		defer cw.close()
+	}
+
+	var (
+		mu        sync.Mutex
+		completed = resumed
+		durations []float64
+		writeErr  error
+	)
+	finish := func(idx int, out Outcome, elapsed time.Duration) {
+		errMsg := ""
+		if out.Err != nil {
+			errMsg = out.Err.Error()
+		}
+		line := checkpointLine{Trial: idx, Survived: out.Survived && out.Err == nil, Value: out.Value, Err: errMsg}
+		var werr error
+		if cw != nil {
+			werr = cw.record(line)
+		}
+		ms := float64(elapsed.Microseconds()) / 1000
+		cfg.Metrics.Counter("campaign.trials").Inc()
+		if line.Survived {
+			cfg.Metrics.Counter("campaign.trials_survived").Inc()
+		}
+		if errMsg != "" {
+			cfg.Metrics.Counter("campaign.trial_errors").Inc()
+		}
+		cfg.Metrics.Histogram("campaign.trial_ms", telemetry.LatencyBuckets...).Observe(ms)
+
+		mu.Lock()
+		results[idx] = trialResult{done: true, survived: line.Survived, value: line.Value, errMsg: errMsg}
+		completed++
+		durations = append(durations, ms)
+		if werr != nil && writeErr == nil {
+			writeErr = werr
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(completed, cfg.Trials)
+		}
+		mu.Unlock()
+	}
+
+	runOne := func(ctx context.Context, t Trial) {
+		t0 := time.Now()
+		out := execTrial(ctx, cfg.TrialTimeout, fn, t)
+		finish(t.Index, out, time.Since(t0))
+	}
+
+	if cfg.SharedRNG {
+		// Legacy mode: one worker, one stream, strict index order.
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		for i := 0; i < cfg.Trials && ctx.Err() == nil; i++ {
+			runOne(ctx, Trial{Index: i, Seed: cfg.Seed, RNG: rng})
+		}
+	} else {
+		// Chunked dispatch: workers claim contiguous trial ranges from
+		// an atomic cursor, so per-trial scheduling overhead stays far
+		// below the cost of a trial even for microsecond-scale trials.
+		chunk := cfg.Trials / (workers * 8)
+		if chunk < 1 {
+			chunk = 1
+		}
+		if chunk > 256 {
+			chunk = 256
+		}
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					lo := int(cursor.Add(int64(chunk))) - chunk
+					if lo >= cfg.Trials {
+						return
+					}
+					hi := lo + chunk
+					if hi > cfg.Trials {
+						hi = cfg.Trials
+					}
+					for i := lo; i < hi; i++ {
+						if results[i].done { // replayed from checkpoint
+							continue
+						}
+						if ctx.Err() != nil {
+							return
+						}
+						runOne(ctx, Trial{Index: i, Seed: DeriveSeed(cfg.Seed, uint64(i)), RNG: TrialRNG(cfg.Seed, i)})
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	rep := Report{Workers: workers, Elapsed: time.Since(start), Resumed: resumed}
+	if len(durations) > 0 {
+		rep.TrialMS = stats.Describe(durations)
+	}
+	rep.Summary = summarize(cfg, results)
+	span.End(telemetry.Fields{
+		"campaign": cfg.Name,
+		"trials":   rep.Summary.Trials,
+		"survived": rep.Summary.Survived,
+		"workers":  workers,
+		"resumed":  resumed,
+	})
+	if writeErr != nil {
+		return rep, writeErr
+	}
+	if err := ctx.Err(); err != nil {
+		return rep, fmt.Errorf("campaign: interrupted after %d/%d trials: %w",
+			rep.Summary.Trials, cfg.Trials, err)
+	}
+	return rep, nil
+}
+
+// execTrial runs one trial under the per-trial timeout. Timeouts are
+// enforced both cooperatively (the trial sees an expiring ctx) and
+// preemptively: a trial that overruns is abandoned to finish in the
+// background and recorded as a timeout error.
+func execTrial(ctx context.Context, timeout time.Duration, fn TrialFunc, t Trial) Outcome {
+	if timeout <= 0 {
+		return fn(ctx, t)
+	}
+	tctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	ch := make(chan Outcome, 1)
+	go func() { ch <- fn(tctx, t) }()
+	select {
+	case out := <-ch:
+		if tctx.Err() != nil && ctx.Err() == nil {
+			return Outcome{Err: fmt.Errorf("campaign: trial %d timed out after %v", t.Index, timeout)}
+		}
+		return out
+	case <-tctx.Done():
+		if ctx.Err() != nil {
+			return Outcome{Err: ctx.Err()}
+		}
+		return Outcome{Err: fmt.Errorf("campaign: trial %d timed out after %v", t.Index, timeout)}
+	}
+}
+
+// summarize folds the result table, in trial-index order, into the
+// deterministic Summary. Incomplete trials (cancelled run) are
+// excluded from every aggregate.
+func summarize(cfg Config, results []trialResult) Summary {
+	s := Summary{Name: cfg.Name, Seed: cfg.Seed}
+	var values []float64
+	for i := range results {
+		r := &results[i]
+		if !r.done {
+			continue
+		}
+		s.Trials++
+		switch {
+		case r.errMsg != "":
+			s.Errors++
+		case r.survived:
+			s.Survived++
+		}
+		values = append(values, r.value)
+	}
+	if s.Trials > 0 {
+		s.SurvivalRate = float64(s.Survived) / float64(s.Trials)
+		s.Wilson95Lo, s.Wilson95Hi = stats.Wilson95(s.Survived, s.Trials)
+		vs := stats.Describe(values)
+		s.Values = &vs
+	}
+	return s
+}

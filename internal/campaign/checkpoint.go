@@ -1,0 +1,145 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Checkpoint file format (JSONL, append-only):
+//
+//	{"v":1,"campaign":"pcr-multi","seed":1,"trials":10000}   header
+//	{"trial":17,"survived":true,"value":2}                   one line per trial
+//	{"trial":18,"survived":false,"err":"timeout"}
+//
+// The header pins the campaign identity; Resume refuses a checkpoint
+// whose name, seed or trial count differ, since replaying trials from
+// a different campaign would silently corrupt the aggregate. Trial
+// lines may appear in any order (workers finish out of order) and the
+// file tolerates a torn final line — the write that was interrupted by
+// the kill that the resume is recovering from.
+
+const checkpointVersion = 1
+
+type checkpointHeader struct {
+	V        int    `json:"v"`
+	Campaign string `json:"campaign,omitempty"`
+	Seed     int64  `json:"seed"`
+	Trials   int    `json:"trials"`
+}
+
+type checkpointLine struct {
+	Trial    int     `json:"trial"`
+	Survived bool    `json:"survived"`
+	Value    float64 `json:"value,omitempty"`
+	Err      string  `json:"err,omitempty"`
+}
+
+// loadCheckpoint reads a checkpoint file and returns the recorded
+// trial outcomes. A missing file is an empty checkpoint, not an
+// error; a header mismatch is.
+func loadCheckpoint(path string, want checkpointHeader) (map[int]checkpointLine, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		return nil, nil // empty file: nothing recorded yet
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("campaign: checkpoint %s: corrupt header: %w", path, err)
+	}
+	if hdr.V != want.V || hdr.Campaign != want.Campaign || hdr.Seed != want.Seed || hdr.Trials != want.Trials {
+		return nil, fmt.Errorf(
+			"campaign: checkpoint %s was written by campaign %q seed=%d trials=%d; refusing to resume %q seed=%d trials=%d",
+			path, hdr.Campaign, hdr.Seed, hdr.Trials, want.Campaign, want.Seed, want.Trials)
+	}
+
+	done := make(map[int]checkpointLine)
+	for sc.Scan() {
+		var line checkpointLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			// A torn trailing line is expected after a kill; anything
+			// unparsable is simply not counted as completed.
+			continue
+		}
+		if line.Trial < 0 || line.Trial >= want.Trials {
+			return nil, fmt.Errorf("campaign: checkpoint %s: trial %d out of range [0,%d)",
+				path, line.Trial, want.Trials)
+		}
+		done[line.Trial] = line
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
+	}
+	return done, nil
+}
+
+// checkpointWriter appends completed-trial records to the checkpoint
+// file. Writes are serialised by a mutex and flushed per record, so a
+// killed process loses at most the record being written.
+type checkpointWriter struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// newCheckpointWriter opens path for appending, writing the header
+// when the file is new or empty.
+func newCheckpointWriter(path string, hdr checkpointHeader) (*checkpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: stat checkpoint: %w", err)
+	}
+	cw := &checkpointWriter{f: f, w: bufio.NewWriter(f)}
+	if st.Size() == 0 {
+		if err := cw.writeJSON(hdr); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return cw, nil
+}
+
+func (cw *checkpointWriter) writeJSON(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if _, err := cw.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	return cw.w.Flush()
+}
+
+// record appends one completed trial.
+func (cw *checkpointWriter) record(line checkpointLine) error {
+	return cw.writeJSON(line)
+}
+
+func (cw *checkpointWriter) close() error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	err := cw.w.Flush()
+	if cerr := cw.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

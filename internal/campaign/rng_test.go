@@ -1,0 +1,63 @@
+package campaign
+
+import "testing"
+
+func TestDeriveSeedDistinctStreams(t *testing.T) {
+	seen := make(map[int64]uint64)
+	for s := uint64(0); s < 10000; s++ {
+		d := DeriveSeed(42, s)
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("streams %d and %d derive the same seed %d", prev, s, d)
+		}
+		seen[d] = s
+	}
+}
+
+func TestDeriveSeedDependsOnCampaignSeed(t *testing.T) {
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Error("different campaign seeds derived the same stream seed")
+	}
+}
+
+func TestTrialRNGDeterministicAndIndependent(t *testing.T) {
+	a := TrialRNG(7, 3)
+	b := TrialRNG(7, 3)
+	c := TrialRNG(7, 4)
+	same, diff := true, true
+	for i := 0; i < 64; i++ {
+		x, y, z := a.Int63(), b.Int63(), c.Int63()
+		if x != y {
+			same = false
+		}
+		if x != z {
+			diff = false
+		}
+	}
+	if !same {
+		t.Error("same (seed, trial) produced different streams")
+	}
+	if diff {
+		t.Error("different trials produced identical streams")
+	}
+}
+
+func TestTrialRNGUniformity(t *testing.T) {
+	// Coarse sanity: Intn(2) over many per-trial streams is balanced.
+	ones := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		ones += TrialRNG(1, i).Intn(2)
+	}
+	if ones < n/2-n/10 || ones > n/2+n/10 {
+		t.Errorf("first draw of %d streams gave %d ones; splitter is biased", n, ones)
+	}
+}
+
+func TestSplitSourceSeedResets(t *testing.T) {
+	s := &splitSource{state: 123}
+	first := s.Uint64()
+	s.Seed(123)
+	if got := s.Uint64(); got != first {
+		t.Errorf("Seed did not reset the stream: %d != %d", got, first)
+	}
+}

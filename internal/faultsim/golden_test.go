@@ -1,0 +1,99 @@
+package faultsim
+
+import (
+	"math"
+	"testing"
+
+	"dmfb/internal/core"
+	"dmfb/internal/geom"
+	"dmfb/internal/pcr"
+	"dmfb/internal/place"
+)
+
+// Golden pins: the sequential presets were rebased onto the
+// internal/campaign engine, and these values were captured from the
+// pre-engine single-threaded implementations immediately before the
+// rebase. Any drift here means the presets are no longer bit-identical
+// to the historical campaigns — a breaking change for every seeded
+// experiment recorded in EXPERIMENTS.md.
+
+// tightPlacement packs four always-on 2x2 modules into a 6x4 array
+// with a thin free fringe, so multi-fault and yield campaigns have
+// discriminating (non-saturated) survival rates.
+func tightPlacement(t *testing.T) *place.Placement {
+	t.Helper()
+	mods := []place.Module{
+		mod(0, 2, 2, 0, 10), mod(1, 2, 2, 0, 10),
+		mod(2, 2, 2, 0, 10), mod(3, 2, 2, 0, 10),
+		mod(4, 1, 1, 0, 10),
+	}
+	p := place.New(mods)
+	p.Pos[0] = geom.Point{X: 0, Y: 0}
+	p.Pos[1] = geom.Point{X: 2, Y: 0}
+	p.Pos[2] = geom.Point{X: 0, Y: 2}
+	p.Pos[3] = geom.Point{X: 2, Y: 2}
+	p.Pos[4] = geom.Point{X: 5, Y: 3}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// pcrAreaPlacement is the deterministic seed-2 area-minimal PCR
+// placement the pre-engine goldens were captured on.
+func pcrAreaPlacement(t *testing.T) *place.Placement {
+	t.Helper()
+	prob := core.FromSchedule(pcr.MustSchedule())
+	p, _, err := core.AnnealArea(prob, core.Options{Seed: 2, ItersPerModule: 120, WindowPatience: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGoldenSequentialPresets(t *testing.T) {
+	light := core.Options{Seed: 3, ItersPerModule: 40, WindowPatience: 2}
+	cases := []struct {
+		name string
+		p    *place.Placement
+		// captured pre-engine values
+		single, multi, multiFull, yield, yieldFull, exhaustive, exhaustiveTrials int
+		fti                                                                      float64
+	}{
+		{
+			name: "tight", p: tightPlacement(t),
+			single: 256, multi: 90, multiFull: 24, yield: 110, yieldFull: 23,
+			exhaustive: 24, exhaustiveTrials: 24, fti: 1.0,
+		},
+		{
+			name: "pcr-area", p: pcrAreaPlacement(t),
+			single: 199, multi: 56, multiFull: 20, yield: 25, yieldFull: 13,
+			exhaustive: 60, exhaustiveTrials: 77, fti: 0.779221,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if s := SingleFault(c.p, 256, 7); s.Survived != c.single || s.Trials != 256 {
+				t.Errorf("SingleFault(256,7) = %d/%d, golden %d/256", s.Survived, s.Trials, c.single)
+			} else if math.Abs(s.PredictedFTI-c.fti) > 1e-6 {
+				t.Errorf("PredictedFTI = %.6f, golden %.6f", s.PredictedFTI, c.fti)
+			}
+			if s := MultiFault(c.p, 2, 128, 5); s.Survived != c.multi || s.Trials != 128 {
+				t.Errorf("MultiFault(2,128,5) = %d/%d, golden %d/128", s.Survived, s.Trials, c.multi)
+			}
+			if s := MultiFaultFull(c.p, 2, 24, 5, light); s.Survived != c.multiFull || s.Trials != 24 {
+				t.Errorf("MultiFaultFull(2,24,5) = %d/%d, golden %d/24", s.Survived, s.Trials, c.multiFull)
+			}
+			if s := Yield(c.p, 0.05, 128, 9, false, core.Options{}); s.Survived != c.yield || s.Trials != 128 {
+				t.Errorf("Yield(0.05,128,9,false) = %d/%d, golden %d/128", s.Survived, s.Trials, c.yield)
+			}
+			if s := Yield(c.p, 0.05, 24, 9, true, light); s.Survived != c.yieldFull || s.Trials != 24 {
+				t.Errorf("Yield(0.05,24,9,true) = %d/%d, golden %d/24", s.Survived, s.Trials, c.yieldFull)
+			}
+			if s := ExhaustiveSingleFault(c.p); s.Survived != c.exhaustive || s.Trials != c.exhaustiveTrials {
+				t.Errorf("ExhaustiveSingleFault = %d/%d, golden %d/%d",
+					s.Survived, s.Trials, c.exhaustive, c.exhaustiveTrials)
+			}
+		})
+	}
+}

@@ -1,0 +1,152 @@
+package faultsim
+
+import (
+	"context"
+
+	"dmfb/internal/campaign"
+	"dmfb/internal/core"
+	"dmfb/internal/geom"
+	"dmfb/internal/place"
+	"dmfb/internal/reconfig"
+)
+
+// Campaign-native trial functions. These are the parallel-deterministic
+// presets: every random draw comes from the trial's private stream
+// (campaign.TrialRNG) and every nested seed derives from the trial seed
+// (campaign.DeriveSeed), so a campaign's aggregate is bit-identical at
+// any worker count and across checkpoint resumes. The sequential
+// entry points (SingleFault, MultiFault, ...) predate the engine and
+// keep their historical shared-stream draw order instead; use these
+// constructors for anything new.
+
+// SingleFaultTrial returns the trial function of the uniform
+// single-fault campaign on p: each trial draws one uniform array cell
+// and attempts partial reconfiguration. Value is the number of module
+// relocations the recovery plan needed.
+func SingleFaultTrial(p *place.Placement) campaign.TrialFunc {
+	array := p.BoundingBox()
+	return func(_ context.Context, t campaign.Trial) campaign.Outcome {
+		cell := geom.Point{
+			X: array.X + t.RNG.Intn(array.W),
+			Y: array.Y + t.RNG.Intn(array.H),
+		}
+		rels, err := reconfig.Plan(p, array, cell)
+		if err != nil {
+			return campaign.Outcome{}
+		}
+		return campaign.Outcome{Survived: true, Value: float64(len(rels))}
+	}
+}
+
+// ExhaustiveTrial returns the trial function that sweeps every array
+// cell: trial t injects the fault at cell t in scan order, so a
+// campaign with exactly array.Cells() trials measures the FTI exactly.
+func ExhaustiveTrial(p *place.Placement) campaign.TrialFunc {
+	array := p.BoundingBox()
+	return func(_ context.Context, t campaign.Trial) campaign.Outcome {
+		cell := geom.Point{
+			X: array.X + t.Index%array.W,
+			Y: array.Y + t.Index/array.W,
+		}
+		rels, err := reconfig.Plan(p, array, cell)
+		if err != nil {
+			return campaign.Outcome{}
+		}
+		return campaign.Outcome{Survived: true, Value: float64(len(rels))}
+	}
+}
+
+// MultiFaultTrial returns the trial function of the sequential k-fault
+// campaign on p: k distinct faults injected one at a time, partial
+// reconfiguration after each, with full re-placement as a fallback
+// when withFull is set. Value is the number of faults absorbed before
+// the first unrecoverable one (k when the trial survives).
+func MultiFaultTrial(p *place.Placement, k int, withFull bool, opts core.Options) campaign.TrialFunc {
+	array := p.BoundingBox()
+	return func(ctx context.Context, t campaign.Trial) campaign.Outcome {
+		if k > array.Cells() {
+			return campaign.Outcome{}
+		}
+		cur := p.Clone()
+		var dead []geom.Point
+		for j := 0; j < k; j++ {
+			if err := ctx.Err(); err != nil {
+				return campaign.Outcome{Err: err}
+			}
+			cell := geom.Point{
+				X: array.X + t.RNG.Intn(array.W),
+				Y: array.Y + t.RNG.Intn(array.H),
+			}
+			if containsPoint(dead, cell) {
+				j--
+				continue
+			}
+			if recoverWithObstacles(cur, array, cell, dead) {
+				dead = append(dead, cell)
+				continue
+			}
+			if withFull {
+				o := opts
+				o.Seed = campaign.DeriveSeed(t.Seed, uint64(j))
+				if full, err := core.FullReconfigure(cur, append(append([]geom.Point(nil), dead...), cell), o); err == nil {
+					cur = full
+					dead = append(dead, cell)
+					continue
+				}
+			}
+			return campaign.Outcome{Value: float64(len(dead))}
+		}
+		return campaign.Outcome{Survived: true, Value: float64(k)}
+	}
+}
+
+// YieldTrial returns the trial function of the defect-density yield
+// campaign on p: every array cell fails independently with probability
+// defectProb and the chip is usable if the configuration absorbs all
+// its defects, with full re-placement as a fallback when withFull is
+// set. Value is the number of defects on the die.
+func YieldTrial(p *place.Placement, defectProb float64, withFull bool, opts core.Options) campaign.TrialFunc {
+	array := p.BoundingBox()
+	return func(ctx context.Context, t campaign.Trial) campaign.Outcome {
+		var defects []geom.Point
+		for y := 0; y < array.H; y++ {
+			for x := 0; x < array.W; x++ {
+				if t.RNG.Float64() < defectProb {
+					defects = append(defects, geom.Point{X: array.X + x, Y: array.Y + y})
+				}
+			}
+		}
+		n := float64(len(defects))
+		cur := p.Clone()
+		var dead []geom.Point
+		for _, cell := range defects {
+			if err := ctx.Err(); err != nil {
+				return campaign.Outcome{Err: err}
+			}
+			if recoverWithObstacles(cur, array, cell, dead) {
+				dead = append(dead, cell)
+				continue
+			}
+			if withFull {
+				o := opts
+				o.Seed = campaign.DeriveSeed(t.Seed, uint64(len(dead)))
+				if full, err := core.FullReconfigure(cur, append(append([]geom.Point(nil), dead...), cell), o); err == nil {
+					cur = full
+					dead = append(dead, cell)
+					continue
+				}
+			}
+			return campaign.Outcome{Value: n}
+		}
+		return campaign.Outcome{Survived: true, Value: n}
+	}
+}
+
+func containsPoint(pts []geom.Point, p geom.Point) bool {
+	for _, q := range pts {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

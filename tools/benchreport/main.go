@@ -44,6 +44,37 @@ type report struct {
 	Stage1Speedup    float64         `json:"stage1_speedup,omitempty"`
 	Experiments      json.RawMessage `json:"experiments,omitempty"`
 	ExperimentSource string          `json:"experiment_source,omitempty"`
+
+	// Campaign scaling: the same fault-injection campaign run at 1
+	// worker and at N workers (dmfb-campaign -json). Speedup is
+	// wall-clock 1-worker / N-worker; the summaries must be identical
+	// or the report is refused.
+	CampaignTrials    int     `json:"campaign_trials,omitempty"`
+	CampaignWorkers   int     `json:"campaign_workers,omitempty"`
+	Campaign1MS       float64 `json:"campaign_1worker_ms,omitempty"`
+	CampaignNMS       float64 `json:"campaign_nworker_ms,omitempty"`
+	CampaignSpeedup   float64 `json:"campaign_speedup,omitempty"`
+	CampaignIdentical bool    `json:"campaign_summaries_identical,omitempty"`
+}
+
+// campaignRun is the slice of dmfb-campaign -json output the report
+// needs.
+type campaignRun struct {
+	Summary   json.RawMessage `json:"summary"`
+	Workers   int             `json:"workers"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+}
+
+func readCampaign(path string) campaignRun {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var c campaignRun
+	if err := json.Unmarshal(raw, &c); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return c
 }
 
 // benchLine matches one line of `go test -bench -benchmem` output, e.g.
@@ -55,6 +86,8 @@ var benchLine = regexp.MustCompile(
 func main() {
 	goOut := flag.String("go", "", "`file` holding raw go test -bench output")
 	expJSON := flag.String("exp", "", "`file` holding dmfb-bench -json output (optional)")
+	camp1 := flag.String("campaign1", "", "`file` holding dmfb-campaign -json output at 1 worker (optional)")
+	campN := flag.String("campaignN", "", "`file` holding dmfb-campaign -json output at N workers (optional)")
 	out := flag.String("out", "BENCH_place.json", "output `file`")
 	flag.Parse()
 	if *goOut == "" {
@@ -117,6 +150,29 @@ func main() {
 		rep.ExperimentSource = "dmfb-bench -json"
 	}
 
+	if (*camp1 == "") != (*campN == "") {
+		fatal(fmt.Errorf("-campaign1 and -campaignN must be given together"))
+	}
+	if *camp1 != "" {
+		c1, cn := readCampaign(*camp1), readCampaign(*campN)
+		rep.CampaignIdentical = string(c1.Summary) == string(cn.Summary)
+		if !rep.CampaignIdentical {
+			fatal(fmt.Errorf("campaign summaries differ between %d and %d workers — determinism broken",
+				c1.Workers, cn.Workers))
+		}
+		var s struct {
+			Trials int `json:"trials"`
+		}
+		_ = json.Unmarshal(c1.Summary, &s)
+		rep.CampaignTrials = s.Trials
+		rep.CampaignWorkers = cn.Workers
+		rep.Campaign1MS = round2(c1.ElapsedMS)
+		rep.CampaignNMS = round2(cn.ElapsedMS)
+		if cn.ElapsedMS > 0 {
+			rep.CampaignSpeedup = round2(c1.ElapsedMS / cn.ElapsedMS)
+		}
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -127,6 +183,9 @@ func main() {
 	fmt.Printf("benchreport: wrote %s (%d benchmarks", *out, len(rep.Benchmarks))
 	if rep.Stage2Speedup > 0 {
 		fmt.Printf(", stage-2 speedup %.2fx", rep.Stage2Speedup)
+	}
+	if rep.CampaignSpeedup > 0 {
+		fmt.Printf(", campaign %d-worker speedup %.2fx", rep.CampaignWorkers, rep.CampaignSpeedup)
 	}
 	fmt.Println(")")
 }
