@@ -2,8 +2,9 @@ GO ?= go
 FUZZTIME ?= 10s
 CAMPAIGN_TRIALS ?= 10000
 CAMPAIGN_WORKERS ?= 8
+RECOVERY_TRIALS ?= 512
 
-.PHONY: all build test race vet fmtcheck fuzz bench benchquick ci clean
+.PHONY: all build test race vet fmtcheck errcheck fuzz bench benchquick ci clean
 
 all: build
 
@@ -25,6 +26,17 @@ fmtcheck:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# errcheck forbids discarded error / ok returns (`_ =`, `x, _ :=`) in
+# the packages where a swallowed failure silently corrupts a recovery
+# decision or a campaign aggregate. Tests are exempt.
+errcheck:
+	@out="$$(grep -rnE '(^|[^[:alnum:]_])_ =|, _ =|, _ :=' \
+		--include='*.go' --exclude='*_test.go' \
+		internal/recovery internal/sim internal/campaign || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "ignored error returns (handle or propagate):"; echo "$$out"; exit 1; \
+	fi
+
 # fuzz smoke-runs every native fuzz target for FUZZTIME each (go only
 # accepts one -fuzz pattern per invocation). Seed corpora live in the
 # packages' testdata/fuzz directories and also replay under plain
@@ -33,13 +45,18 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzPlanModule$$' -fuzztime $(FUZZTIME) ./internal/reconfig/
 	$(GO) test -run '^$$' -fuzz '^FuzzRecover$$' -fuzztime $(FUZZTIME) ./internal/reconfig/
 	$(GO) test -run '^$$' -fuzz '^FuzzMiner$$' -fuzztime $(FUZZTIME) ./internal/emptyrect/
+	$(GO) test -run '^$$' -fuzz '^FuzzLadder$$' -fuzztime $(FUZZTIME) ./internal/recovery/
 
 # bench measures the annealing inner loop (clone-and-recompute vs the
 # incremental move kernel), one end-to-end fault-tolerant PCR
-# placement, and the fault-injection campaign's worker scaling (the
-# same seeded campaign at 1 and CAMPAIGN_WORKERS workers; summaries
-# must be identical, wall-clock speedup is recorded), then assembles
-# BENCH_place.json at the repo root.
+# placement, the fault-injection campaign's worker scaling (the same
+# seeded campaign at 1 and CAMPAIGN_WORKERS workers; summaries must be
+# identical, wall-clock speedup is recorded), and the recovery ladder's
+# completion gain: the same RECOVERY_TRIALS-trial seeded single-fault
+# assay campaign under L1-only recovery and under the full ladder
+# (benchreport refuses the report unless the ladder strictly improves
+# completion with zero errored trials). Assembles BENCH_place.json at
+# the repo root.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkStage|BenchmarkActiveDuring' \
 		-benchtime 200000x -benchmem ./internal/core/ ./internal/place/ \
@@ -49,14 +66,21 @@ bench:
 		-quiet -json bench_campaign1.json
 	$(GO) run ./cmd/dmfb-campaign -trials $(CAMPAIGN_TRIALS) -k 3 -workers $(CAMPAIGN_WORKERS) \
 		-quiet -json bench_campaignN.json
+	$(GO) run ./cmd/dmfb-campaign -mode assay -k 1 -recovery l1 \
+		-trials $(RECOVERY_TRIALS) -seed 5 -quiet -json bench_assay_l1.json
+	$(GO) run ./cmd/dmfb-campaign -mode assay -k 1 -recovery ladder \
+		-trials $(RECOVERY_TRIALS) -seed 5 -quiet -json bench_assay_ladder.json
 	$(GO) run ./tools/benchreport -go bench_go.out -exp bench_exp.json \
-		-campaign1 bench_campaign1.json -campaignN bench_campaignN.json -out BENCH_place.json
-	rm -f bench_go.out bench_exp.json bench_campaign1.json bench_campaignN.json
+		-campaign1 bench_campaign1.json -campaignN bench_campaignN.json \
+		-assay-l1 bench_assay_l1.json -assay-ladder bench_assay_ladder.json \
+		-out BENCH_place.json
+	rm -f bench_go.out bench_exp.json bench_campaign1.json bench_campaignN.json \
+		bench_assay_l1.json bench_assay_ladder.json
 
 benchquick:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 
-ci: vet build test race fmtcheck
+ci: vet build test race fmtcheck errcheck
 
 clean:
 	$(GO) clean ./...

@@ -12,6 +12,7 @@
 //	dmfb-campaign -trials 10000                      # 2-fault campaign, all cores
 //	dmfb-campaign -mode single -trials 100000        # uniform single faults
 //	dmfb-campaign -mode yield -q 0.02 -full          # defect-density yield
+//	dmfb-campaign -mode assay -recovery ladder       # full simulation per trial
 //	dmfb-campaign -trials 1e6 -checkpoint run.jsonl  # interruptible
 //	dmfb-campaign -trials 1e6 -checkpoint run.jsonl -resume
 //	dmfb-campaign -trace t.jsonl -metrics m.json     # observability
@@ -32,14 +33,19 @@ import (
 	"dmfb/internal/fti"
 	"dmfb/internal/pcr"
 	"dmfb/internal/place"
+	"dmfb/internal/schedule"
+	"dmfb/internal/sim"
 	"dmfb/internal/stats"
 	"dmfb/internal/telemetry/cliflags"
 )
 
-// output is the machine-readable record of one campaign run.
+// output is the machine-readable record of one campaign run. For
+// -mode assay the summary's values quantiles are the per-trial ladder
+// depth (the deepest recovery level any fault forced).
 type output struct {
 	Summary      campaign.Summary `json:"summary"`
 	PredictedFTI float64          `json:"predicted_fti"`
+	RecoveryMode string           `json:"recovery_mode,omitempty"`
 	Workers      int              `json:"workers"`
 	Resumed      int              `json:"resumed,omitempty"`
 	ElapsedMS    float64          `json:"elapsed_ms"`
@@ -50,13 +56,15 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		mode      = flag.String("mode", "multi", "campaign kind: single | multi | yield | exhaustive")
+		mode      = flag.String("mode", "multi", "campaign kind: single | multi | yield | exhaustive | assay")
 		trials    = flag.Int("trials", 10000, "number of trials (ignored for -mode exhaustive)")
 		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		seed      = flag.Int64("seed", 1, "campaign seed; same seed => same summary at any worker count")
 		k         = flag.Int("k", 2, "faults per trial in -mode multi")
 		q         = flag.Float64("q", 0.01, "per-cell defect probability in -mode yield")
 		full      = flag.Bool("full", false, "fall back to full re-placement when partial reconfiguration fails")
+		recovery  = flag.String("recovery", "l1", "fault response in -mode assay: l1 | ladder | off")
+		transient = flag.Float64("transient", 0, "probability a fault is transient in -mode assay")
 		timeout   = flag.Duration("timeout", 0, "per-trial timeout (0 = none; breaks determinism when it fires)")
 		ckpt      = flag.String("checkpoint", "", "JSONL checkpoint `file` (appended per trial)")
 		resume    = flag.Bool("resume", false, "resume a previous run from -checkpoint")
@@ -78,7 +86,7 @@ func run() int {
 		}
 	}()
 
-	p, err := pcrPlacement(*placeSeed)
+	sched, p, err := pcrPlacement(*placeSeed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmfb-campaign:", err)
 		return 1
@@ -103,6 +111,14 @@ func run() int {
 	case "exhaustive":
 		fn = faultsim.ExhaustiveTrial(p)
 		*trials = array.Cells()
+	case "assay":
+		rm, err := sim.ParseRecoveryMode(*recovery)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmfb-campaign:", err)
+			return 2
+		}
+		fn = faultsim.AssayTrial(sched, p, *k, rm, *transient)
+		name = fmt.Sprintf("assay-k%d-%s", *k, rm)
 	default:
 		fmt.Fprintf(os.Stderr, "dmfb-campaign: unknown -mode %q\n", *mode)
 		return 2
@@ -150,8 +166,12 @@ func run() int {
 	fmt.Printf("survival %.4f, 95%% Wilson CI [%.4f, %.4f] (predicted FTI %.4f)\n",
 		s.SurvivalRate, s.Wilson95Lo, s.Wilson95Hi, predicted)
 	if s.Values != nil {
-		fmt.Printf("values: mean %.3f, median %.1f, p95 %.1f, max %.1f\n",
-			s.Values.Mean, s.Values.Median, s.Values.P95, s.Values.Max)
+		label := "values"
+		if *mode == "assay" {
+			label = "ladder depth"
+		}
+		fmt.Printf("%s: mean %.3f, median %.1f, p95 %.1f, max %.1f\n",
+			label, s.Values.Mean, s.Values.Median, s.Values.P95, s.Values.Max)
 	}
 	fmt.Printf("%d workers, %d trials in %.1fms (median %.3fms/trial)",
 		rep.Workers, s.Trials, float64(rep.Elapsed.Microseconds())/1000, rep.TrialMS.Median)
@@ -164,6 +184,7 @@ func run() int {
 		out := output{
 			Summary:      s,
 			PredictedFTI: predicted,
+			RecoveryMode: recoveryModeName(*mode, *recovery),
 			Workers:      rep.Workers,
 			Resumed:      rep.Resumed,
 			ElapsedMS:    float64(rep.Elapsed.Microseconds()) / 1000,
@@ -181,14 +202,23 @@ func run() int {
 	return 0
 }
 
+// recoveryModeName records the recovery mode in JSON output for assay
+// campaigns only (the other modes do not run the simulator).
+func recoveryModeName(mode, recovery string) string {
+	if mode == "assay" {
+		return recovery
+	}
+	return ""
+}
+
 // pcrPlacement synthesises and places the PCR case study with
 // experiment-grade area-minimal annealing.
-func pcrPlacement(seed int64) (*place.Placement, error) {
+func pcrPlacement(seed int64) (*schedule.Schedule, *place.Placement, error) {
 	s, err := pcr.Schedule()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p, _, err := core.AnnealArea(core.FromSchedule(s),
 		core.Options{Seed: seed, ItersPerModule: 120, WindowPatience: 4})
-	return p, err
+	return s, p, err
 }

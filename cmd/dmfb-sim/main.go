@@ -2,13 +2,21 @@
 // injecting cell faults mid-run to exercise on-line partial
 // reconfiguration (paper Section 5.1).
 //
-// Fault syntax: -fault t,x,y injects a fault at schedule second t in
-// placed-array cell (x, y); repeatable.
+// Fault syntax: -fault t,x,y injects a permanent fault at schedule
+// second t in placed-array cell (x, y); -fault t,x,y,p makes it
+// transient, healing after p failing re-test probes. Repeatable.
+//
+// The -recovery flag selects the fault response: "l1" (default) is
+// the paper's plain partial reconfiguration, "ladder" escalates
+// through downgrade, defragmentation and graceful degradation, "off"
+// disables reconfiguration. A degraded run (some operations
+// abandoned, surviving products delivered) exits with status 2.
 //
 // Usage:
 //
 //	dmfb-sim                                   # fault-free PCR on the SA placement
 //	dmfb-sim -placer twostage -fault 1,2,3 -verbose
+//	dmfb-sim -recovery ladder -fault 0,2,3 -fault 4,0,1,2
 //	dmfb-sim -schedule s.json -placement p.json -fault 0,0,0
 //	dmfb-sim -trace trace.jsonl -metrics metrics.json
 package main
@@ -28,13 +36,17 @@ type faultList []dmfb.FaultInjection
 func (f *faultList) String() string { return fmt.Sprint(*f) }
 
 func (f *faultList) Set(s string) error {
-	var t, x, y int
-	if _, err := fmt.Sscanf(s, "%d,%d,%d", &t, &x, &y); err != nil {
-		return fmt.Errorf("want t,x,y: %v", err)
+	var t, x, y, probes int
+	if n, err := fmt.Sscanf(s, "%d,%d,%d,%d", &t, &x, &y, &probes); n < 3 {
+		if _, err = fmt.Sscanf(s, "%d,%d,%d", &t, &x, &y); err != nil {
+			return fmt.Errorf("want t,x,y or t,x,y,probes: %v", err)
+		}
+		probes = 0
 	}
 	*f = append(*f, dmfb.FaultInjection{
-		TimeSec: t,
-		Cell:    dmfb.ArrayCell(dmfb.SimOptions{}, dmfb.Point{X: x, Y: y}),
+		TimeSec:         t,
+		Cell:            dmfb.ArrayCell(dmfb.SimOptions{}, dmfb.Point{X: x, Y: y}),
+		TransientProbes: probes,
 	})
 	return nil
 }
@@ -49,6 +61,7 @@ func run() int {
 		placer    = flag.String("placer", "sa", "placer when no -placement given: greedy | sa | twostage")
 		beta      = flag.Float64("beta", 30, "fault-tolerance weight for twostage")
 		seed      = flag.Int64("seed", 1, "annealing seed")
+		recovery  = flag.String("recovery", "l1", "fault response: l1 | ladder | off")
 		verbose   = flag.Bool("verbose", false, "log every droplet action")
 	)
 	flag.Var(&faults, "fault", "inject fault: t,x,y (repeatable; x,y in placed-array cells)")
@@ -66,6 +79,12 @@ func run() int {
 		}
 	}()
 
+	mode, err := dmfb.ParseRecoveryMode(*recovery)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-sim:", err)
+		return 1
+	}
+
 	donePlace := ts.Stage("place")
 	sched, p, err := load(*schedFile, *placeFile, *placer, *beta, *seed, ts)
 	donePlace()
@@ -77,20 +96,22 @@ func run() int {
 	fmt.Print(dmfb.RenderPlacement(p))
 	doneSim := ts.Stage("sim")
 	res := dmfb.Simulate(sched, p, dmfb.SimOptions{
-		Trace:     *verbose,
-		Telemetry: ts.Tracer,
-		Metrics:   ts.Metrics,
+		Trace:        *verbose,
+		Recovery:     mode,
+		RecoverySeed: *seed,
+		Telemetry:    ts.Tracer,
+		Metrics:      ts.Metrics,
 	}, faults...)
 	doneSim()
 	for _, e := range res.Events {
 		fmt.Println(" ", e)
 	}
-	if !res.Completed {
+	if res.Outcome == dmfb.OutcomeFailed {
 		fmt.Printf("ASSAY FAILED: %s\n", res.FailReason)
 		return 1
 	}
-	fmt.Printf("assay completed: %d s of operations + %d transport steps (%d ms)\n",
-		res.MakespanSec, res.TransportSteps, res.TransportMS)
+	fmt.Printf("assay %s: %d s of operations + %d transport steps (%d ms)\n",
+		res.Outcome, res.MakespanSec, res.TransportSteps, res.TransportMS)
 	fmt.Printf("products: %s\n", strings.Join(res.ProductFluids, "; "))
 	if len(res.Relocations) > 0 {
 		fmt.Printf("partial reconfigurations: %d\n", len(res.Relocations))
@@ -98,7 +119,26 @@ func run() int {
 			fmt.Println(" ", r)
 		}
 	}
+	printRecovery(res.Recovery)
+	if res.Outcome == dmfb.OutcomeDegraded {
+		return 2
+	}
 	return 0
+}
+
+// printRecovery summarises the run's fault handling, if any.
+func printRecovery(r dmfb.SimRecoveryReport) {
+	if r.Invocations == 0 && r.TransientFaults == 0 {
+		return
+	}
+	fmt.Printf("recovery: %d ladder invocation(s), deepest level %s, %d transient fault(s) healed\n",
+		r.Invocations, r.DeepestLevel, r.TransientFaults)
+	if r.StretchSec != 0 {
+		fmt.Printf("  schedule stretched by %d s by module downgrades\n", r.StretchSec)
+	}
+	for _, op := range r.AbandonedOps {
+		fmt.Printf("  abandoned: %s\n", op)
+	}
 }
 
 func load(schedFile, placeFile, placer string, beta float64, seed int64,

@@ -46,6 +46,7 @@ import (
 	"dmfb/internal/pcr"
 	"dmfb/internal/place"
 	"dmfb/internal/reconfig"
+	"dmfb/internal/recovery"
 	"dmfb/internal/render"
 	"dmfb/internal/router"
 	"dmfb/internal/schedule"
@@ -276,15 +277,95 @@ func ComputeFTI(p *Placement) FTIResult { return fti.Compute(p) }
 func ComputeFTIOn(p *Placement, array Rect) FTIResult { return fti.ComputeOn(p, array) }
 
 // PlanRecovery computes the partial reconfiguration for a faulty cell
-// without modifying the placement.
-func PlanRecovery(p *Placement, array Rect, fault Point) ([]Relocation, error) {
-	return reconfig.Plan(p, array, fault)
+// without modifying the placement. Earlier accumulated faults may be
+// passed as obstacles; no relocated module will cover any of them.
+func PlanRecovery(p *Placement, array Rect, fault Point, obstacles ...Point) ([]Relocation, error) {
+	return reconfig.Plan(p, array, fault, obstacles...)
 }
 
 // Recover plans and applies partial reconfiguration for a faulty cell,
-// relocating every module that uses it.
-func Recover(p *Placement, array Rect, fault Point) ([]Relocation, error) {
-	return reconfig.Recover(p, array, fault)
+// relocating every module that uses it while avoiding the given
+// obstacle cells (earlier faults).
+func Recover(p *Placement, array Rect, fault Point, obstacles ...Point) ([]Relocation, error) {
+	return reconfig.Recover(p, array, fault, obstacles...)
+}
+
+// Graceful-degradation recovery ladder (escalating reconfiguration).
+type (
+	// RecoveryLadderOptions configures a recovery Ladder.
+	RecoveryLadderOptions = recovery.Options
+	// RecoveryState is the execution state a ladder recovers from.
+	RecoveryState = recovery.State
+	// RecoveryPlan is a validated ladder plan: new placement, possibly
+	// stretched schedule, downgrades and abandoned operations.
+	RecoveryPlan = recovery.Plan
+	// RecoveryLevel identifies a ladder rung (relocate, downgrade,
+	// defragment, degrade).
+	RecoveryLevel = recovery.Level
+	// RecoveryAttempt is one rung tried during a ladder invocation.
+	RecoveryAttempt = recovery.Attempt
+	// LadderReport is the audit trail of one ladder invocation.
+	LadderReport = recovery.Report
+	// RecoveryMode selects the simulator's fault response (L1-only,
+	// full ladder, or off).
+	RecoveryMode = sim.RecoveryMode
+	// SimOutcome classifies how a simulated assay ended: completed,
+	// degraded (partial completion) or failed.
+	SimOutcome = sim.Outcome
+	// SimRecoveryReport aggregates a run's recovery activity.
+	SimRecoveryReport = sim.RecoveryReport
+	// FaultClassification is the outcome of a bounded-retry re-test of
+	// a suspect cell.
+	FaultClassification = testdrop.Classification
+	// RetryPolicy bounds the re-test loop of ClassifyFault.
+	RetryPolicy = testdrop.RetryPolicy
+)
+
+// Ladder rungs and simulator recovery modes.
+const (
+	LevelRelocate   = recovery.LevelRelocate
+	LevelDowngrade  = recovery.LevelDowngrade
+	LevelDefragment = recovery.LevelDefragment
+	LevelDegrade    = recovery.LevelDegrade
+
+	RecoveryL1     = sim.RecoveryL1
+	RecoveryLadder = sim.RecoveryLadder
+	RecoveryOff    = sim.RecoveryOff
+
+	OutcomeCompleted = sim.OutcomeCompleted
+	OutcomeDegraded  = sim.OutcomeDegraded
+	OutcomeFailed    = sim.OutcomeFailed
+)
+
+// NewRecoveryLadder builds the escalating recovery ladder: L1 in-place
+// relocation, L2 relocation with device downgrade and schedule
+// stretch, L3 defragmenting re-placement, L4 graceful degradation.
+// The zero options enable the full ladder with the Table 1 library.
+func NewRecoveryLadder(opts RecoveryLadderOptions) *recovery.Ladder { return recovery.New(opts) }
+
+// ValidateRecoveryPlan proves a ladder plan safe to adopt without
+// executing it: geometry inside the array, no live-module overlap, no
+// live module over a known fault, precedence intact, abandonment
+// successor-closed.
+func ValidateRecoveryPlan(st RecoveryState, p *RecoveryPlan) error {
+	return recovery.ValidatePlan(st, p)
+}
+
+// ParseRecoveryMode parses the CLI spellings "l1", "ladder" and "off".
+func ParseRecoveryMode(s string) (RecoveryMode, error) { return sim.ParseRecoveryMode(s) }
+
+// ClassifyFault re-tests a suspect cell with bounded retries and
+// deterministic backoff, distinguishing permanent faults (which force
+// reconfiguration) from transient ones (which heal in place).
+func ClassifyFault(c *Chip, cell Point, pol RetryPolicy) FaultClassification {
+	return testdrop.ClassifyFault(c, cell, pol)
+}
+
+// AssayTrial is the end-to-end assay campaign workload: each trial
+// simulates the full schedule with k injected faults (each transient
+// with probability transientProb), recovering with the given mode.
+func AssayTrial(s *Schedule, p *Placement, k int, mode RecoveryMode, transientProb float64) TrialFunc {
+	return faultsim.AssayTrial(s, p, k, mode, transientProb)
 }
 
 // Simulate executes the schedule on the placed array with the

@@ -23,9 +23,11 @@ package campaign
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -258,9 +260,19 @@ func Run(ctx context.Context, cfg Config, fn TrialFunc) (Report, error) {
 		mu.Unlock()
 	}
 
+	safeFn := panicSafe(cfg.Name, fn)
 	runOne := func(ctx context.Context, t Trial) {
 		t0 := time.Now()
-		out := execTrial(ctx, cfg.TrialTimeout, fn, t)
+		out := execTrial(ctx, cfg.TrialTimeout, safeFn, t)
+		if cerr := ctx.Err(); cerr != nil && errors.Is(out.Err, cerr) {
+			// The campaign was cancelled while this trial was in
+			// flight: the outcome reflects the kill, not the trial.
+			// Leave the slot incomplete (and out of the checkpoint) so
+			// a resume re-runs the trial instead of replaying a
+			// phantom error — the resumed summary must be
+			// bit-identical to an uninterrupted run.
+			return
+		}
 		finish(t.Index, out, time.Since(t0))
 	}
 
@@ -331,6 +343,24 @@ func Run(ctx context.Context, cfg Config, fn TrialFunc) (Report, error) {
 			rep.Summary.Trials, cfg.Trials, err)
 	}
 	return rep, nil
+}
+
+// panicSafe wraps a trial function so a panicking trial is recorded as
+// an erroneous outcome — campaign name, trial index and seed, panic
+// value and stack — instead of killing the whole campaign (and, under
+// a per-trial timeout, the worker goroutine with it). The panic is
+// a deterministic property of the trial, so the summary stays
+// bit-identical at any worker count.
+func panicSafe(name string, fn TrialFunc) TrialFunc {
+	return func(ctx context.Context, t Trial) (out Outcome) {
+		defer func() {
+			if r := recover(); r != nil {
+				out = Outcome{Err: fmt.Errorf("campaign %q: trial %d (seed %d) panicked: %v\n%s",
+					name, t.Index, t.Seed, r, debug.Stack())}
+			}
+		}()
+		return fn(ctx, t)
+	}
 }
 
 // execTrial runs one trial under the per-trial timeout. Timeouts are

@@ -327,7 +327,7 @@ func neighbor(cur *place.Placement, prob Problem, o Options, T float64, rng *ran
 		// Move types (i)/(ii): displace one module within the window,
 		// possibly changing its orientation.
 		i := rng.Intn(n)
-		if rng.Intn(2) == 0 && !next.Modules[i].Size.IsSquare() {
+		if rng.Intn(2) == 0 && rotatable(next.Modules[i], prob) {
 			next.Rot[i] = !next.Rot[i]
 		}
 		dx := rng.Intn(2*w+1) - w
@@ -347,7 +347,7 @@ func neighbor(cur *place.Placement, prob Problem, o Options, T float64, rng *ran
 			if rng.Intn(2) == 0 {
 				k = j
 			}
-			if !next.Modules[k].Size.IsSquare() {
+			if rotatable(next.Modules[k], prob) {
 				next.Rot[k] = !next.Rot[k]
 			}
 		}
@@ -355,6 +355,20 @@ func neighbor(cur *place.Placement, prob Problem, o Options, T float64, rng *ran
 		next.Pos[j] = clampPos(next.Pos[j], next.Size(j), prob)
 	}
 	return next
+}
+
+// rotatable reports whether a rotation move may be proposed for m:
+// the transposed footprint must itself fit the core area, or clampPos
+// would push the module to a negative origin. Auto-sized problems
+// (NewProblem) always allow both orientations; fabricated-array
+// problems (FullReconfigure, the recovery ladder's defragmentation)
+// can be tighter than a module's transposed footprint.
+func rotatable(m place.Module, prob Problem) bool {
+	if m.Size.IsSquare() {
+		return false
+	}
+	t := m.Size.Transpose()
+	return t.W <= prob.MaxW && t.H <= prob.MaxH
 }
 
 // clampPos keeps a module of size sz inside the core area (the paper

@@ -120,7 +120,7 @@ func (k *moveKernel) Propose(T float64, rng *rand.Rand) kernelMove {
 		m.idx[0] = i
 		m.oldPos[0], m.oldRot[0] = p.Pos[i], p.Rot[i]
 		rot := m.oldRot[0]
-		if rng.Intn(2) == 0 && !p.Modules[i].Size.IsSquare() {
+		if rng.Intn(2) == 0 && rotatable(p.Modules[i], k.prob) {
 			rot = !rot
 		}
 		dx := rng.Intn(2*w+1) - w
@@ -146,7 +146,7 @@ func (k *moveKernel) Propose(T float64, rng *rand.Rand) kernelMove {
 			if rng.Intn(2) == 0 {
 				t = 1
 			}
-			if !p.Modules[m.idx[t]].Size.IsSquare() {
+			if rotatable(p.Modules[m.idx[t]], k.prob) {
 				m.newRot[t] = !m.newRot[t]
 			}
 		}

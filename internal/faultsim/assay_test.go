@@ -1,0 +1,114 @@
+package faultsim
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"dmfb/internal/campaign"
+	"dmfb/internal/pcr"
+	"dmfb/internal/sim"
+)
+
+// The end-to-end assay campaign (full chip simulation per trial, the
+// recovery ladder on every injected fault) must keep the engine's
+// determinism contract: byte-identical aggregates across worker counts
+// and across a kill/resume, and a strictly better completion rate than
+// L1-only recovery on the same fault stream.
+
+func TestAssayLadderCampaignDeterministicAcrossWorkers(t *testing.T) {
+	s := pcr.MustSchedule()
+	p := pcrAreaPlacement(t)
+	fn := AssayTrial(s, p, 1, sim.RecoveryLadder, 0.15)
+	base := campaign.Config{Name: "assay-ladder", Trials: 192, Seed: 11}
+
+	var jsons []string
+	for _, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		cfg := base
+		cfg.Workers = w
+		rep, err := campaign.Run(context.Background(), cfg, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Summary.Errors != 0 {
+			t.Fatalf("w=%d: %d trials errored: %s", w, rep.Summary.Errors, rep.Summary)
+		}
+		b, err := rep.Summary.MarshalDeterministic()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsons = append(jsons, string(b))
+	}
+	if jsons[0] != jsons[1] || jsons[1] != jsons[2] {
+		t.Errorf("assay-campaign JSON differs across worker counts:\nw=1:\n%s\nw=4:\n%s\nw=max:\n%s",
+			jsons[0], jsons[1], jsons[2])
+	}
+}
+
+func TestAssayLadderCampaignKillAndResume(t *testing.T) {
+	s := pcr.MustSchedule()
+	p := pcrAreaPlacement(t)
+	fn := AssayTrial(s, p, 1, sim.RecoveryLadder, 0.15)
+
+	uninterrupted, err := campaign.Run(context.Background(),
+		campaign.Config{Name: "assay-ladder", Trials: 192, Seed: 11}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "assay.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int32
+	_, err = campaign.Run(ctx, campaign.Config{
+		Name: "assay-ladder", Trials: 192, Seed: 11, Workers: 4, Checkpoint: ckpt,
+		Progress: func(d, total int) {
+			if done.Add(1) == 60 {
+				cancel()
+			}
+		}}, fn)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected mid-campaign cancellation, got %v", err)
+	}
+
+	resumed, err := campaign.Run(context.Background(), campaign.Config{
+		Name: "assay-ladder", Trials: 192, Seed: 11, Workers: 2,
+		Checkpoint: ckpt, Resume: true}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := uninterrupted.Summary.MarshalDeterministic()
+	b, _ := resumed.Summary.MarshalDeterministic()
+	if string(a) != string(b) {
+		t.Errorf("killed-and-resumed assay campaign differs from uninterrupted run:\n%s\nvs\n%s", b, a)
+	}
+}
+
+// The ladder must strictly improve the completion rate over L1-only
+// recovery on the same seeded fault stream, and no trial may end in a
+// panic or an untyped failure in either mode.
+func TestLadderImprovesCompletionOverL1(t *testing.T) {
+	s := pcr.MustSchedule()
+	p := pcrAreaPlacement(t)
+	cfg := campaign.Config{Name: "assay", Trials: 256, Seed: 5}
+
+	run := func(mode sim.RecoveryMode) campaign.Summary {
+		rep, err := campaign.Run(context.Background(), cfg, AssayTrial(s, p, 1, mode, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Summary
+	}
+	l1 := run(sim.RecoveryL1)
+	ladder := run(sim.RecoveryLadder)
+	if l1.Errors != 0 || ladder.Errors != 0 {
+		t.Fatalf("untyped/errored trials: l1=%d ladder=%d", l1.Errors, ladder.Errors)
+	}
+	if ladder.Survived <= l1.Survived {
+		t.Errorf("ladder completed %d/%d, not strictly better than L1's %d/%d",
+			ladder.Survived, ladder.Trials, l1.Survived, l1.Trials)
+	}
+	t.Logf("survival: l1 %d/%d, ladder %d/%d", l1.Survived, l1.Trials, ladder.Survived, ladder.Trials)
+}

@@ -2,12 +2,15 @@ package faultsim
 
 import (
 	"context"
+	"fmt"
 
 	"dmfb/internal/campaign"
 	"dmfb/internal/core"
 	"dmfb/internal/geom"
 	"dmfb/internal/place"
 	"dmfb/internal/reconfig"
+	"dmfb/internal/schedule"
+	"dmfb/internal/sim"
 )
 
 // Campaign-native trial functions. These are the parallel-deterministic
@@ -139,6 +142,60 @@ func YieldTrial(p *place.Placement, defectProb float64, withFull bool, opts core
 			return campaign.Outcome{Value: n}
 		}
 		return campaign.Outcome{Survived: true, Value: n}
+	}
+}
+
+// AssayTrial returns the trial function of the end-to-end assay
+// campaign: each trial executes the full schedule on the chip
+// simulator with k faults injected at trial-random cells and times,
+// recovering with the given mode. Each fault is transient (healing
+// under the simulator's bounded-retry re-test) with probability
+// transientProb. Survived means the assay completed every operation;
+// a degraded run (ladder mode, operations abandoned) counts as
+// non-survival but not as an error. Value is the deepest recovery
+// level any fault forced (0 when no ladder invocation was needed).
+func AssayTrial(s *schedule.Schedule, p *place.Placement, k int,
+	mode sim.RecoveryMode, transientProb float64) campaign.TrialFunc {
+	array := p.BoundingBox()
+	return func(_ context.Context, t campaign.Trial) campaign.Outcome {
+		if k > array.Cells() {
+			return campaign.Outcome{Err: fmt.Errorf("faultsim: %d faults exceed the %d-cell array", k, array.Cells())}
+		}
+		horizon := s.Makespan
+		if horizon < 1 {
+			horizon = 1
+		}
+		opts := sim.Options{Recovery: mode, RecoverySeed: campaign.DeriveSeed(t.Seed, 0)}
+		var faults []sim.FaultInjection
+		var cells []geom.Point
+		for j := 0; j < k; j++ {
+			cell := geom.Point{
+				X: array.X + t.RNG.Intn(array.W),
+				Y: array.Y + t.RNG.Intn(array.H),
+			}
+			if containsPoint(cells, cell) {
+				j--
+				continue
+			}
+			cells = append(cells, cell)
+			f := sim.FaultInjection{
+				TimeSec: t.RNG.Intn(horizon),
+				Cell:    sim.ArrayCell(opts, cell),
+			}
+			if transientProb > 0 && t.RNG.Float64() < transientProb {
+				f.TransientProbes = 1 + t.RNG.Intn(2)
+			}
+			faults = append(faults, f)
+		}
+		res := sim.Run(s, p, opts, faults...)
+		out := campaign.Outcome{
+			Survived: res.Outcome == sim.OutcomeCompleted,
+			Value:    float64(res.Recovery.DeepestLevel),
+		}
+		if res.Outcome == sim.OutcomeFailed && res.FailReason == "" {
+			out.Err = fmt.Errorf("faultsim: trial %d failed without a reason", t.Index)
+		}
+		return out
 	}
 }
 

@@ -42,6 +42,11 @@ const StepsPerSecond = 1000 / StepMS
 type Chip struct {
 	w, h   int
 	faulty *grid.Grid
+	// transient maps a faulty cell to the number of remaining probe
+	// attempts that will still fail before the cell heals — the model
+	// of intermittent electrode faults (droplet residue, charge
+	// trapping) that clear under repeated actuation.
+	transient map[geom.Point]int
 }
 
 // NewChip returns a fault-free w×h array.
@@ -70,8 +75,56 @@ func (c *Chip) InjectFault(p geom.Point) error {
 	return nil
 }
 
+// InjectTransientFault marks cell p faulty for the next failProbes
+// probe attempts; the failProbes+1'th probe succeeds and heals the
+// cell. Until it heals, the cell behaves exactly like a permanent
+// fault for every droplet operation — only Probe distinguishes the
+// two, which is what the bounded-retry fault classification of the
+// testdrop package exploits.
+func (c *Chip) InjectTransientFault(p geom.Point, failProbes int) error {
+	if failProbes < 1 {
+		return fmt.Errorf("fluidics: transient fault at %v needs at least one failing probe, got %d",
+			p, failProbes)
+	}
+	if err := c.InjectFault(p); err != nil {
+		return err
+	}
+	if c.transient == nil {
+		c.transient = make(map[geom.Point]int)
+	}
+	c.transient[p] = failProbes
+	return nil
+}
+
+// Probe actuates cell p with a test stimulus and reports whether the
+// cell accepted it. Healthy cells always pass; permanently faulty
+// cells always fail; a transient fault fails its budgeted number of
+// probes and then heals (the fault clears and subsequent probes and
+// droplet operations succeed). Out-of-bounds cells read as failed.
+func (c *Chip) Probe(p geom.Point) bool {
+	if !c.In(p) {
+		return false
+	}
+	if !c.faulty.Occupied(p) {
+		return true
+	}
+	if n, ok := c.transient[p]; ok {
+		n--
+		if n <= 0 {
+			delete(c.transient, p)
+			c.faulty.Set(p, false)
+		} else {
+			c.transient[p] = n
+		}
+	}
+	return false
+}
+
 // RepairFault clears the fault at p (e.g. after maintenance).
-func (c *Chip) RepairFault(p geom.Point) { c.faulty.Set(p, false) }
+func (c *Chip) RepairFault(p geom.Point) {
+	c.faulty.Set(p, false)
+	delete(c.transient, p)
+}
 
 // IsFaulty reports whether cell p is faulty; out-of-bounds cells read
 // as faulty.

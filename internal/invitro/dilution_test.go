@@ -11,7 +11,10 @@ import (
 
 func TestDilutionSeriesStructure(t *testing.T) {
 	for depth := 1; depth <= 4; depth++ {
-		g := DilutionSeries(depth)
+		g, err := DilutionSeries(depth)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
 		if err := g.Validate(); err != nil {
 			t.Fatalf("depth %d: %v", depth, err)
 		}
@@ -37,16 +40,11 @@ func TestDilutionSeriesStructure(t *testing.T) {
 	}
 }
 
-func TestDilutionSeriesPanicsOnBadDepth(t *testing.T) {
+func TestDilutionSeriesRejectsBadDepth(t *testing.T) {
 	for _, d := range []int{0, 9, -1} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("depth %d did not panic", d)
-				}
-			}()
-			DilutionSeries(d)
-		}()
+		if _, err := DilutionSeries(d); err == nil {
+			t.Errorf("depth %d accepted, want error", d)
+		}
 	}
 }
 
@@ -99,7 +97,10 @@ func TestDilutionSeriesSimulates(t *testing.T) {
 
 func TestDilutionTreeStructure(t *testing.T) {
 	for depth := 1; depth <= 4; depth++ {
-		g := DilutionTree(depth)
+		g, err := DilutionTree(depth)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
 		if err := g.Validate(); err != nil {
 			t.Fatalf("depth %d: %v", depth, err)
 		}

@@ -32,12 +32,14 @@ var Reagents = [4]string{"glucose-oxidase", "lactate-oxidase", "uricase", "pyruv
 
 // Graph builds the sequencing graph for an nSamples × nAssays
 // multiplexed diagnostic. Each sample/assay pair contributes
-// dispense(sample), dispense(reagent), mix, detect. It panics if the
-// requested size exceeds the available sample/reagent catalogues.
-func Graph(nSamples, nAssays int) *assay.Graph {
+// dispense(sample), dispense(reagent), mix, detect. A size outside
+// the sample/reagent catalogues is an error — the parameters arrive
+// straight from CLI flags, so a bad request must surface as a usage
+// error, not a stack trace.
+func Graph(nSamples, nAssays int) (*assay.Graph, error) {
 	if nSamples < 1 || nSamples > len(Samples) || nAssays < 1 || nAssays > len(Reagents) {
-		panic(fmt.Sprintf("invitro: %dx%d outside the 1..%d x 1..%d catalogue",
-			nSamples, nAssays, len(Samples), len(Reagents)))
+		return nil, fmt.Errorf("invitro: %dx%d outside the 1..%d x 1..%d catalogue",
+			nSamples, nAssays, len(Samples), len(Reagents))
 	}
 	g := assay.New(fmt.Sprintf("invitro-%dx%d", nSamples, nAssays))
 	for si := 0; si < nSamples; si++ {
@@ -51,14 +53,17 @@ func Graph(nSamples, nAssays int) *assay.Graph {
 			g.MustEdge(mx, dt)
 		}
 	}
-	return g
+	return g, nil
 }
 
 // Synthesize builds and schedules the workload with the Table 1
 // library: mixes bound to the fastest mixer, detections to the LED
 // detector, under the given concurrent-area budget (0 = unlimited).
 func Synthesize(nSamples, nAssays, areaBudget int) (*schedule.Schedule, error) {
-	g := Graph(nSamples, nAssays)
+	g, err := Graph(nSamples, nAssays)
+	if err != nil {
+		return nil, err
+	}
 	b, err := schedule.Bind(g, modlib.Table1(), schedule.BindFastest)
 	if err != nil {
 		return nil, err
@@ -82,9 +87,10 @@ func MustSynthesize(nSamples, nAssays, areaBudget int) *schedule.Schedule {
 // concentration series used for calibration curves. Each level
 // contributes dispense(buffer), dilute, detect; the deepest level
 // detects both halves. Exercises the Dilute/Split path of the flow.
-func DilutionSeries(depth int) *assay.Graph {
+// Depths outside 1..8 are an error (the flag-facing contract).
+func DilutionSeries(depth int) (*assay.Graph, error) {
 	if depth < 1 || depth > 8 {
-		panic(fmt.Sprintf("invitro: dilution depth %d outside 1..8", depth))
+		return nil, fmt.Errorf("invitro: dilution depth %d outside 1..8", depth)
 	}
 	g := assay.New(fmt.Sprintf("dilution-series-%d", depth))
 	carry := g.AddOp("DS", assay.Dispense, "sample")
@@ -102,7 +108,7 @@ func DilutionSeries(depth int) *assay.Graph {
 			carry = dil // second output droplet feeds the next level...
 		}
 	}
-	return g
+	return g, nil
 }
 
 // DilutionTree builds the exponential-dilution benchmark: a complete
@@ -110,10 +116,11 @@ func DilutionSeries(depth int) *assay.Graph {
 // droplets at concentration 2^-depth, each measured at a detector —
 // the protein-assay dilution pattern of the DMFB synthesis literature.
 // Levels × 2^level dilute modules make it the largest workload in this
-// repository, used for placement scaling studies.
-func DilutionTree(depth int) *assay.Graph {
+// repository, used for placement scaling studies. Depths outside 1..5
+// are an error (the flag-facing contract).
+func DilutionTree(depth int) (*assay.Graph, error) {
 	if depth < 1 || depth > 5 {
-		panic(fmt.Sprintf("invitro: dilution tree depth %d outside 1..5", depth))
+		return nil, fmt.Errorf("invitro: dilution tree depth %d outside 1..5", depth)
 	}
 	g := assay.New(fmt.Sprintf("dilution-tree-%d", depth))
 	sample := g.AddOp("DS", assay.Dispense, "protein-sample")
@@ -138,13 +145,16 @@ func DilutionTree(depth int) *assay.Graph {
 		g.MustEdge(frontier[i], det1)
 		g.MustEdge(frontier[i+1], det2)
 	}
-	return g
+	return g, nil
 }
 
 // SynthesizeTree binds and schedules a dilution tree under the given
 // area budget.
 func SynthesizeTree(depth, areaBudget int) (*schedule.Schedule, error) {
-	g := DilutionTree(depth)
+	g, err := DilutionTree(depth)
+	if err != nil {
+		return nil, err
+	}
 	lib := modlib.Table1()
 	b := make(schedule.Binding)
 	diluter := modlib.Device{
@@ -166,7 +176,10 @@ func SynthesizeTree(depth, areaBudget int) (*schedule.Schedule, error) {
 // SynthesizeDilution binds and schedules a dilution series: dilutes on
 // the fastest linear mixer geometry, detections on the LED detector.
 func SynthesizeDilution(depth, areaBudget int) (*schedule.Schedule, error) {
-	g := DilutionSeries(depth)
+	g, err := DilutionSeries(depth)
+	if err != nil {
+		return nil, err
+	}
 	lib := modlib.Table1()
 	b := make(schedule.Binding)
 	diluter := modlib.Device{

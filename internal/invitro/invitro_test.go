@@ -8,7 +8,10 @@ import (
 )
 
 func TestGraphStructure(t *testing.T) {
-	g := Graph(2, 3)
+	g, err := Graph(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -30,16 +33,11 @@ func TestGraphStructure(t *testing.T) {
 	}
 }
 
-func TestGraphPanicsOnBadSize(t *testing.T) {
+func TestGraphRejectsBadSize(t *testing.T) {
 	for _, d := range [][2]int{{0, 1}, {1, 0}, {5, 1}, {1, 5}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("Graph(%d,%d) did not panic", d[0], d[1])
-				}
-			}()
-			Graph(d[0], d[1])
-		}()
+		if _, err := Graph(d[0], d[1]); err == nil {
+			t.Errorf("Graph(%d,%d) accepted, want error", d[0], d[1])
+		}
 	}
 }
 

@@ -54,7 +54,10 @@ func TestIntermediatePCRStages(t *testing.T) {
 
 func TestSerialDilutionHalvesEachLevel(t *testing.T) {
 	const depth = 4
-	g := invitro.DilutionSeries(depth)
+	g, err := invitro.DilutionSeries(depth)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := Concentrations(g)
 	if err != nil {
 		t.Fatal(err)
@@ -81,7 +84,10 @@ func TestSerialDilutionHalvesEachLevel(t *testing.T) {
 
 func TestDilutionTreeLeavesUniform(t *testing.T) {
 	const depth = 3
-	g := invitro.DilutionTree(depth)
+	g, err := invitro.DilutionTree(depth)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := Concentrations(g)
 	if err != nil {
 		t.Fatal(err)

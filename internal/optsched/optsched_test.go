@@ -12,7 +12,10 @@ import (
 
 func TestUnconstrainedEqualsCriticalPath(t *testing.T) {
 	g, mix := pcr.Graph()
-	b := pcr.Binding(mix)
+	b, err := pcr.Binding(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := Minimize(g, b, schedule.Options{}, Limits{MaxOps: 15})
 	if err != nil {
 		t.Fatal(err)
@@ -25,7 +28,10 @@ func TestUnconstrainedEqualsCriticalPath(t *testing.T) {
 
 func TestPCRBudget63IsOptimallyScheduledByList(t *testing.T) {
 	g, mix := pcr.Graph()
-	b := pcr.Binding(mix)
+	b, err := pcr.Binding(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
 	o := schedule.Options{AreaBudget: pcr.DefaultAreaBudget}
 	res, err := Minimize(g, b, o, Limits{MaxOps: 15, MaxNodes: 20_000_000})
 	if err != nil {
@@ -80,7 +86,10 @@ func TestDelayCanBeOptimal(t *testing.T) {
 
 func TestLimitsEnforced(t *testing.T) {
 	g, mix := pcr.Graph()
-	b := pcr.Binding(mix)
+	b, err := pcr.Binding(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := Minimize(g, b, schedule.Options{}, Limits{MaxOps: 5}); err == nil {
 		t.Error("op limit not enforced")
 	}

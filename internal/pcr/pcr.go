@@ -69,18 +69,20 @@ var deviceFor = [7]string{
 }
 
 // Binding returns the Table 1 resource binding for the graph returned
-// by Graph.
-func Binding(mix [7]int) schedule.Binding {
+// by Graph. A catalogue lookup miss is reported as an error rather
+// than a panic so callers assembling custom libraries get a
+// diagnosable failure.
+func Binding(mix [7]int) (schedule.Binding, error) {
 	lib := modlib.Table1()
 	b := make(schedule.Binding, len(mix))
 	for i, id := range mix {
 		d, ok := lib.Get(deviceFor[i])
 		if !ok {
-			panic("pcr: Table 1 device missing from library: " + deviceFor[i])
+			return nil, fmt.Errorf("pcr: Table 1 device missing from library: %s", deviceFor[i])
 		}
 		b[id] = d
 	}
-	return b
+	return b, nil
 }
 
 // DefaultAreaBudget is the concurrent-footprint cap used to regenerate
@@ -94,7 +96,10 @@ const DefaultAreaBudget = 63
 // (dispense and output take no schedule time).
 func Schedule() (*schedule.Schedule, error) {
 	g, mix := Graph()
-	b := Binding(mix)
+	b, err := Binding(mix)
+	if err != nil {
+		return nil, err
+	}
 	return schedule.List(g, b, schedule.Options{AreaBudget: DefaultAreaBudget})
 }
 

@@ -46,7 +46,10 @@ func TestFigure5SequencingGraph(t *testing.T) {
 // paper: module footprints and mixing times for M1..M7.
 func TestTable1ResourceBinding(t *testing.T) {
 	g, mix := Graph()
-	b := Binding(mix)
+	b, err := Binding(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []struct {
 		hardware string
 		size     geom.Size

@@ -57,16 +57,21 @@ func (r Relocation) Rotated() bool {
 // the fault is not C-covered and the assay must be aborted or the chip
 // taken offline.
 //
+// Obstacles are previously detected faulty cells that must also stay
+// uncovered: when faults accumulate over a chip's lifetime, every
+// earlier fault is as dead as the new one, so relocation sites must
+// avoid them all, not just the newest cell.
+//
 // Each relocation is chosen best-fit: the accommodating maximal empty
 // rectangle wasting the fewest cells, with the module anchored inside
 // it so as to avoid the faulty cell.
-func Plan(p *place.Placement, array geom.Rect, fault geom.Point) ([]Relocation, error) {
+func Plan(p *place.Placement, array geom.Rect, fault geom.Point, obstacles ...geom.Point) ([]Relocation, error) {
 	if !array.Contains(fault) {
 		return nil, fmt.Errorf("reconfig: fault %v outside array %v", fault, array)
 	}
 	var out []Relocation
 	for _, mi := range p.ModulesAt(fault) {
-		r, err := PlanModule(p, array, mi, fault)
+		r, err := PlanModule(p, array, mi, fault, obstacles...)
 		if err != nil {
 			return nil, err
 		}
@@ -82,6 +87,18 @@ func Plan(p *place.Placement, array geom.Rect, fault geom.Point) ([]Relocation, 
 // as occupied when searching for a site. The placement is not
 // modified.
 func PlanModule(p *place.Placement, array geom.Rect, mi int, fault geom.Point, obstacles ...geom.Point) (Relocation, error) {
+	if mi < 0 || mi >= len(p.Modules) {
+		return Relocation{}, fmt.Errorf("reconfig: unknown module %d", mi)
+	}
+	return PlanModuleSized(p, array, mi, p.Modules[mi].Size, fault, obstacles...)
+}
+
+// PlanModuleSized is PlanModule with an explicit footprint for the
+// relocated module, which may differ from the module's catalogue size.
+// The recovery ladder uses it to plan a *downgrade*: re-hosting an
+// operation on a smaller (typically slower) library device when no
+// site accommodates the original footprint.
+func PlanModuleSized(p *place.Placement, array geom.Rect, mi int, size geom.Size, fault geom.Point, obstacles ...geom.Point) (Relocation, error) {
 	reg := instr.Load()
 	var start time.Time
 	if reg != nil {
@@ -97,7 +114,7 @@ func PlanModule(p *place.Placement, array geom.Rect, mi int, fault geom.Point, o
 	}
 	mers := emptyrect.Maximal(g)
 	local := geom.Point{X: fault.X - array.X, Y: fault.Y - array.Y}
-	to, ok := emptyrect.BestFitAvoiding(mers, m.Size, local)
+	to, ok := emptyrect.BestFitAvoiding(mers, size, local)
 	if reg != nil {
 		reg.Histogram("reconfig.plan_ms", telemetry.LatencyBuckets...).
 			Observe(float64(time.Since(start).Microseconds()) / 1000)
@@ -110,7 +127,7 @@ func PlanModule(p *place.Placement, array geom.Rect, mi int, fault geom.Point, o
 	if !ok {
 		return Relocation{}, fmt.Errorf(
 			"reconfig: module %s (%v) cannot be relocated for fault at %v: no accommodating empty rectangle",
-			m.Name, m.Size, fault)
+			m.Name, size, fault)
 	}
 	return Relocation{
 		Module: mi,
@@ -155,9 +172,10 @@ func Apply(p *place.Placement, rels []Relocation) error {
 }
 
 // Recover plans and applies the reconfiguration for a fault in one
-// step, returning the relocations performed.
-func Recover(p *place.Placement, array geom.Rect, fault geom.Point) ([]Relocation, error) {
-	rels, err := Plan(p, array, fault)
+// step, returning the relocations performed. Obstacles are previously
+// detected faults the new sites must also avoid (see Plan).
+func Recover(p *place.Placement, array geom.Rect, fault geom.Point, obstacles ...geom.Point) ([]Relocation, error) {
+	rels, err := Plan(p, array, fault, obstacles...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,81 @@
+package recovery
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmfb/internal/geom"
+	"dmfb/internal/modlib"
+)
+
+// FuzzLadder drives the full ladder through arbitrary fault sequences
+// on a mixed workload and asserts the safety contract: the ladder
+// always returns a plan (L4 cannot fail), and every plan validates —
+// no live-module overlap, no live unfinished module covering a fault,
+// precedence intact after stretching, abandonment successor-closed,
+// and any stretch within the configured limit.
+func FuzzLadder(f *testing.F) {
+	f.Add(int64(1), uint8(2))
+	f.Add(int64(42), uint8(4))
+	f.Add(int64(-7), uint8(1))
+	f.Add(int64(123456789), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, kRaw uint8) {
+		k := int(kRaw%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+
+		mk := func(name string) modlib.Device { return dev(t, name) }
+		st := mkState(t,
+			[]modSpec{
+				{"M1", mk(modlib.Mixer2x2), 0, 10},
+				{"M2", mk(modlib.Mixer2x3), 2, 8},
+				{"M3", mk(modlib.Mixer1x4), 10, 15},
+				{"DET", mk(modlib.DetectorLED), 15, 45},
+			},
+			[]geom.Point{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 0, Y: 0}, {X: 7, Y: 5}},
+			geom.Rect{X: 0, Y: 0, W: 10, H: 8}, 0, geom.Point{})
+
+		const stretchLimit = 30
+		ladder := New(Options{StretchLimit: stretchLimit, Anneal: annealForTest()})
+
+		seen := map[geom.Point]bool{}
+		abandoned := map[int]bool{}
+		var faults []geom.Point
+		now := 0
+		for j := 0; j < k; j++ {
+			now += rng.Intn(5)
+			cell := geom.Point{X: rng.Intn(st.Array.W), Y: rng.Intn(st.Array.H)}
+			if seen[cell] {
+				continue
+			}
+			seen[cell] = true
+			faults = append(faults, cell)
+
+			st.Now = now
+			st.Fault = cell
+			st.Faults = faults
+			st.Abandoned = abandoned
+
+			plan, rep := ladder.Recover(st)
+			if plan == nil {
+				t.Fatalf("fault %d at %v t=%d: full ladder returned no plan: %+v",
+					j, cell, now, rep.Attempts)
+			}
+			if err := ValidatePlan(st, plan); err != nil {
+				t.Fatalf("fault %d at %v t=%d: level %v plan invalid: %v",
+					j, cell, now, plan.Level, err)
+			}
+			if plan.StretchSec > stretchLimit {
+				t.Fatalf("fault %d: stretch %d exceeds limit %d", j, plan.StretchSec, stretchLimit)
+			}
+			if plan.Level == LevelNone || plan.Level > LevelDegrade {
+				t.Fatalf("fault %d: nonsensical level %v", j, plan.Level)
+			}
+			// Adopt the plan, as a runtime controller would.
+			st.Placement = plan.Placement
+			st.Sched = plan.Sched
+			for _, id := range plan.Abandon {
+				abandoned[id] = true
+			}
+		}
+	})
+}

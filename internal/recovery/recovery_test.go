@@ -1,0 +1,303 @@
+package recovery
+
+import (
+	"strings"
+	"testing"
+
+	"dmfb/internal/assay"
+	"dmfb/internal/core"
+	"dmfb/internal/geom"
+	"dmfb/internal/modlib"
+	"dmfb/internal/place"
+	"dmfb/internal/schedule"
+)
+
+// annealForTest keeps the L3 defragmentation anneal short but long
+// enough to solve the tiny fixtures deterministically.
+func annealForTest() core.Options {
+	return core.Options{Seed: 1, ItersPerModule: 300, WindowPatience: 4}
+}
+
+// mkState builds a recovery state from a hand-written schedule: each
+// spec is one reconfigurable op with its device and span, fed by one
+// dispense and draining into one output. Module i is placed at pos[i].
+type modSpec struct {
+	name  string
+	dev   modlib.Device
+	start int
+	end   int
+}
+
+func mkState(t *testing.T, specs []modSpec, pos []geom.Point, array geom.Rect, now int, fault geom.Point) State {
+	t.Helper()
+	g := assay.New("recovery-test")
+	var opIDs []int
+	for _, sp := range specs {
+		d := g.AddOp("D-"+sp.name, assay.Dispense, "x")
+		m := g.AddOp(sp.name, sp.dev.Kind, "")
+		o := g.AddOp("O-"+sp.name, assay.Output, "")
+		g.MustEdge(d, m)
+		g.MustEdge(m, o)
+		opIDs = append(opIDs, m)
+	}
+	s := &schedule.Schedule{Graph: g, Items: make([]schedule.Item, g.NumOps())}
+	for i := 0; i < g.NumOps(); i++ {
+		s.Items[i] = schedule.Item{Op: g.Op(i)}
+	}
+	for i, sp := range specs {
+		m := opIDs[i]
+		s.Items[m].Device = sp.dev
+		s.Items[m].Bound = true
+		s.Items[m].Span = geom.Interval{Start: sp.start, End: sp.end}
+		// Dispense completes instantly at the mix start; output starts
+		// when the module ends.
+		s.Items[m-1].Span = geom.Interval{Start: sp.start, End: sp.start}
+		s.Items[m+1].Span = geom.Interval{Start: sp.end, End: sp.end}
+		if sp.end > s.Makespan {
+			s.Makespan = sp.end
+		}
+	}
+	pl := place.New(place.FromSchedule(s))
+	copy(pl.Pos, pos)
+	if err := pl.Validate(); err != nil {
+		t.Fatalf("test fixture placement invalid: %v", err)
+	}
+	return State{
+		Sched:     s,
+		Placement: pl,
+		Array:     array,
+		Now:       now,
+		Fault:     fault,
+		Faults:    []geom.Point{fault},
+	}
+}
+
+func dev(t *testing.T, name string) modlib.Device {
+	t.Helper()
+	d, ok := modlib.Table1().Get(name)
+	if !ok {
+		t.Fatalf("device %s missing from Table 1", name)
+	}
+	return d
+}
+
+func TestLadderL1Relocates(t *testing.T) {
+	// One 4x4 mixer on an 8x4 array: plenty of room to slide right.
+	st := mkState(t,
+		[]modSpec{{"M1", dev(t, modlib.Mixer2x2), 0, 10}},
+		[]geom.Point{{X: 0, Y: 0}},
+		geom.Rect{X: 0, Y: 0, W: 8, H: 4}, 2, geom.Point{X: 1, Y: 1})
+	plan, rep := New(Options{}).Recover(st)
+	if plan == nil {
+		t.Fatalf("ladder failed: %+v", rep.Attempts)
+	}
+	if plan.Level != LevelRelocate {
+		t.Fatalf("level = %v, want relocate", plan.Level)
+	}
+	if len(plan.Relocations) != 1 {
+		t.Fatalf("relocations = %d, want 1", len(plan.Relocations))
+	}
+	if plan.Sched != st.Sched {
+		t.Fatal("L1 must not touch the schedule")
+	}
+	if err := ValidatePlan(st, plan); err != nil {
+		t.Fatalf("plan invalid: %v", err)
+	}
+	if rep.Final() != LevelRelocate {
+		t.Fatalf("report final = %v", rep.Final())
+	}
+}
+
+func TestLadderL2DowngradesAndStretches(t *testing.T) {
+	// A 4x6 mixer fills a 5x6 array except one column; after the fault
+	// at (1,1) no 4x6 site exists, but the 4x5 Mixer2x3 fits the 5x4
+	// strip above the fault. The op restarts on the slower device and
+	// the output is pushed from t=3 to t=7.
+	st := mkState(t,
+		[]modSpec{{"M1", dev(t, modlib.Mixer2x4), 0, 3}},
+		[]geom.Point{{X: 0, Y: 0}},
+		geom.Rect{X: 0, Y: 0, W: 5, H: 6}, 1, geom.Point{X: 1, Y: 1})
+	plan, rep := New(Options{}).Recover(st)
+	if plan == nil {
+		t.Fatalf("ladder failed: %+v", rep.Attempts)
+	}
+	if plan.Level != LevelDowngrade {
+		t.Fatalf("level = %v, want downgrade (attempts %+v)", plan.Level, rep.Attempts)
+	}
+	if len(plan.Downgrades) != 1 {
+		t.Fatalf("downgrades = %d, want 1", len(plan.Downgrades))
+	}
+	d := plan.Downgrades[0]
+	if d.To.Name != modlib.Mixer2x3 {
+		t.Fatalf("downgraded to %s, want %s (largest smaller mixer)", d.To.Name, modlib.Mixer2x3)
+	}
+	// Restarted at the fault time on the 6 s device: span [0, 1+6).
+	if got := plan.Sched.Items[d.OpID].Span; got != (geom.Interval{Start: 0, End: 7}) {
+		t.Fatalf("downgraded span = %v, want [0,7)", got)
+	}
+	if plan.StretchSec != 4 {
+		t.Fatalf("stretch = %d, want 4", plan.StretchSec)
+	}
+	// The output op rides the stretch.
+	out := plan.Sched.Items[d.OpID+1]
+	if out.Span.Start != 7 {
+		t.Fatalf("output start = %d, want 7", out.Span.Start)
+	}
+	if err := ValidatePlan(st, plan); err != nil {
+		t.Fatalf("plan invalid: %v", err)
+	}
+	// The attempt trail shows L1 failing first.
+	if len(rep.Attempts) != 2 || rep.Attempts[0].Err == "" {
+		t.Fatalf("attempts = %+v, want failed L1 then successful L2", rep.Attempts)
+	}
+	if !strings.Contains(rep.Attempts[0].Err, "reconfiguration failed") {
+		t.Fatalf("L1 error = %q", rep.Attempts[0].Err)
+	}
+}
+
+func TestLadderL3Defragments(t *testing.T) {
+	// Two concurrent 3x3 detectors on an 8x3 array. After the fault at
+	// (1,1) the free strip is only 2 wide, so the affected detector
+	// fits nowhere (L1) and has no smaller variant (L2) — but moving
+	// BOTH detectors right of the fault works, which only the L3
+	// re-anneal can discover.
+	det := dev(t, modlib.DetectorLED)
+	st := mkState(t,
+		[]modSpec{{"DET1", det, 0, 30}, {"DET2", det, 0, 30}},
+		[]geom.Point{{X: 0, Y: 0}, {X: 3, Y: 0}},
+		geom.Rect{X: 0, Y: 0, W: 8, H: 3}, 5, geom.Point{X: 1, Y: 1})
+	plan, rep := New(Options{Anneal: annealForTest()}).Recover(st)
+	if plan == nil {
+		t.Fatalf("ladder failed: %+v", rep.Attempts)
+	}
+	if plan.Level != LevelDefragment {
+		t.Fatalf("level = %v, want defragment (attempts %+v)", plan.Level, rep.Attempts)
+	}
+	if err := ValidatePlan(st, plan); err != nil {
+		t.Fatalf("plan invalid: %v", err)
+	}
+	if len(rep.Attempts) != 3 {
+		t.Fatalf("attempts = %+v, want L1+L2 failures then L3", rep.Attempts)
+	}
+}
+
+func TestLadderL4AbandonsDependencyCone(t *testing.T) {
+	// As the L3 scenario but on a 6x3 array: two 3x3 detectors leave
+	// zero spare cells, so nothing can absorb the fault. L4 abandons
+	// the affected detector and its output; the other detector lives.
+	det := dev(t, modlib.DetectorLED)
+	st := mkState(t,
+		[]modSpec{{"DET1", det, 0, 30}, {"DET2", det, 0, 30}},
+		[]geom.Point{{X: 0, Y: 0}, {X: 3, Y: 0}},
+		geom.Rect{X: 0, Y: 0, W: 6, H: 3}, 5, geom.Point{X: 1, Y: 1})
+	plan, rep := New(Options{Anneal: annealForTest()}).Recover(st)
+	if plan == nil {
+		t.Fatalf("ladder failed: %+v", rep.Attempts)
+	}
+	if plan.Level != LevelDegrade {
+		t.Fatalf("level = %v, want degrade (attempts %+v)", plan.Level, rep.Attempts)
+	}
+	// Abandoned: DET1 (op 1) and its output (op 2); its dispense (op
+	// 0) already ran and DET2's cone (ops 3-5) is untouched.
+	if len(plan.Abandon) != 2 {
+		t.Fatalf("abandon = %v, want the DET1 op and its output", plan.Abandon)
+	}
+	names := map[string]bool{}
+	for _, id := range plan.Abandon {
+		names[st.Sched.Graph.Op(id).Name] = true
+	}
+	if !names["DET1"] || !names["O-DET1"] {
+		t.Fatalf("abandoned %v, want DET1 and O-DET1", names)
+	}
+	if len(plan.Relocations) != 0 {
+		t.Fatalf("relocations = %v, want none", plan.Relocations)
+	}
+	if err := ValidatePlan(st, plan); err != nil {
+		t.Fatalf("plan invalid: %v", err)
+	}
+}
+
+func TestLadderHonorsMaxLevel(t *testing.T) {
+	// The L4 scenario with the ladder capped at L1: every rung fails
+	// and the plan is nil — the caller sees the abort, as in the
+	// paper's plain partial-reconfiguration story.
+	det := dev(t, modlib.DetectorLED)
+	st := mkState(t,
+		[]modSpec{{"DET1", det, 0, 30}, {"DET2", det, 0, 30}},
+		[]geom.Point{{X: 0, Y: 0}, {X: 3, Y: 0}},
+		geom.Rect{X: 0, Y: 0, W: 6, H: 3}, 5, geom.Point{X: 1, Y: 1})
+	plan, rep := New(Options{MaxLevel: LevelRelocate}).Recover(st)
+	if plan != nil {
+		t.Fatalf("capped ladder returned a plan at level %v", plan.Level)
+	}
+	if len(rep.Attempts) != 1 || rep.Attempts[0].Err == "" {
+		t.Fatalf("attempts = %+v, want one L1 failure", rep.Attempts)
+	}
+	if rep.Final() != LevelNone {
+		t.Fatalf("final = %v, want none", rep.Final())
+	}
+}
+
+func TestLadderStretchLimitBlocksDowngrade(t *testing.T) {
+	// The L2 scenario needs a 4-second stretch; capping it at 2 pushes
+	// the ladder past L2. L3 then re-places the single module (the
+	// anneal can use the full array at the original footprint... the
+	// fault blocks every 4x6 site, so L3 fails too) and L4 abandons.
+	st := mkState(t,
+		[]modSpec{{"M1", dev(t, modlib.Mixer2x4), 0, 3}},
+		[]geom.Point{{X: 0, Y: 0}},
+		geom.Rect{X: 0, Y: 0, W: 5, H: 6}, 1, geom.Point{X: 1, Y: 1})
+	plan, rep := New(Options{StretchLimit: 2, Anneal: annealForTest()}).Recover(st)
+	if plan == nil {
+		t.Fatalf("ladder failed: %+v", rep.Attempts)
+	}
+	if plan.Level != LevelDegrade {
+		t.Fatalf("level = %v, want degrade (attempts %+v)", plan.Level, rep.Attempts)
+	}
+	if err := ValidatePlan(st, plan); err != nil {
+		t.Fatalf("plan invalid: %v", err)
+	}
+}
+
+func TestLadderIsDeterministic(t *testing.T) {
+	det := dev(t, modlib.DetectorLED)
+	run := func() *Plan {
+		st := mkState(t,
+			[]modSpec{{"DET1", det, 0, 30}, {"DET2", det, 0, 30}},
+			[]geom.Point{{X: 0, Y: 0}, {X: 3, Y: 0}},
+			geom.Rect{X: 0, Y: 0, W: 8, H: 3}, 5, geom.Point{X: 1, Y: 1})
+		plan, _ := New(Options{Anneal: annealForTest()}).Recover(st)
+		return plan
+	}
+	a, b := run(), run()
+	if a == nil || b == nil {
+		t.Fatal("ladder failed")
+	}
+	if a.Level != b.Level {
+		t.Fatalf("levels differ: %v vs %v", a.Level, b.Level)
+	}
+	for i := range a.Placement.Modules {
+		if a.Placement.Rect(i) != b.Placement.Rect(i) {
+			t.Fatalf("module %d placed at %v then %v", i, a.Placement.Rect(i), b.Placement.Rect(i))
+		}
+	}
+}
+
+func TestDowngradeCandidatesOrdering(t *testing.T) {
+	lib := modlib.Table1()
+	cur := dev(t, modlib.Mixer2x4) // 24 cells
+	cands := downgradeCandidates(lib, cur)
+	var names []string
+	for _, d := range cands {
+		names = append(names, d.Name)
+	}
+	// Largest smaller device first: 2x3 (20) > 1x4 (18) > 2x2 (16).
+	want := []string{modlib.Mixer2x3, modlib.Mixer1x4, modlib.Mixer2x2}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("candidates = %v, want %v", names, want)
+	}
+	// The smallest mixer has no candidates at all.
+	if got := downgradeCandidates(lib, dev(t, modlib.Mixer2x2)); len(got) != 0 {
+		t.Fatalf("Mixer2x2 candidates = %v, want none", got)
+	}
+}

@@ -1,0 +1,101 @@
+package recovery
+
+import (
+	"fmt"
+)
+
+// ValidatePlan proves a plan safe to adopt without executing it:
+//
+//   - every module lies inside the fabricated array;
+//   - no two live (non-abandoned) modules with overlapping time spans
+//     share cells;
+//   - no live unfinished module covers any known fault;
+//   - the schedule respects precedence among live operations;
+//   - the abandoned set is successor-closed: nothing live depends on
+//     an abandoned operation.
+//
+// The fuzz harness asserts this over arbitrary fault sequences, which
+// is what backs the ladder's "degrade but never corrupt" contract.
+func ValidatePlan(st State, p *Plan) error {
+	if p == nil {
+		return fmt.Errorf("recovery: nil plan")
+	}
+	pl := p.Placement
+	sched := p.Sched
+	if pl == nil || sched == nil {
+		return fmt.Errorf("recovery: plan missing placement or schedule")
+	}
+	if len(pl.Modules) != len(st.Placement.Modules) {
+		return fmt.Errorf("recovery: plan has %d modules, state has %d",
+			len(pl.Modules), len(st.Placement.Modules))
+	}
+	ops := moduleOps(sched)
+	if len(ops) != len(pl.Modules) {
+		return fmt.Errorf("recovery: plan binds %d ops to %d modules", len(ops), len(pl.Modules))
+	}
+
+	abandoned := make(map[int]bool, len(st.Abandoned)+len(p.Abandon))
+	for id, v := range st.Abandoned {
+		if v {
+			abandoned[id] = true
+		}
+	}
+	for _, id := range p.Abandon {
+		abandoned[id] = true
+	}
+
+	for i := range pl.Modules {
+		if r := pl.Rect(i); !st.Array.ContainsRect(r) {
+			return fmt.Errorf("recovery: module %s at %v outside array %v",
+				pl.Modules[i].Name, r, st.Array)
+		}
+	}
+
+	for i := 0; i < len(pl.Modules); i++ {
+		if abandoned[ops[i]] {
+			continue
+		}
+		for j := i + 1; j < len(pl.Modules); j++ {
+			if abandoned[ops[j]] || !pl.Modules[i].Span.Overlaps(pl.Modules[j].Span) {
+				continue
+			}
+			if ov := pl.Rect(i).Intersect(pl.Rect(j)); !ov.Empty() {
+				return fmt.Errorf("recovery: live modules %s%v and %s%v overlap at %v",
+					pl.Modules[i].Name, pl.Rect(i), pl.Modules[j].Name, pl.Rect(j), ov)
+			}
+		}
+	}
+
+	for i := range pl.Modules {
+		if abandoned[ops[i]] || pl.Modules[i].Span.End <= st.Now {
+			continue
+		}
+		r := pl.Rect(i)
+		for _, f := range st.Faults {
+			if r.Contains(f) {
+				return fmt.Errorf("recovery: live module %s at %v covers fault %v",
+					pl.Modules[i].Name, r, f)
+			}
+		}
+	}
+
+	g := sched.Graph
+	for v := range sched.Items {
+		if abandoned[v] {
+			for _, s := range g.Succ(v) {
+				if !abandoned[s] {
+					return fmt.Errorf("recovery: abandoned op %s has live successor %s",
+						g.Op(v).Name, g.Op(s).Name)
+				}
+			}
+			continue
+		}
+		for _, pr := range g.Pred(v) {
+			if sched.Items[pr].Span.End > sched.Items[v].Span.Start {
+				return fmt.Errorf("recovery: op %s starts at %d before pred %s ends at %d",
+					g.Op(v).Name, sched.Items[v].Span.Start, g.Op(pr).Name, sched.Items[pr].Span.End)
+			}
+		}
+	}
+	return nil
+}

@@ -351,6 +351,16 @@ func List(g *assay.Graph, b Binding, o Options) (*Schedule, error) {
 	return s, nil
 }
 
+// Clone returns an independent copy of the schedule sharing the
+// immutable sequencing graph. The recovery ladder mutates cloned
+// schedules (device downgrades, span stretches) without touching the
+// caller's synthesis result.
+func (s *Schedule) Clone() *Schedule {
+	c := *s
+	c.Items = append([]Item(nil), s.Items...)
+	return &c
+}
+
 // Validate checks that the schedule respects precedence and, if an
 // area budget was set, the concurrent-footprint cap.
 func (s *Schedule) Validate() error {

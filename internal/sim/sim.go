@@ -30,14 +30,64 @@ import (
 	"time"
 
 	"dmfb/internal/assay"
+	"dmfb/internal/core"
 	"dmfb/internal/fluidics"
 	"dmfb/internal/geom"
 	"dmfb/internal/place"
 	"dmfb/internal/reconfig"
+	"dmfb/internal/recovery"
 	"dmfb/internal/router"
 	"dmfb/internal/schedule"
 	"dmfb/internal/telemetry"
+	"dmfb/internal/testdrop"
 )
+
+// RecoveryMode selects how the simulator reacts to a permanent fault
+// under an unfinished module.
+type RecoveryMode int
+
+const (
+	// RecoveryL1 (the default) relocates affected modules in place —
+	// the paper's partial reconfiguration, Section 5.1. A fault no
+	// relocation can fix fails the assay.
+	RecoveryL1 RecoveryMode = iota
+	// RecoveryLadder escalates through the full recovery ladder:
+	// relocate, downgrade with schedule stretch, defragment with a
+	// short seeded re-anneal, and finally graceful degradation
+	// (abandoning unrecoverable dependency cones). A fault can degrade
+	// the assay but never crash it.
+	RecoveryLadder
+	// RecoveryOff disables reconfiguration: a permanent fault under an
+	// unfinished module fails the assay immediately. Useful as a
+	// campaign baseline.
+	RecoveryOff
+)
+
+// String names the mode as accepted by ParseRecoveryMode.
+func (m RecoveryMode) String() string {
+	switch m {
+	case RecoveryL1:
+		return "l1"
+	case RecoveryLadder:
+		return "ladder"
+	case RecoveryOff:
+		return "off"
+	}
+	return fmt.Sprintf("mode-%d", int(m))
+}
+
+// ParseRecoveryMode parses "l1", "ladder" or "off".
+func ParseRecoveryMode(s string) (RecoveryMode, error) {
+	switch s {
+	case "l1", "":
+		return RecoveryL1, nil
+	case "ladder":
+		return RecoveryLadder, nil
+	case "off":
+		return RecoveryOff, nil
+	}
+	return RecoveryL1, fmt.Errorf("sim: unknown recovery mode %q (want l1, ladder or off)", s)
+}
 
 // Options configures a simulation run.
 type Options struct {
@@ -48,6 +98,16 @@ type Options struct {
 	// otherwise only milestones (op start/end, fault, reconfiguration)
 	// are logged.
 	Trace bool
+	// Recovery selects the fault response: RecoveryL1 (default),
+	// RecoveryLadder or RecoveryOff.
+	Recovery RecoveryMode
+	// RecoverySeed seeds the L3 defragmentation anneal (ladder mode
+	// only). Campaigns derive a per-trial seed so runs stay
+	// reproducible.
+	RecoverySeed int64
+	// RecoveryStretchLimit caps the schedule stretch (seconds) an L2
+	// downgrade may introduce. Zero means unlimited.
+	RecoveryStretchLimit int
 	// Telemetry, when non-nil, mirrors every Event as a structured
 	// "sim.<kind>" trace record and wraps the run in a "sim.run" span.
 	// The Events slice in Result is unchanged either way.
@@ -71,6 +131,12 @@ func (o Options) withDefaults() Options {
 type FaultInjection struct {
 	TimeSec int
 	Cell    geom.Point
+	// TransientProbes, when positive, makes the fault transient: the
+	// cell refuses that many re-test probes and then heals. The
+	// simulator's bounded-retry classification (testdrop) detects a
+	// transient that heals within the retry budget and skips
+	// reconfiguration entirely. Zero means permanent.
+	TransientProbes int
 }
 
 // Event is one log entry of a run.
@@ -84,9 +150,60 @@ func (e Event) String() string {
 	return fmt.Sprintf("t=%-3d %-9s %s", e.TimeSec, e.Kind, e.Detail)
 }
 
+// Outcome classifies how a run ended. It refines the Completed bool:
+// a degraded run delivered some products but abandoned at least one
+// operation, which counts as neither completed nor failed.
+type Outcome int
+
+const (
+	// OutcomeFailed: the assay aborted and delivered nothing useful.
+	OutcomeFailed Outcome = iota
+	// OutcomeCompleted: every operation ran to completion.
+	OutcomeCompleted
+	// OutcomeDegraded: the assay ran to the end but one or more
+	// operations were abandoned by graceful degradation (L4); the
+	// surviving products were collected.
+	OutcomeDegraded
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeDegraded:
+		return "degraded"
+	case OutcomeFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("outcome-%d", int(o))
+}
+
+// RecoveryReport aggregates the recovery activity of one run.
+type RecoveryReport struct {
+	// Invocations counts ladder invocations (one per permanent
+	// in-array fault that was classified, in any recovery mode but
+	// RecoveryOff).
+	Invocations int
+	// DeepestLevel is the highest rung any invocation had to climb.
+	DeepestLevel recovery.Level
+	// Attempts concatenates the audit trails of every invocation.
+	Attempts []recovery.Attempt
+	// AbandonedOps names the operations abandoned by L4, in
+	// abandonment order.
+	AbandonedOps []string
+	// TransientFaults counts faults that healed under bounded-retry
+	// re-test and needed no reconfiguration.
+	TransientFaults int
+	// StretchSec is the cumulative schedule stretch introduced by L2
+	// downgrades (negative if downgrades net shortened the assay).
+	StretchSec int
+}
+
 // Result reports a completed (or failed) simulation.
 type Result struct {
 	Completed      bool
+	Outcome        Outcome
 	FailReason     string
 	MakespanSec    int // schedule seconds until the last operation ended
 	TransportSteps int // total single-cell droplet moves
@@ -98,6 +215,8 @@ type Result struct {
 	// ProductFluids are the fluid labels of the droplets collected at
 	// the end — for PCR, the composition of the master mix.
 	ProductFluids []string
+	// Recovery audits the run's fault handling.
+	Recovery RecoveryReport
 }
 
 // Simulator holds the mutable state of one run.
@@ -114,7 +233,11 @@ type simulator struct {
 	products map[int][]int
 	// inModule[op] is the droplet currently inside the op's module.
 	inModule map[int]int
-	res      *Result
+	// ladder plans fault recovery (nil when Recovery is RecoveryOff).
+	ladder *recovery.Ladder
+	// abandoned holds op IDs dropped by graceful degradation.
+	abandoned map[int]bool
+	res       *Result
 }
 
 // ArrayCell converts placed-array coordinates (as used by placements
@@ -131,16 +254,31 @@ func ArrayCell(opts Options, p geom.Point) geom.Point {
 func Run(s *schedule.Schedule, p *place.Placement, opts Options, faults ...FaultInjection) Result {
 	o := opts.withDefaults()
 	sim := &simulator{
-		opts:     o,
-		sched:    s,
-		products: make(map[int][]int),
-		inModule: make(map[int]int),
-		res:      &Result{},
+		opts:      o,
+		sched:     s,
+		products:  make(map[int][]int),
+		inModule:  make(map[int]int),
+		abandoned: make(map[int]bool),
+		res:       &Result{},
+	}
+	if o.Recovery != RecoveryOff {
+		maxLevel := recovery.LevelRelocate
+		if o.Recovery == RecoveryLadder {
+			maxLevel = recovery.LevelDegrade
+		}
+		sim.ladder = recovery.New(recovery.Options{
+			MaxLevel:     maxLevel,
+			Anneal:       core.Options{Seed: o.RecoverySeed},
+			StretchLimit: o.RecoveryStretchLimit,
+			Telemetry:    o.Telemetry,
+			Metrics:      o.Metrics,
+		})
 	}
 	span := o.Telemetry.Start("sim.run")
 	defer func() {
 		span.End(telemetry.Fields{
 			"completed":       sim.res.Completed,
+			"outcome":         sim.res.Outcome.String(),
 			"makespan_sec":    sim.res.MakespanSec,
 			"transport_steps": sim.res.TransportSteps,
 			"relocations":     len(sim.res.Relocations),
@@ -154,9 +292,19 @@ func Run(s *schedule.Schedule, p *place.Placement, opts Options, faults ...Fault
 	if err := sim.runEvents(faults); err != nil {
 		return *sim.res
 	}
-	sim.collect(s.Makespan)
-	sim.res.Completed = true
-	sim.res.MakespanSec = s.Makespan
+	// The schedule pointer may have been swapped by an L2 stretch, so
+	// the makespan is read from the simulator's schedule, not the
+	// caller's.
+	sim.collect(sim.sched.Makespan)
+	sim.res.MakespanSec = sim.sched.Makespan
+	if len(sim.abandoned) > 0 {
+		sim.res.Outcome = OutcomeDegraded
+		sim.res.FailReason = fmt.Sprintf("degraded: %d operation(s) abandoned",
+			len(sim.res.Recovery.AbandonedOps))
+	} else {
+		sim.res.Completed = true
+		sim.res.Outcome = OutcomeCompleted
+	}
 	sim.finish()
 	return *sim.res
 }
@@ -255,7 +403,7 @@ func (sim *simulator) activeRects(t int, excludeOps ...int) []geom.Rect {
 	}
 	var out []geom.Rect
 	for i, it := range sim.sched.BoundItems() {
-		if skip[it.Op.ID] || !it.Span.Contains(t) {
+		if skip[it.Op.ID] || sim.abandoned[it.Op.ID] || !it.Span.Contains(t) {
 			continue
 		}
 		out = append(out, sim.moduleRect(i))
@@ -293,6 +441,7 @@ func (sim *simulator) trace(t int, kind, format string, args ...any) {
 
 func (sim *simulator) fail(t int, reason string) Result {
 	sim.res.Completed = false
+	sim.res.Outcome = OutcomeFailed
 	sim.res.FailReason = reason
 	sim.log(t, "fail", "%s", reason)
 	sim.finish()
@@ -306,29 +455,16 @@ func (sim *simulator) finish() {
 	sim.res.TransportMS = sim.res.TransportSteps * fluidics.StepMS
 }
 
-// runEvents drives the event loop. It returns a non-nil error after
-// recording a failure.
+// runEvents drives the event loop. Event times are recomputed after
+// every step rather than precomputed, because an L2 downgrade can
+// stretch the schedule mid-run and move every later start and end. It
+// returns a non-nil error after recording a failure.
 func (sim *simulator) runEvents(faults []FaultInjection) error {
-	times := map[int]bool{0: true}
-	for _, it := range sim.sched.Items {
-		times[it.Span.Start] = true
-		times[it.Span.End] = true
-	}
-	for _, f := range faults {
-		times[f.TimeSec] = true
-	}
-	var order []int
-	for t := range times {
-		if t >= 0 {
-			order = append(order, t)
-		}
-	}
-	sort.Ints(order)
-
-	for _, t := range order {
+	t := 0
+	for {
 		for _, f := range faults {
 			if f.TimeSec == t {
-				if err := sim.injectFault(t, f.Cell); err != nil {
+				if err := sim.injectFault(t, f); err != nil {
 					sim.fail(t, err.Error())
 					return err
 				}
@@ -342,53 +478,147 @@ func (sim *simulator) runEvents(faults []FaultInjection) error {
 			sim.fail(t, err.Error())
 			return err
 		}
+		next := -1
+		consider := func(x int) {
+			if x > t && (next < 0 || x < next) {
+				next = x
+			}
+		}
+		for _, it := range sim.sched.Items {
+			consider(it.Span.Start)
+			consider(it.Span.End)
+		}
+		for _, f := range faults {
+			consider(f.TimeSec)
+		}
+		if next < 0 {
+			return nil
+		}
+		t = next
 	}
-	return nil
 }
 
-// injectFault marks the cell faulty and relocates every unfinished
-// module whose current site contains it.
-func (sim *simulator) injectFault(t int, cell geom.Point) error {
-	if err := sim.chip.InjectFault(cell); err != nil {
+// injectFault marks the cell faulty, classifies the fault by bounded
+// retry, and — if it is permanent and under the array — invokes the
+// recovery ladder (or fails, with recovery off).
+func (sim *simulator) injectFault(t int, f FaultInjection) error {
+	cell := f.Cell
+	if f.TransientProbes > 0 {
+		if err := sim.chip.InjectTransientFault(cell, f.TransientProbes); err != nil {
+			return err
+		}
+	} else if err := sim.chip.InjectFault(cell); err != nil {
 		return err
 	}
 	sim.log(t, "fault", "cell %v failed", cell)
+	// On-line re-test before any reconfiguration: a transient fault
+	// that passes a retry probe heals in place and costs only the
+	// backoff budget — no relocation (and no permanent obstacle).
+	cl := testdrop.ClassifyFault(sim.chip, cell, testdrop.RetryPolicy{})
+	if cl.Class == testdrop.FaultTransient {
+		sim.res.Recovery.TransientFaults++
+		sim.opts.Metrics.Counter("sim.transient_faults").Inc()
+		sim.log(t, "fault-healed", "cell %v transient, healed after %d probes (%d backoff steps); no reconfiguration",
+			cell, cl.Probes, cl.WaitSteps)
+		return nil
+	}
 	pc := sim.toPlacement(cell)
 	if !sim.array.Contains(pc) {
 		return nil // transport-ring fault: routing will steer around it
 	}
-	// Other already-faulty array cells are obstacles for the new site.
-	var obstacles []geom.Point
-	for _, f := range sim.chip.Faults() {
-		if f != cell {
-			if p := sim.toPlacement(f); sim.array.Contains(p) {
-				obstacles = append(obstacles, p)
+	if sim.ladder == nil {
+		for i, it := range sim.sched.BoundItems() {
+			if it.Span.End <= t || sim.abandoned[it.Op.ID] || !sim.placement.Rect(i).Contains(pc) {
+				continue
 			}
+			return fmt.Errorf("fault at %v disables module %s (recovery disabled)", cell, it.Op.Name)
+		}
+		return nil
+	}
+	// Every permanent array fault (the new one included) constrains
+	// the recovery plan. chip.Faults is row-major, so the obstacle set
+	// is deterministic.
+	var known []geom.Point
+	for _, fc := range sim.chip.Faults() {
+		if p := sim.toPlacement(fc); sim.array.Contains(p) {
+			known = append(known, p)
 		}
 	}
+	reconfigStart := time.Now()
+	plan, rep := sim.ladder.Recover(recovery.State{
+		Sched:     sim.sched,
+		Placement: sim.placement,
+		Array:     sim.array,
+		Now:       t,
+		Fault:     pc,
+		Faults:    known,
+		Abandoned: sim.abandoned,
+	})
+	sim.opts.Metrics.Histogram("sim.reconfig_latency_ms", telemetry.LatencyBuckets...).
+		Observe(float64(time.Since(reconfigStart).Microseconds()) / 1000)
+	sim.res.Recovery.Invocations++
+	sim.res.Recovery.Attempts = append(sim.res.Recovery.Attempts, rep.Attempts...)
+	if plan == nil {
+		// Possible only below LevelDegrade (L1 mode): surface the last
+		// rung's planning error as the failure reason.
+		last := rep.Attempts[len(rep.Attempts)-1]
+		return fmt.Errorf("%s", last.Err)
+	}
+	if plan.Level > sim.res.Recovery.DeepestLevel {
+		sim.res.Recovery.DeepestLevel = plan.Level
+	}
+	return sim.adoptPlan(t, plan)
+}
+
+// adoptPlan swaps in a recovery plan's placement and schedule, records
+// its events, discards the droplets of abandoned operations, and moves
+// the droplets of running modules whose site changed.
+func (sim *simulator) adoptPlan(t int, plan *recovery.Plan) error {
+	items := sim.sched.BoundItems()
+	// Sites of running modules before the swap, to detect moves.
+	oldRects := make(map[int]geom.Rect)
+	for i, it := range items {
+		if it.Span.Contains(t) && !sim.abandoned[it.Op.ID] {
+			oldRects[i] = sim.placement.Rect(i)
+		}
+	}
+	sim.placement = plan.Placement
+	if plan.Sched != sim.sched {
+		sim.sched = plan.Sched
+		sim.res.Recovery.StretchSec += plan.StretchSec
+	}
+	sim.res.Relocations = append(sim.res.Relocations, plan.Relocations...)
+	for _, rel := range plan.Relocations {
+		sim.log(t, "reconfig", "module %s relocated %v -> %v",
+			items[rel.Module].Op.Name, rel.From, rel.To)
+	}
+	for _, d := range plan.Downgrades {
+		sim.log(t, "downgrade", "module %s re-hosted on %s %v, span %v -> %v",
+			items[d.Module].Op.Name, d.To.Name, d.To.Size, d.OldSpan, d.NewSpan)
+	}
+	if plan.Level == recovery.LevelDefragment {
+		sim.log(t, "reconfig", "defragmentation re-placed %d modules", len(plan.Placement.Modules))
+	}
+	for _, id := range plan.Abandon {
+		sim.abandoned[id] = true
+		name := sim.sched.Graph.Op(id).Name
+		sim.res.Recovery.AbandonedOps = append(sim.res.Recovery.AbandonedOps, name)
+		sim.log(t, "abandon", "op %s abandoned (dependency cone unrecoverable)", name)
+		if did, ok := sim.inModule[id]; ok {
+			sim.state.Remove(did)
+			delete(sim.inModule, id)
+			sim.trace(t, "abandon", "droplet %d of %s discarded", did, name)
+		}
+	}
+	// Re-home the droplets of modules that are running right now and
+	// were moved by the plan: clear the new site of bystanders, then
+	// route the module's own droplet over. Modules that have not
+	// started yet need nothing — their start event evicts and routes
+	// as usual. (A new site may legally overlap a module active now
+	// with a disjoint span.)
 	for i, it := range sim.sched.BoundItems() {
-		if it.Span.End <= t || !sim.placement.Rect(i).Contains(pc) {
-			continue
-		}
-		reconfigStart := time.Now()
-		rel, err := reconfig.PlanModule(sim.placement, sim.array, i, pc, obstacles...)
-		if err != nil {
-			return fmt.Errorf("partial reconfiguration failed for %s: %v", it.Op.Name, err)
-		}
-		oldCenter := sim.moduleCenter(i)
-		if err := reconfig.Apply(sim.placement, []reconfig.Relocation{rel}); err != nil {
-			return fmt.Errorf("applying relocation of %s: %v", it.Op.Name, err)
-		}
-		sim.opts.Metrics.Histogram("sim.reconfig_latency_ms", telemetry.LatencyBuckets...).
-			Observe(float64(time.Since(reconfigStart).Microseconds()) / 1000)
-		sim.res.Relocations = append(sim.res.Relocations, rel)
-		sim.log(t, "reconfig", "module %s relocated %v -> %v", it.Op.Name, rel.From, rel.To)
-		// If the op is running right now, clear the new site of
-		// bystander droplets and move the module's own droplet over.
-		// A module that has not started yet needs nothing: its start
-		// event evicts and routes as usual. (Its new site may legally
-		// overlap a module active *now* with a disjoint span.)
-		if !it.Span.Contains(t) {
+		old, wasRunning := oldRects[i]
+		if !wasRunning || sim.abandoned[it.Op.ID] || sim.placement.Rect(i) == old {
 			continue
 		}
 		if err := sim.evictDroplets(t, sim.moduleRect(i), it.Op.ID); err != nil {
@@ -396,7 +626,7 @@ func (sim *simulator) injectFault(t int, cell geom.Point) error {
 		}
 		if id, ok := sim.inModule[it.Op.ID]; ok {
 			if err := sim.routeDroplet(t, id, sim.moduleCenter(i), it.Op.ID); err != nil {
-				return fmt.Errorf("re-routing droplet of %s from %v: %v", it.Op.Name, oldCenter, err)
+				return fmt.Errorf("re-routing droplet of %s: %v", it.Op.Name, err)
 			}
 		}
 	}
@@ -407,7 +637,7 @@ func (sim *simulator) injectFault(t int, cell geom.Point) error {
 func (sim *simulator) processEnds(t int) error {
 	bi := sim.boundIndex()
 	for _, it := range sim.sched.Items {
-		if !it.Bound || it.Span.End != t || it.Span.Empty() {
+		if !it.Bound || it.Span.End != t || it.Span.Empty() || sim.abandoned[it.Op.ID] {
 			continue
 		}
 		op := it.Op
@@ -437,7 +667,7 @@ func (sim *simulator) processEnds(t int) error {
 func (sim *simulator) processStarts(t int) error {
 	bi := sim.boundIndex()
 	for _, it := range sim.sched.Items {
-		if it.Span.Start != t {
+		if it.Span.Start != t || sim.abandoned[it.Op.ID] {
 			continue
 		}
 		op := it.Op
@@ -718,7 +948,10 @@ func (sim *simulator) parkDroplet(t, id, starterOp int) error {
 }
 
 func (sim *simulator) routeViaRequest(id int, to geom.Point, req router.Request) error {
-	d, _ := sim.state.Droplet(id)
+	d, ok := sim.state.Droplet(id)
+	if !ok {
+		return fmt.Errorf("droplet %d not on array", id)
+	}
 	req.From = d.Pos
 	req.To = to
 	path, err := router.Route(sim.chip, req)
@@ -766,7 +999,11 @@ func (sim *simulator) collectDroplet(t, id int) {
 			AvoidDroplets: sim.otherDroplets(id),
 		})
 		if err == nil {
-			_ = sim.state.FollowPath(id, path)
+			if ferr := sim.state.FollowPath(id, path); ferr != nil {
+				// The droplet is removed below regardless; a refused
+				// final hop only loses transport accounting.
+				sim.trace(t, "collect", "droplet %d stopped short of port %v: %v", id, port, ferr)
+			}
 			break
 		}
 	}

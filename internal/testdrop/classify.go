@@ -1,0 +1,91 @@
+package testdrop
+
+import (
+	"fmt"
+
+	"dmfb/internal/fluidics"
+	"dmfb/internal/geom"
+)
+
+// FaultClass distinguishes permanent cell defects (electrode stuck
+// open/short, dielectric breakdown) from transient ones (droplet
+// residue, trapped charge) that clear under repeated actuation. The
+// distinction matters operationally: a permanent fault forces
+// reconfiguration, a transient one only costs the retry budget.
+type FaultClass int
+
+const (
+	// FaultPermanent marks a cell that failed every re-test probe.
+	FaultPermanent FaultClass = iota
+	// FaultTransient marks a cell that passed a re-test probe after
+	// initially refusing a droplet; the cell is healed and usable.
+	FaultTransient
+)
+
+// String names the class.
+func (c FaultClass) String() string {
+	if c == FaultTransient {
+		return "transient"
+	}
+	return "permanent"
+}
+
+// RetryPolicy bounds the re-test loop of ClassifyFault. The backoff is
+// deterministic — an exponentially growing number of control steps
+// between probes, not wall-clock time — so classification never makes
+// a seeded simulation machine-dependent.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-test probes before the fault is
+	// declared permanent. Default 3.
+	MaxRetries int
+	// BackoffSteps is the control-step wait before the first retry,
+	// doubling on each subsequent one. Default 8 (80 ms at the 10 ms
+	// control period).
+	BackoffSteps int
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 3
+	}
+	if p.BackoffSteps <= 0 {
+		p.BackoffSteps = 8
+	}
+	return p
+}
+
+// Classification is the outcome of a bounded-retry re-test of one
+// suspected-faulty cell.
+type Classification struct {
+	Cell      geom.Point
+	Class     FaultClass
+	Probes    int // re-test probes issued
+	WaitSteps int // control steps spent backing off between probes
+}
+
+// String summarises the classification.
+func (c Classification) String() string {
+	return fmt.Sprintf("%v: %s after %d probes (%d backoff steps)",
+		c.Cell, c.Class, c.Probes, c.WaitSteps)
+}
+
+// ClassifyFault re-tests a cell that just refused a droplet: up to
+// pol.MaxRetries probes, separated by deterministic exponential
+// backoff. A probe that passes classifies the fault as transient (the
+// cell has healed and needs no reconfiguration); exhausting the budget
+// classifies it as permanent. The zero policy uses the defaults.
+func ClassifyFault(chip *fluidics.Chip, cell geom.Point, pol RetryPolicy) Classification {
+	pol = pol.withDefaults()
+	cl := Classification{Cell: cell, Class: FaultPermanent}
+	wait := pol.BackoffSteps
+	for i := 0; i < pol.MaxRetries; i++ {
+		cl.WaitSteps += wait
+		wait *= 2
+		cl.Probes++
+		if chip.Probe(cell) {
+			cl.Class = FaultTransient
+			return cl
+		}
+	}
+	return cl
+}

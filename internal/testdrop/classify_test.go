@@ -1,0 +1,83 @@
+package testdrop
+
+import (
+	"testing"
+
+	"dmfb/internal/fluidics"
+	"dmfb/internal/geom"
+)
+
+func TestClassifyPermanentFault(t *testing.T) {
+	chip := fluidics.NewChip(6, 6)
+	cell := geom.Point{X: 2, Y: 3}
+	if err := chip.InjectFault(cell); err != nil {
+		t.Fatal(err)
+	}
+	cl := ClassifyFault(chip, cell, RetryPolicy{})
+	if cl.Class != FaultPermanent {
+		t.Fatalf("class = %v, want permanent", cl.Class)
+	}
+	if cl.Probes != 3 {
+		t.Fatalf("probes = %d, want the default 3 retries", cl.Probes)
+	}
+	// Backoff doubles: 8 + 16 + 32.
+	if cl.WaitSteps != 56 {
+		t.Fatalf("wait steps = %d, want 56", cl.WaitSteps)
+	}
+	if !chip.IsFaulty(cell) {
+		t.Fatal("permanent fault must survive classification")
+	}
+}
+
+func TestClassifyTransientFaultHeals(t *testing.T) {
+	chip := fluidics.NewChip(6, 6)
+	cell := geom.Point{X: 1, Y: 1}
+	// Fails 2 probes, passes the third — inside the default budget.
+	if err := chip.InjectTransientFault(cell, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !chip.IsFaulty(cell) {
+		t.Fatal("transient fault must read faulty before classification")
+	}
+	cl := ClassifyFault(chip, cell, RetryPolicy{})
+	if cl.Class != FaultTransient {
+		t.Fatalf("class = %v, want transient", cl.Class)
+	}
+	if cl.Probes != 3 {
+		t.Fatalf("probes = %d, want 3 (two failures then a pass)", cl.Probes)
+	}
+	if chip.IsFaulty(cell) {
+		t.Fatal("transient fault must be healed after a passing probe")
+	}
+}
+
+func TestClassifyStubbornTransientReadsPermanent(t *testing.T) {
+	chip := fluidics.NewChip(6, 6)
+	cell := geom.Point{X: 4, Y: 4}
+	// Outlives the retry budget: indistinguishable from permanent.
+	if err := chip.InjectTransientFault(cell, 10); err != nil {
+		t.Fatal(err)
+	}
+	cl := ClassifyFault(chip, cell, RetryPolicy{MaxRetries: 2, BackoffSteps: 4})
+	if cl.Class != FaultPermanent {
+		t.Fatalf("class = %v, want permanent (budget exhausted)", cl.Class)
+	}
+	if !chip.IsFaulty(cell) {
+		t.Fatal("unhealed transient fault must stay faulty")
+	}
+}
+
+func TestClassifyIsDeterministic(t *testing.T) {
+	run := func() Classification {
+		chip := fluidics.NewChip(4, 4)
+		cell := geom.Point{X: 0, Y: 2}
+		if err := chip.InjectTransientFault(cell, 1); err != nil {
+			t.Fatal(err)
+		}
+		return ClassifyFault(chip, cell, RetryPolicy{})
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("classification not deterministic: %v vs %v", a, b)
+	}
+}

@@ -55,14 +55,41 @@ type report struct {
 	CampaignNMS       float64 `json:"campaign_nworker_ms,omitempty"`
 	CampaignSpeedup   float64 `json:"campaign_speedup,omitempty"`
 	CampaignIdentical bool    `json:"campaign_summaries_identical,omitempty"`
+
+	// Recovery ladder: the same seeded single-fault assay campaign
+	// simulated under L1-only recovery and under the full escalation
+	// ladder (dmfb-campaign -mode assay -json). The report is refused
+	// unless the ladder strictly improves completion and neither run
+	// had errored trials.
+	RecoveryTrials int     `json:"recovery_trials,omitempty"`
+	SurvivalL1     float64 `json:"survival_l1,omitempty"`
+	SurvivalLadder float64 `json:"survival_ladder,omitempty"`
+	SurvivalGain   float64 `json:"survival_gain,omitempty"`
 }
 
 // campaignRun is the slice of dmfb-campaign -json output the report
 // needs.
 type campaignRun struct {
-	Summary   json.RawMessage `json:"summary"`
-	Workers   int             `json:"workers"`
-	ElapsedMS float64         `json:"elapsed_ms"`
+	Summary      json.RawMessage `json:"summary"`
+	RecoveryMode string          `json:"recovery_mode"`
+	Workers      int             `json:"workers"`
+	ElapsedMS    float64         `json:"elapsed_ms"`
+}
+
+// summarySlice is the slice of campaign.Summary the report needs.
+type summarySlice struct {
+	Trials       int     `json:"trials"`
+	Survived     int     `json:"survived"`
+	Errors       int     `json:"errors"`
+	SurvivalRate float64 `json:"survival_rate"`
+}
+
+func (c campaignRun) stats(path string) summarySlice {
+	var s summarySlice
+	if err := json.Unmarshal(c.Summary, &s); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return s
 }
 
 func readCampaign(path string) campaignRun {
@@ -88,6 +115,8 @@ func main() {
 	expJSON := flag.String("exp", "", "`file` holding dmfb-bench -json output (optional)")
 	camp1 := flag.String("campaign1", "", "`file` holding dmfb-campaign -json output at 1 worker (optional)")
 	campN := flag.String("campaignN", "", "`file` holding dmfb-campaign -json output at N workers (optional)")
+	assayL1 := flag.String("assay-l1", "", "`file` holding dmfb-campaign -mode assay -recovery l1 -json output (optional)")
+	assayLadder := flag.String("assay-ladder", "", "`file` holding dmfb-campaign -mode assay -recovery ladder -json output (optional)")
 	out := flag.String("out", "BENCH_place.json", "output `file`")
 	flag.Parse()
 	if *goOut == "" {
@@ -173,6 +202,32 @@ func main() {
 		}
 	}
 
+	if (*assayL1 == "") != (*assayLadder == "") {
+		fatal(fmt.Errorf("-assay-l1 and -assay-ladder must be given together"))
+	}
+	if *assayL1 != "" {
+		l1, ladder := readCampaign(*assayL1), readCampaign(*assayLadder)
+		if l1.RecoveryMode != "l1" || ladder.RecoveryMode != "ladder" {
+			fatal(fmt.Errorf("assay runs have recovery modes %q and %q, want l1 and ladder",
+				l1.RecoveryMode, ladder.RecoveryMode))
+		}
+		s1, sl := l1.stats(*assayL1), ladder.stats(*assayLadder)
+		if s1.Trials != sl.Trials {
+			fatal(fmt.Errorf("assay trial counts differ: l1 %d vs ladder %d", s1.Trials, sl.Trials))
+		}
+		if s1.Errors != 0 || sl.Errors != 0 {
+			fatal(fmt.Errorf("assay campaigns had errored trials: l1 %d, ladder %d", s1.Errors, sl.Errors))
+		}
+		if sl.Survived <= s1.Survived {
+			fatal(fmt.Errorf("ladder completed %d/%d trials, not strictly better than L1's %d/%d",
+				sl.Survived, sl.Trials, s1.Survived, s1.Trials))
+		}
+		rep.RecoveryTrials = s1.Trials
+		rep.SurvivalL1 = s1.SurvivalRate
+		rep.SurvivalLadder = sl.SurvivalRate
+		rep.SurvivalGain = round2(sl.SurvivalRate - s1.SurvivalRate)
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -186,6 +241,9 @@ func main() {
 	}
 	if rep.CampaignSpeedup > 0 {
 		fmt.Printf(", campaign %d-worker speedup %.2fx", rep.CampaignWorkers, rep.CampaignSpeedup)
+	}
+	if rep.RecoveryTrials > 0 {
+		fmt.Printf(", assay survival %.4f (l1) -> %.4f (ladder)", rep.SurvivalL1, rep.SurvivalLadder)
 	}
 	fmt.Println(")")
 }
