@@ -28,11 +28,11 @@ fmtcheck:
 
 # errcheck forbids discarded error / ok returns (`_ =`, `x, _ :=`) in
 # the packages where a swallowed failure silently corrupts a recovery
-# decision or a campaign aggregate. Tests are exempt.
+# decision, a campaign aggregate, or an ops response. Tests are exempt.
 errcheck:
 	@out="$$(grep -rnE '(^|[^[:alnum:]_])_ =|, _ =|, _ :=' \
 		--include='*.go' --exclude='*_test.go' \
-		internal/recovery internal/sim internal/campaign || true)"; \
+		internal/recovery internal/sim internal/campaign internal/obs || true)"; \
 	if [ -n "$$out" ]; then \
 		echo "ignored error returns (handle or propagate):"; echo "$$out"; exit 1; \
 	fi

@@ -6,17 +6,21 @@ package dmfb
 // dmfb-fti, dmfb-sim and dmfb-test.
 
 import (
+	"bufio"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 var cliTools = []string{
 	"dmfb-synth", "dmfb-place", "dmfb-fti", "dmfb-sim", "dmfb-bench", "dmfb-test", "dmfb-route",
-	"dmfb-campaign",
+	"dmfb-campaign", "dmfb-report",
 }
 
 // buildCLI compiles every tool once per test binary invocation.
@@ -281,6 +285,163 @@ func TestCLITelemetryFlags(t *testing.T) {
 			t.Errorf("profile %s missing or empty (err=%v)", name, err)
 		}
 	}
+}
+
+// TestCLIOpsEndpoints starts a campaign with -ops :0, reads the
+// resolved address off stderr and polls the live endpoints mid-run;
+// it then checks enabling -ops left the deterministic summary
+// untouched.
+func TestCLIOpsEndpoints(t *testing.T) {
+	bin := buildCLI(t)
+	tool := filepath.Join(bin, "dmfb-campaign")
+	dir := t.TempDir()
+	jsonOps := filepath.Join(dir, "ops.json")
+	jsonPlain := filepath.Join(dir, "plain.json")
+
+	cmd := exec.Command(tool, "-mode", "assay", "-trials", "3000", "-seed", "5",
+		"-quiet", "-ops", "127.0.0.1:0", "-json", jsonOps)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The listening line is the session's first stderr output, printed
+	// before the (slow) placement anneal, so the server is pollable
+	// for the whole run.
+	sc := bufio.NewScanner(stderr)
+	var addr string
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), "ops listening on http://"); ok {
+			addr = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no ops listening line on stderr (scan err: %v)", sc.Err())
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+
+	httpGet := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := httpGet("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	// The progress source is wired once the campaign engine starts,
+	// after the placement anneal — poll until it appears.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body := httpGet("/progress")
+		if code != 200 || !strings.Contains(body, `"tool": "dmfb-campaign"`) {
+			t.Fatalf("/progress = %d:\n%s", code, body)
+		}
+		if strings.Contains(body, `"total": 3000`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/progress never exposed the campaign tracker:\n%s", body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code, body := httpGet("/metrics"); code != 200 ||
+		!strings.Contains(body, "dmfb_process_goroutines") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("campaign with -ops failed: %v", err)
+	}
+
+	// Same seed without -ops: the summary must be byte-identical.
+	run(t, tool, true, "-mode", "assay", "-trials", "3000", "-seed", "5",
+		"-quiet", "-json", jsonPlain)
+	var withOps, plain struct {
+		Summary json.RawMessage `json:"summary"`
+	}
+	da, err := os.ReadFile(jsonOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(jsonPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(da, &withOps); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(db, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if string(withOps.Summary) != string(plain.Summary) {
+		t.Errorf("-ops changed the summary:\n%s\nvs\n%s", withOps.Summary, plain.Summary)
+	}
+}
+
+// TestCLIReport runs a campaign with every observability sink on and
+// feeds the artefacts to dmfb-report.
+func TestCLIReport(t *testing.T) {
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.jsonl")
+	metricsPath := filepath.Join(dir, "m.json")
+	ckptPath := filepath.Join(dir, "c.jsonl")
+
+	run(t, filepath.Join(bin, "dmfb-campaign"), true, "-mode", "assay", "-recovery", "ladder",
+		"-trials", "200", "-quiet",
+		"-trace", tracePath, "-metrics", metricsPath, "-checkpoint", ckptPath)
+	out := run(t, filepath.Join(bin, "dmfb-report"), true,
+		"-trace", tracePath, "-metrics", metricsPath, "-checkpoint", ckptPath)
+	for _, want := range []string{
+		"== stage timing",
+		"tool.run",
+		"campaign.trial",
+		"sim.run",
+		"top counters:",
+		"campaign.trial_ms",
+		"== campaign checkpoint",
+		"200/200 trials recorded",
+		"Wilson CI",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// The trace tree must show the campaign hierarchy nested, i.e.
+	// campaign.trial indented under campaign.run. Only the stage
+	// timing section counts — the metrics tables list the same span
+	// names flat.
+	tree, _, _ := strings.Cut(out, "== metrics")
+	var trialIndent, runIndent int
+	for _, line := range strings.Split(tree, "\n") {
+		trimmed := strings.TrimLeft(line, " ")
+		if strings.HasPrefix(trimmed, "campaign.trial ") {
+			trialIndent = len(line) - len(trimmed)
+		}
+		if strings.HasPrefix(trimmed, "campaign.run ") {
+			runIndent = len(line) - len(trimmed)
+		}
+	}
+	if trialIndent <= runIndent {
+		t.Errorf("campaign.trial (indent %d) not nested under campaign.run (indent %d):\n%s",
+			trialIndent, runIndent, out)
+	}
+
+	run(t, filepath.Join(bin, "dmfb-report"), false) // no inputs
 }
 
 // TestCLIBenchJSON checks the machine-readable benchmark output.

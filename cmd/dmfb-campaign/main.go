@@ -16,6 +16,7 @@
 //	dmfb-campaign -trials 1e6 -checkpoint run.jsonl  # interruptible
 //	dmfb-campaign -trials 1e6 -checkpoint run.jsonl -resume
 //	dmfb-campaign -trace t.jsonl -metrics m.json     # observability
+//	dmfb-campaign -ops :9090                         # live /metrics + /progress
 package main
 
 import (
@@ -126,6 +127,13 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// The first signal cancels ctx and the campaign drains gracefully
+	// (deferred ts.Close flushes everything); a second signal while it
+	// drains flushes partial telemetry and hard-exits.
+	go func() {
+		<-ctx.Done()
+		ts.FlushOnSignal(130, os.Interrupt, syscall.SIGTERM)
+	}()
 
 	cfg := campaign.Config{
 		Name:         name,
@@ -137,6 +145,11 @@ func run() int {
 		Resume:       *resume,
 		Metrics:      ts.Metrics,
 		Tracer:       ts.Tracer,
+	}
+	if ts.Ops() != nil {
+		tracker := campaign.NewProgressTracker(name, *trials)
+		cfg.Tracker = tracker
+		ts.SetProgress(func() any { return tracker.Snapshot() })
 	}
 	if !*quiet {
 		lastPct := -1
@@ -173,8 +186,9 @@ func run() int {
 		fmt.Printf("%s: mean %.3f, median %.1f, p95 %.1f, max %.1f\n",
 			label, s.Values.Mean, s.Values.Median, s.Values.P95, s.Values.Max)
 	}
-	fmt.Printf("%d workers, %d trials in %.1fms (median %.3fms/trial)",
-		rep.Workers, s.Trials, float64(rep.Elapsed.Microseconds())/1000, rep.TrialMS.Median)
+	fmt.Printf("%d workers, %d trials in %.1fms (trial p50 %.3f / p95 %.3f / p99 %.3f ms)",
+		rep.Workers, s.Trials, float64(rep.Elapsed.Microseconds())/1000,
+		rep.TrialMS.Median, rep.TrialMS.P95, rep.TrialMS.P99)
 	if rep.Resumed > 0 {
 		fmt.Printf(", %d replayed from checkpoint", rep.Resumed)
 	}

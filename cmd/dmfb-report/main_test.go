@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sampleTrace = `{"seq":1,"t_us":0,"kind":"event","name":"tool.start"}
+{"seq":2,"t_us":10,"kind":"span","name":"recovery.ladder","id":5,"par":4,"dur_us":300}
+{"seq":3,"t_us":5,"kind":"span","name":"sim.run","id":4,"par":3,"dur_us":900}
+{"seq":4,"t_us":2,"kind":"span","name":"campaign.trial","id":3,"par":2,"dur_us":1000}
+{"seq":5,"t_us":40,"kind":"span","name":"campaign.trial","id":6,"par":2,"dur_us":2000}
+{"seq":6,"t_us":1,"kind":"span","name":"campaign.run","id":2,"par":1,"dur_us":5000}
+{"seq":7,"t_us":0,"kind":"span","name":"tool.run","id":1,"dur_us":6000}
+`
+
+func TestReportTraceTree(t *testing.T) {
+	trace := writeFile(t, "t.jsonl", sampleTrace)
+	var buf strings.Builder
+	if code := run(&buf, []string{"-trace", trace}); code != 0 {
+		t.Fatalf("run = %d", code)
+	}
+	out := buf.String()
+	// The two campaign.trial spans aggregate into one line nested
+	// under campaign.run under tool.run; the ladder sits three deep.
+	wantOrder := []string{
+		"6 spans, 1 events",
+		"tool.run",
+		"  campaign.run",
+		"    campaign.trial",
+		"      sim.run",
+		"        recovery.ladder",
+	}
+	pos := 0
+	for _, want := range wantOrder {
+		i := strings.Index(out[pos:], want)
+		if i < 0 {
+			t.Fatalf("output missing %q after offset %d:\n%s", want, pos, out)
+		}
+		pos += i + len(want)
+	}
+	if !strings.Contains(out, "2×") {
+		t.Errorf("campaign.trial aggregation lost its count:\n%s", out)
+	}
+	if !strings.Contains(out, "3.0 ms") { // 1000+2000 µs of campaign.trial
+		t.Errorf("campaign.trial aggregation lost its duration:\n%s", out)
+	}
+}
+
+const sampleMetrics = `{
+  "counters": {"campaign.trials": 100, "recovery.invocations": 40, "campaign.trials_survived": 70},
+  "gauges": {"anneal.temp": 0.5},
+  "histograms": {
+    "campaign.trial_ms": {
+      "count": 4, "sum": 10, "mean": 2.5, "min": 1, "max": 4,
+      "buckets": [{"le": 1, "n": 1}, {"le": 2.5, "n": 1}, {"le": 5, "n": 2}, {"le": "inf", "n": 0}]
+    }
+  },
+  "spans": {"sim.run": {"N": 4, "Mean": 2.5, "Median": 2.0, "P95": 4.0, "P99": 4.0, "Max": 4.0}}
+}`
+
+func TestReportMetrics(t *testing.T) {
+	metrics := writeFile(t, "m.json", sampleMetrics)
+	var buf strings.Builder
+	if code := run(&buf, []string{"-metrics", metrics}); code != 0 {
+		t.Fatalf("run = %d", code)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"top counters:",
+		"campaign.trials",
+		"recovery.invocations",
+		"anneal.temp",
+		"campaign.trial_ms",
+		"span durations (ms):",
+		"sim.run",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics report missing %q:\n%s", want, out)
+		}
+	}
+	// Counters sort by value: trials (100) before survived (70).
+	if strings.Index(out, "campaign.trials ") > strings.Index(out, "campaign.trials_survived") {
+		t.Errorf("counters not value-sorted:\n%s", out)
+	}
+}
+
+const sampleCheckpoint = `{"v":1,"campaign":"assay-k2-l1","seed":7,"trials":10}
+{"trial":0,"survived":true,"value":1}
+{"trial":1,"survived":true}
+{"trial":2,"survived":false,"value":2,"err":"boom"}
+{"trial":3,"survived":false,"err":"boom"}
+{"trial":4,"survived":true,"value":1}
+{"trial":5,"surv` // torn final line
+
+func TestReportCheckpoint(t *testing.T) {
+	ckpt := writeFile(t, "c.jsonl", sampleCheckpoint)
+	var buf strings.Builder
+	if code := run(&buf, []string{"-checkpoint", ckpt}); code != 0 {
+		t.Fatalf("run = %d", code)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`campaign "assay-k2-l1", seed 7: 5/10 trials recorded`,
+		"survival 3/5 = 0.6000",
+		"errors: 2",
+		"2× boom",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("checkpoint report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportNoInputs(t *testing.T) {
+	var buf strings.Builder
+	if code := run(&buf, nil); code != 2 {
+		t.Errorf("run with no inputs = %d, want 2", code)
+	}
+}
+
+func TestReportMissingFile(t *testing.T) {
+	var buf strings.Builder
+	if code := run(&buf, []string{"-trace", filepath.Join(t.TempDir(), "absent.jsonl")}); code != 1 {
+		t.Errorf("run with absent trace = %d, want 1", code)
+	}
+}

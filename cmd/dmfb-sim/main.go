@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"syscall"
 
 	"dmfb"
 	"dmfb/internal/telemetry/cliflags"
@@ -78,6 +79,9 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "dmfb-sim:", err)
 		}
 	}()
+	// The simulator has no cancellation path, so ^C mid-run would
+	// otherwise drop the trace and metrics collected so far.
+	ts.FlushOnSignal(130, os.Interrupt, syscall.SIGTERM)
 
 	mode, err := dmfb.ParseRecoveryMode(*recovery)
 	if err != nil {

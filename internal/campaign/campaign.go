@@ -50,6 +50,12 @@ type Trial struct {
 	// its start. In SharedRNG mode it is the campaign-wide stream
 	// instead (and trials run strictly in index order).
 	RNG *rand.Rand
+	// Tracer is the campaign's tracer (nil when tracing is disabled)
+	// and Span the id of this trial's "campaign.trial" span. Trial
+	// functions thread them into nested stages (simulator, recovery
+	// ladder) so traces form a campaign→trial→recovery hierarchy.
+	Tracer *telemetry.Tracer
+	Span   telemetry.SpanID
 }
 
 // Outcome is what one trial reports back.
@@ -109,6 +115,10 @@ type Config struct {
 	// the running completion count. It is called from worker
 	// goroutines under a lock; keep it fast.
 	Progress func(done, total int)
+	// Tracker, if non-nil, receives per-trial outcomes for the live
+	// /progress surface (done/total, rate, ETA, Wilson interval,
+	// recovery-depth counts). It never affects the Summary.
+	Tracker *ProgressTracker
 }
 
 // Summary is the deterministic aggregate of a campaign: for a given
@@ -211,6 +221,7 @@ func Run(ctx context.Context, cfg Config, fn TrialFunc) (Report, error) {
 			results[idx] = trialResult{done: true, survived: line.Survived, value: line.Value, errMsg: line.Err}
 			resumed++
 		}
+		cfg.Tracker.noteResumed(resumed)
 	}
 	var cw *checkpointWriter
 	if cfg.Checkpoint != "" {
@@ -246,6 +257,7 @@ func Run(ctx context.Context, cfg Config, fn TrialFunc) (Report, error) {
 			cfg.Metrics.Counter("campaign.trial_errors").Inc()
 		}
 		cfg.Metrics.Histogram("campaign.trial_ms", telemetry.LatencyBuckets...).Observe(ms)
+		cfg.Tracker.observe(line.Survived, errMsg != "", line.Value)
 
 		mu.Lock()
 		results[idx] = trialResult{done: true, survived: line.Survived, value: line.Value, errMsg: errMsg}
@@ -262,6 +274,9 @@ func Run(ctx context.Context, cfg Config, fn TrialFunc) (Report, error) {
 
 	safeFn := panicSafe(cfg.Name, fn)
 	runOne := func(ctx context.Context, t Trial) {
+		tsp := cfg.Tracer.StartChild("campaign.trial", span.ID())
+		t.Tracer = cfg.Tracer
+		t.Span = tsp.ID()
 		t0 := time.Now()
 		out := execTrial(ctx, cfg.TrialTimeout, safeFn, t)
 		if cerr := ctx.Err(); cerr != nil && errors.Is(out.Err, cerr) {
@@ -271,8 +286,15 @@ func Run(ctx context.Context, cfg Config, fn TrialFunc) (Report, error) {
 			// a resume re-runs the trial instead of replaying a
 			// phantom error — the resumed summary must be
 			// bit-identical to an uninterrupted run.
+			tsp.End(telemetry.Fields{"trial": t.Index, "cancelled": true})
 			return
 		}
+		tsp.End(telemetry.Fields{
+			"trial":    t.Index,
+			"survived": out.Survived && out.Err == nil,
+			"value":    out.Value,
+			"errored":  out.Err != nil,
+		})
 		finish(t.Index, out, time.Since(t0))
 	}
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 )
 
@@ -83,6 +84,81 @@ func loadCheckpoint(path string, want checkpointHeader) (map[int]checkpointLine,
 		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
 	}
 	return done, nil
+}
+
+// CheckpointInfo is the read-only summary of a checkpoint file, for
+// reporting tools (dmfb-report) that inspect a run they did not
+// start.
+type CheckpointInfo struct {
+	// Campaign, Seed and Trials are the header identity: the campaign
+	// the file belongs to and its planned trial count.
+	Campaign string
+	Seed     int64
+	Trials   int
+	// Done is the number of recorded (completed) trials.
+	Done int
+	// Survived and Errors count recorded outcomes.
+	Survived int
+	Errors   int
+	// Values holds each recorded trial's value in trial-index order.
+	Values []float64
+	// ErrorCounts maps error text to occurrence count.
+	ErrorCounts map[string]int
+}
+
+// ReadCheckpoint reads any campaign checkpoint file and summarises
+// its recorded outcomes. Unlike resume, it accepts any header (it is
+// not replaying trials, only reporting them); a torn trailing line is
+// skipped as usual.
+func ReadCheckpoint(path string) (*CheckpointInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("campaign: checkpoint %s is empty", path)
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("campaign: checkpoint %s: corrupt header: %w", path, err)
+	}
+	info := &CheckpointInfo{Campaign: hdr.Campaign, Seed: hdr.Seed, Trials: hdr.Trials}
+	lines := make(map[int]checkpointLine)
+	for sc.Scan() {
+		var line checkpointLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			continue // torn trailing line
+		}
+		lines[line.Trial] = line
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
+	}
+	idx := make([]int, 0, len(lines))
+	for i := range lines {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		line := lines[i]
+		info.Done++
+		if line.Survived {
+			info.Survived++
+		}
+		if line.Err != "" {
+			info.Errors++
+			if info.ErrorCounts == nil {
+				info.ErrorCounts = make(map[string]int)
+			}
+			info.ErrorCounts[line.Err]++
+		}
+		info.Values = append(info.Values, line.Value)
+	}
+	return info, nil
 }
 
 // checkpointWriter appends completed-trial records to the checkpoint

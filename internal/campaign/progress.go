@@ -1,0 +1,139 @@
+package campaign
+
+import (
+	"sync"
+	"time"
+
+	"dmfb/internal/stats"
+)
+
+// maxTrackedDepth bounds the per-depth outcome counters kept by the
+// tracker; the recovery ladder has 5 levels (0 = no recovery needed),
+// so anything above that is an aggregate tail bucket.
+const maxTrackedDepth = 8
+
+// ProgressTracker aggregates live campaign state for the ops surface:
+// trials done/total, trial rate, ETA, the running Wilson interval and
+// per-depth outcome counts. Hook one into a run via Config.Tracker;
+// Snapshot is safe to call concurrently with the run (HTTP handlers
+// poll it), and the tracker never influences the campaign's
+// deterministic Summary.
+type ProgressTracker struct {
+	name  string
+	total int
+	clock func() time.Duration // monotonic time since construction
+
+	mu       sync.Mutex
+	done     int // completed trials, including resumed ones
+	resumed  int // trials replayed from a checkpoint (instant, excluded from the rate)
+	survived int
+	errors   int
+	depths   [maxTrackedDepth + 1]int // trial Value as small int: ladder depth in assay campaigns
+}
+
+// NewProgressTracker returns a tracker for a campaign of total trials.
+func NewProgressTracker(name string, total int) *ProgressTracker {
+	start := time.Now()
+	return newProgressTracker(name, total, func() time.Duration { return time.Since(start) })
+}
+
+// newProgressTracker injects the clock, for deterministic ETA tests.
+func newProgressTracker(name string, total int, clock func() time.Duration) *ProgressTracker {
+	return &ProgressTracker{name: name, total: total, clock: clock}
+}
+
+// noteResumed records trials replayed from a checkpoint before the
+// worker pool starts. Nil-safe.
+func (p *ProgressTracker) noteResumed(n int) {
+	if p == nil || n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.done += n
+	p.resumed += n
+	p.mu.Unlock()
+}
+
+// observe records one executed trial. Nil-safe; called from worker
+// goroutines.
+func (p *ProgressTracker) observe(survived bool, errored bool, value float64) {
+	if p == nil {
+		return
+	}
+	depth := int(value)
+	if depth < 0 {
+		depth = 0
+	}
+	if depth > maxTrackedDepth {
+		depth = maxTrackedDepth
+	}
+	p.mu.Lock()
+	p.done++
+	if survived {
+		p.survived++
+	}
+	if errored {
+		p.errors++
+	}
+	p.depths[depth]++
+	p.mu.Unlock()
+}
+
+// ProgressSnapshot is the JSON payload of the /progress endpoint.
+type ProgressSnapshot struct {
+	Campaign     string  `json:"campaign,omitempty"`
+	Done         int     `json:"done"`
+	Total        int     `json:"total"`
+	Resumed      int     `json:"resumed,omitempty"`
+	Survived     int     `json:"survived"`
+	Errors       int     `json:"errors,omitempty"`
+	SurvivalRate float64 `json:"survival_rate"`
+	Wilson95Lo   float64 `json:"wilson95_lo"`
+	Wilson95Hi   float64 `json:"wilson95_hi"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	TrialsPerSec float64 `json:"trials_per_sec"`
+	ETAMS        float64 `json:"eta_ms"`
+	// DepthCounts[d] counts completed trials whose Value was d — the
+	// deepest recovery-ladder level forced, for assay campaigns (the
+	// last slot aggregates everything deeper than it).
+	DepthCounts []int `json:"depth_counts,omitempty"`
+}
+
+// Snapshot returns the current progress. The ETA extrapolates the
+// observed trial rate (resumed trials excluded — they replay
+// instantly) over the remaining trials.
+func (p *ProgressTracker) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	elapsed := p.clock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := ProgressSnapshot{
+		Campaign:  p.name,
+		Done:      p.done,
+		Total:     p.total,
+		Resumed:   p.resumed,
+		Survived:  p.survived,
+		Errors:    p.errors,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+	}
+	if p.done > 0 {
+		s.SurvivalRate = float64(p.survived) / float64(p.done)
+		s.Wilson95Lo, s.Wilson95Hi = stats.Wilson95(p.survived, p.done)
+	}
+	executed := p.done - p.resumed
+	if executed > 0 && elapsed > 0 {
+		s.TrialsPerSec = float64(executed) / elapsed.Seconds()
+		if remaining := p.total - p.done; remaining > 0 {
+			s.ETAMS = float64(remaining) / s.TrialsPerSec * 1000
+		}
+	}
+	for d := len(p.depths) - 1; d >= 0; d-- {
+		if p.depths[d] > 0 {
+			s.DepthCounts = append([]int(nil), p.depths[:d+1]...)
+			break
+		}
+	}
+	return s
+}

@@ -165,7 +165,12 @@ func AssayTrial(s *schedule.Schedule, p *place.Placement, k int,
 		if horizon < 1 {
 			horizon = 1
 		}
-		opts := sim.Options{Recovery: mode, RecoverySeed: campaign.DeriveSeed(t.Seed, 0)}
+		opts := sim.Options{
+			Recovery:     mode,
+			RecoverySeed: campaign.DeriveSeed(t.Seed, 0),
+			Telemetry:    t.Tracer,
+			Span:         t.Span,
+		}
 		var faults []sim.FaultInjection
 		var cells []geom.Point
 		for j := 0; j < k; j++ {

@@ -1,0 +1,201 @@
+// Package obs is the embeddable ops HTTP server of the dmfb tools:
+// the live observability surface a long campaign or anneal exposes
+// while it runs, and the serving skeleton the planned dispatcher and
+// compile-and-simulate server plug into.
+//
+// Endpoints:
+//
+//	/healthz      liveness: "ok" and HTTP 200 while the process serves
+//	/metrics      Prometheus text exposition of the telemetry registry
+//	              (counters, gauges, histograms with estimated
+//	              quantiles) plus process metrics
+//	/progress     JSON progress payload from the registered source
+//	              (campaign.ProgressTracker.Snapshot for campaigns)
+//	/debug/pprof  the standard pprof handlers
+//
+// The server binds eagerly (so ":0" callers can read the resolved
+// port from Addr before any request arrives), serves from a
+// background goroutine, and shuts down gracefully via Close. It never
+// mutates the registry or tracker it renders, so enabling it cannot
+// perturb a campaign's deterministic summary.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+
+	"dmfb/internal/telemetry"
+)
+
+// Options configures Serve.
+type Options struct {
+	// Addr is the TCP listen address, e.g. ":9090" or "127.0.0.1:0"
+	// (port 0 picks a free port — read it back from Server.Addr).
+	Addr string
+	// Tool names the process in /healthz and /progress payloads.
+	Tool string
+	// Metrics is rendered by /metrics; nil serves process metrics only.
+	Metrics *telemetry.Registry
+	// Progress, when non-nil, supplies the /progress payload. The
+	// returned value is JSON-marshaled per request; it must be safe to
+	// call concurrently with the workload.
+	Progress func() any
+}
+
+// Server is a running ops server.
+type Server struct {
+	srv   *http.Server
+	ln    net.Listener
+	tool  string
+	start time.Time
+	reg   *telemetry.Registry
+
+	mu       sync.Mutex
+	progress func() any
+	serveErr error // fatal listener error, surfaced by Close
+
+	done chan struct{} // closed when the serve goroutine exits
+}
+
+// Serve binds opts.Addr and starts serving in the background. The
+// returned server is live: Addr reports the resolved address
+// immediately.
+func Serve(opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", opts.Addr, err)
+	}
+	s := &Server{
+		ln:       ln,
+		tool:     opts.Tool,
+		start:    time.Now(),
+		reg:      opts.Metrics,
+		progress: opts.Progress,
+		done:     make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(s.done)
+		// ErrServerClosed is the expected Shutdown result; anything
+		// else means the listener died — the workload is unaffected,
+		// so the error is held for Close to surface.
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.mu.Lock()
+			s.serveErr = err
+			s.mu.Unlock()
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the resolved listen address (host:port).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the server's base URL.
+func (s *Server) URL() string {
+	if s == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
+
+// SetProgress installs (or replaces) the /progress payload source.
+// Nil-safe, so inert sessions can call it unconditionally.
+func (s *Server) SetProgress(fn func() any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.progress = fn
+	s.mu.Unlock()
+}
+
+// Close gracefully shuts the server down: in-flight requests finish,
+// then the listener closes. It is nil-safe and idempotent.
+func (s *Server) Close(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Shutdown(ctx)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		err = s.serveErr
+	}
+	return err
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Process metrics first, then the registry.
+	fmt.Fprintf(w, "# TYPE dmfb_process_uptime_seconds gauge\ndmfb_process_uptime_seconds %g\n",
+		time.Since(s.start).Seconds())
+	fmt.Fprintf(w, "# TYPE dmfb_process_cpu_seconds_total counter\ndmfb_process_cpu_seconds_total %g\n",
+		telemetry.ProcessCPUTime().Seconds())
+	fmt.Fprintf(w, "# TYPE dmfb_process_goroutines gauge\ndmfb_process_goroutines %d\n",
+		runtime.NumGoroutine())
+	if err := s.reg.WritePrometheus(w); err != nil {
+		// Headers are already out; the truncated body is all we can
+		// offer the scraper.
+		return
+	}
+}
+
+// progressPayload is the /progress response envelope.
+type progressPayload struct {
+	Tool     string  `json:"tool"`
+	UptimeMS float64 `json:"uptime_ms"`
+	Progress any     `json:"progress,omitempty"`
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	fn := s.progress
+	s.mu.Unlock()
+	p := progressPayload{
+		Tool:     s.tool,
+		UptimeMS: float64(time.Since(s.start).Microseconds()) / 1000,
+	}
+	if fn != nil {
+		p.Progress = fn()
+	}
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(append(b, '\n')); err != nil {
+		return // client went away mid-response; nothing to clean up
+	}
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"dmfb/internal/telemetry"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+// promLine matches every legal line of the Prometheus 0.0.4 text
+// format that the server may emit: comments, and samples with an
+// optional single le= or quantile= label.
+var promLine = regexp.MustCompile(`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="[^"]*"\})? [^ ]+)$`)
+
+func TestServerEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("campaign.trials").Add(5)
+	reg.Gauge("anneal.temp").Set(0.25)
+	for _, v := range []float64{1, 2, 3, 50, 900} {
+		reg.Histogram("campaign.trial_ms", telemetry.LatencyBuckets...).Observe(v)
+	}
+
+	s, err := Serve(Options{
+		Addr:    "127.0.0.1:0",
+		Tool:    "obs-test",
+		Metrics: reg,
+		Progress: func() any {
+			return map[string]int{"done": 3, "total": 10}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+
+	if !strings.Contains(s.Addr(), ":") || strings.HasSuffix(s.Addr(), ":0") {
+		t.Fatalf("Addr() = %q, want a resolved host:port", s.Addr())
+	}
+
+	code, body, ctype := get(t, s.URL()+"/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/healthz content-type = %q", ctype)
+	}
+
+	code, body, ctype = get(t, s.URL()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("/metrics content-type = %q", ctype)
+	}
+	for _, want := range []string{
+		"dmfb_process_uptime_seconds ",
+		"dmfb_process_cpu_seconds_total ",
+		"dmfb_process_goroutines ",
+		"dmfb_campaign_trials 5",
+		"dmfb_anneal_temp 0.25",
+		`dmfb_campaign_trial_ms_bucket{le="+Inf"} 5`,
+		"dmfb_campaign_trial_ms_count 5",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Errorf("/metrics line fails exposition grammar: %q", line)
+		}
+	}
+
+	code, body, ctype = get(t, s.URL()+"/progress")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("/progress = %d %q", code, ctype)
+	}
+	for _, want := range []string{`"tool": "obs-test"`, `"uptime_ms"`, `"done": 3`, `"total": 10`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/progress missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body, _ = get(t, s.URL()+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d (goroutine index present: %v)", code, strings.Contains(body, "goroutine"))
+	}
+}
+
+func TestServerNilMetricsAndProgress(t *testing.T) {
+	s, err := Serve(Options{Addr: "127.0.0.1:0", Tool: "bare"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+
+	code, body, _ := get(t, s.URL()+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "dmfb_process_uptime_seconds") {
+		t.Errorf("/metrics with nil registry = %d:\n%s", code, body)
+	}
+	code, body, _ = get(t, s.URL()+"/progress")
+	if code != http.StatusOK || strings.Contains(body, `"progress"`) {
+		t.Errorf("/progress with no source = %d:\n%s", code, body)
+	}
+
+	s.SetProgress(func() any { return 7 })
+	_, body, _ = get(t, s.URL()+"/progress")
+	if !strings.Contains(body, `"progress": 7`) {
+		t.Errorf("/progress after SetProgress:\n%s", body)
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	s, err := Serve(Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.URL()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get(addr + "/healthz"); err == nil {
+		t.Error("server still serving after Close")
+	}
+	// Idempotent, and nil-safe.
+	if err := s.Close(ctx); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	var nilServer *Server
+	if err := nilServer.Close(ctx); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+	if nilServer.Addr() != "" || nilServer.URL() != "" {
+		t.Error("nil Addr/URL should be empty")
+	}
+	nilServer.SetProgress(nil)
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve(Options{Addr: "not-an-address"}); err == nil {
+		t.Fatal("Serve on a bad address should fail")
+	}
+}

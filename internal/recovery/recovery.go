@@ -106,6 +106,9 @@ type Options struct {
 	// Telemetry, when non-nil, receives a "recovery.ladder" span per
 	// invocation with the chosen level and attempt count.
 	Telemetry *telemetry.Tracer
+	// Span, when non-zero, is the trace span the ladder spans nest
+	// under (the simulator passes its "sim.run" span).
+	Span telemetry.SpanID
 	// Metrics, when non-nil, receives recovery.* counters: one
 	// success/failure pair per level plus recovery.invocations and
 	// recovery.abandoned_ops.
@@ -232,7 +235,7 @@ func (l *Ladder) MaxLevel() Level { return l.opts.MaxLevel }
 // report. A nil plan means every permitted rung failed — possible
 // only when MaxLevel < LevelDegrade, since L4 cannot fail.
 func (l *Ladder) Recover(st State) (*Plan, Report) {
-	span := l.opts.Telemetry.Start("recovery.ladder")
+	span := l.opts.Telemetry.StartChild("recovery.ladder", l.opts.Span)
 	l.opts.Metrics.Counter("recovery.invocations").Inc()
 	start := time.Now()
 	var rep Report

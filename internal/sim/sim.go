@@ -112,6 +112,10 @@ type Options struct {
 	// "sim.<kind>" trace record and wraps the run in a "sim.run" span.
 	// The Events slice in Result is unchanged either way.
 	Telemetry *telemetry.Tracer
+	// Span, when non-zero, is the trace span the "sim.run" span nests
+	// under — campaigns pass the trial span so traces form a
+	// campaign→trial→sim→recovery hierarchy.
+	Span telemetry.SpanID
 	// Metrics, when non-nil, receives sim.* metrics: event counts,
 	// transport totals, droplet route lengths and the latency of
 	// partial reconfiguration (sim.reconfig_latency_ms).
@@ -238,6 +242,9 @@ type simulator struct {
 	// abandoned holds op IDs dropped by graceful degradation.
 	abandoned map[int]bool
 	res       *Result
+	// span is the id of this run's "sim.run" trace span; event
+	// records nest under it.
+	span telemetry.SpanID
 }
 
 // ArrayCell converts placed-array coordinates (as used by placements
@@ -261,6 +268,8 @@ func Run(s *schedule.Schedule, p *place.Placement, opts Options, faults ...Fault
 		abandoned: make(map[int]bool),
 		res:       &Result{},
 	}
+	span := o.Telemetry.StartChild("sim.run", o.Span)
+	sim.span = span.ID()
 	if o.Recovery != RecoveryOff {
 		maxLevel := recovery.LevelRelocate
 		if o.Recovery == RecoveryLadder {
@@ -271,10 +280,10 @@ func Run(s *schedule.Schedule, p *place.Placement, opts Options, faults ...Fault
 			Anneal:       core.Options{Seed: o.RecoverySeed},
 			StretchLimit: o.RecoveryStretchLimit,
 			Telemetry:    o.Telemetry,
+			Span:         sim.span,
 			Metrics:      o.Metrics,
 		})
 	}
-	span := o.Telemetry.Start("sim.run")
 	defer func() {
 		span.End(telemetry.Fields{
 			"completed":       sim.res.Completed,
@@ -429,7 +438,7 @@ func (sim *simulator) otherDroplets(except ...int) []geom.Point {
 func (sim *simulator) log(t int, kind, format string, args ...any) {
 	detail := fmt.Sprintf(format, args...)
 	sim.res.Events = append(sim.res.Events, Event{TimeSec: t, Kind: kind, Detail: detail})
-	sim.opts.Telemetry.Event("sim."+kind, telemetry.Fields{"t_sec": t, "detail": detail})
+	sim.opts.Telemetry.EventIn("sim."+kind, sim.span, telemetry.Fields{"t_sec": t, "detail": detail})
 	sim.opts.Metrics.Counter("sim.events").Inc()
 }
 

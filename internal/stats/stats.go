@@ -50,13 +50,15 @@ func Covers95(k, n int, p float64) bool {
 	return p >= lo && p <= hi
 }
 
-// Summary holds descriptive statistics of a sample.
+// Summary holds descriptive statistics of a sample. Median is the
+// p50 quantile.
 type Summary struct {
 	N         int
 	Mean, Std float64
 	Min, Max  float64
 	Median    float64
 	P05, P95  float64
+	P99       float64
 }
 
 // Describe computes descriptive statistics. It panics on an empty
@@ -72,6 +74,7 @@ func Describe(xs []float64) Summary {
 	s.Median = Quantile(sorted, 0.5)
 	s.P05 = Quantile(sorted, 0.05)
 	s.P95 = Quantile(sorted, 0.95)
+	s.P99 = Quantile(sorted, 0.99)
 	sum := 0.0
 	for _, x := range xs {
 		sum += x
@@ -111,6 +114,6 @@ func Quantile(sorted []float64, q float64) float64 {
 
 // String renders the summary compactly.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%.4f std=%.4f min=%.4f p05=%.4f median=%.4f p95=%.4f max=%.4f",
-		s.N, s.Mean, s.Std, s.Min, s.P05, s.Median, s.P95, s.Max)
+	return fmt.Sprintf("n=%d mean=%.4f std=%.4f min=%.4f p05=%.4f median=%.4f p95=%.4f p99=%.4f max=%.4f",
+		s.N, s.Mean, s.Std, s.Min, s.P05, s.Median, s.P95, s.P99, s.Max)
 }

@@ -1,10 +1,13 @@
 // Package cliflags provides the shared observability command-line
 // surface of the dmfb tools. Every binary under cmd/ registers the
-// same three flags:
+// same four flags:
 //
 //	-trace=<file>    structured JSONL trace (see telemetry package doc)
 //	-metrics=<file>  JSON metrics snapshot written on exit
 //	-profile=<dir>   CPU + heap pprof profiles written on exit
+//	-ops=<addr>      live ops HTTP server (/metrics /healthz /progress
+//	                 /debug/pprof) on addr; ":0" picks a free port and
+//	                 the resolved URL is printed to stderr
 //
 // Usage:
 //
@@ -16,14 +19,19 @@
 //
 // All Session fields are nil-safe: when a flag is absent the
 // corresponding sink is nil and instrumented code pays only a nil
-// check.
+// check. -ops implies a metrics registry even without -metrics, so
+// the live /metrics endpoint is never empty.
 package cliflags
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
+	"dmfb/internal/obs"
 	"dmfb/internal/reconfig"
 	"dmfb/internal/router"
 	"dmfb/internal/telemetry"
@@ -34,10 +42,11 @@ type Config struct {
 	TracePath   string
 	MetricsPath string
 	ProfileDir  string
+	OpsAddr     string
 }
 
-// Register installs -trace, -metrics and -profile on the default
-// flag set. Call before flag.Parse.
+// Register installs -trace, -metrics, -profile and -ops on the
+// default flag set. Call before flag.Parse.
 func Register() *Config {
 	return RegisterOn(flag.CommandLine)
 }
@@ -48,6 +57,7 @@ func RegisterOn(fs *flag.FlagSet) *Config {
 	fs.StringVar(&c.TracePath, "trace", "", "write a structured JSONL trace to `file`")
 	fs.StringVar(&c.MetricsPath, "metrics", "", "write a JSON metrics snapshot to `file` on exit")
 	fs.StringVar(&c.ProfileDir, "profile", "", "write cpu.pprof and heap.pprof to `dir` on exit")
+	fs.StringVar(&c.OpsAddr, "ops", "", "serve live /metrics, /healthz, /progress and /debug/pprof on `addr` (\":0\" picks a free port)")
 	return c
 }
 
@@ -61,13 +71,17 @@ type Session struct {
 	traceFile   *os.File
 	metricsPath string
 	profiler    *telemetry.Profiler
+	ops         *obs.Server
 }
 
 // Start opens the sinks requested by the parsed flags. It returns a
 // Session whose Tracer/Metrics are nil when the corresponding flag was
 // not given; Start with no flags set returns a fully inert Session,
 // so callers never need to branch. On success the process-wide
-// router/reconfig hooks are pointed at the session registry.
+// router/reconfig hooks are pointed at the session registry, the root
+// "tool.run" span is open and installed as the tracer's default
+// parent (so stage spans and stage-nested library spans form a tree),
+// and the ops server — when requested — is already listening.
 func (c *Config) Start(tool string) (*Session, error) {
 	s := &Session{tool: tool, metricsPath: c.MetricsPath}
 	if c.TracePath != "" {
@@ -78,7 +92,7 @@ func (c *Config) Start(tool string) (*Session, error) {
 		s.traceFile = f
 		s.Tracer = telemetry.New(f)
 	}
-	if c.MetricsPath != "" {
+	if c.MetricsPath != "" || c.OpsAddr != "" {
 		s.Metrics = telemetry.NewRegistry()
 	}
 	if c.ProfileDir != "" {
@@ -89,24 +103,58 @@ func (c *Config) Start(tool string) (*Session, error) {
 		}
 		s.profiler = p
 	}
+	if c.OpsAddr != "" {
+		srv, err := obs.Serve(obs.Options{Addr: c.OpsAddr, Tool: tool, Metrics: s.Metrics})
+		if err != nil {
+			if s.profiler != nil {
+				_ = s.profiler.Stop()
+			}
+			_ = s.closeFiles()
+			return nil, err
+		}
+		s.ops = srv
+		fmt.Fprintf(os.Stderr, "%s: ops listening on %s\n", tool, srv.URL())
+	}
 	router.Instrument(s.Metrics)
 	reconfig.Instrument(s.Metrics)
 	s.Tracer.Event("tool.start", telemetry.Fields{"tool": tool})
 	s.root = s.Tracer.Start("tool.run")
+	s.Tracer.SwapDefaultParent(s.root.ID())
 	return s, nil
+}
+
+// Ops returns the live ops server, or nil when -ops was not given.
+func (s *Session) Ops() *obs.Server {
+	if s == nil {
+		return nil
+	}
+	return s.ops
+}
+
+// SetProgress installs the /progress payload source on the ops
+// server. Nil-safe no-op when -ops was not given.
+func (s *Session) SetProgress(fn func() any) {
+	if s == nil {
+		return
+	}
+	s.ops.SetProgress(fn)
 }
 
 // Stage wraps a pipeline stage: it measures wall and CPU time,
 // emits a "stage.<name>" span and observes a "stage.<name>_ms"
-// histogram. Call the returned function when the stage completes.
+// histogram. While the stage runs, its span is the tracer's default
+// parent, so library spans emitted inside nest under it. Call the
+// returned function when the stage completes.
 func (s *Session) Stage(name string) func() {
 	if s == nil {
 		return func() {}
 	}
 	clock := telemetry.StartStage(name)
 	span := s.Tracer.Start("stage." + name)
+	prev := s.Tracer.SwapDefaultParent(span.ID())
 	return func() {
 		st := clock.Stop()
+		s.Tracer.SwapDefaultParent(prev)
 		span.End(telemetry.Fields{
 			"tool":   s.tool,
 			"cpu_us": st.CPU.Microseconds(),
@@ -116,16 +164,63 @@ func (s *Session) Stage(name string) func() {
 	}
 }
 
-// Close ends the root span, flushes the metrics snapshot, stops the
-// profiler and closes the trace file. It reports the first error
-// encountered (including any deferred trace-write error) and is safe
-// to call on a nil or inert Session.
+// Flush persists the observability state collected so far without
+// ending the session: the metrics snapshot is (re)written to the
+// -metrics file and the trace file is synced to disk. Safe to call
+// from a signal handler before os.Exit, repeatedly, and on a nil or
+// inert Session.
+func (s *Session) Flush() error {
+	if s == nil {
+		return nil
+	}
+	var first error
+	if s.Metrics != nil && s.metricsPath != "" {
+		if err := s.writeMetrics(); err != nil {
+			first = err
+		}
+	}
+	if s.traceFile != nil {
+		if err := s.traceFile.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// FlushOnSignal arranges for the process to Flush and os.Exit(code)
+// on the first delivery of any of the given signals. Tools whose main
+// loop does not watch a context use it to make ^C preserve partial
+// traces; tools that cancel gracefully on the first signal install it
+// after cancellation so a second ^C still flushes before dying.
+func (s *Session) FlushOnSignal(code int, sigs ...os.Signal) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, sigs...)
+	go func() {
+		<-ch
+		s.Flush()
+		os.Exit(code)
+	}()
+}
+
+// Close ends the root span, shuts down the ops server, flushes the
+// metrics snapshot, stops the profiler and closes the trace file. It
+// reports the first error encountered (including any deferred
+// trace-write error) and is safe to call on a nil or inert Session.
 func (s *Session) Close() error {
 	if s == nil {
 		return nil
 	}
+	s.Tracer.SwapDefaultParent(0)
 	s.root.End(nil)
 	var first error
+	if s.ops != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := s.ops.Close(ctx); err != nil && first == nil {
+			first = err
+		}
+		cancel()
+		s.ops = nil
+	}
 	if s.Metrics != nil && s.metricsPath != "" {
 		if err := s.writeMetrics(); err != nil && first == nil {
 			first = err

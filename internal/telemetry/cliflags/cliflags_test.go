@@ -3,6 +3,9 @@ package cliflags
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -141,7 +144,231 @@ func TestStartFailsOnBadTracePath(t *testing.T) {
 func TestNilSessionSafe(t *testing.T) {
 	var ts *Session
 	ts.Stage("x")()
+	ts.SetProgress(func() any { return nil })
+	if ts.Ops() != nil {
+		t.Error("nil session has an ops server")
+	}
+	if err := ts.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	if err := ts.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFlagMatrix drives Start across the flag combination space and
+// checks exactly the requested sinks come up.
+func TestFlagMatrix(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name             string
+		args             func(i int) []string
+		tracer, registry bool
+		ops              bool
+	}{
+		{"none", func(int) []string { return nil }, false, false, false},
+		{"trace only", func(i int) []string {
+			return []string{"-trace", filepath.Join(dir, fmt.Sprintf("t%d.jsonl", i))}
+		}, true, false, false},
+		{"metrics only", func(i int) []string {
+			return []string{"-metrics", filepath.Join(dir, fmt.Sprintf("m%d.json", i))}
+		}, false, true, false},
+		{"ops only", func(int) []string {
+			return []string{"-ops", "127.0.0.1:0"}
+		}, false, true, true}, // -ops implies a registry
+		{"empty values are off", func(int) []string {
+			return []string{"-trace", "", "-metrics", "", "-ops", ""}
+		}, false, false, false},
+		{"everything", func(i int) []string {
+			return []string{
+				"-trace", filepath.Join(dir, fmt.Sprintf("at%d.jsonl", i)),
+				"-metrics", filepath.Join(dir, fmt.Sprintf("am%d.json", i)),
+				"-ops", "127.0.0.1:0",
+			}
+		}, true, true, true},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("test", flag.ContinueOnError)
+			cfg := RegisterOn(fs)
+			if err := fs.Parse(tc.args(i)); err != nil {
+				t.Fatal(err)
+			}
+			ts, err := cfg.Start("tool")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if err := ts.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}()
+			if got := ts.Tracer != nil; got != tc.tracer {
+				t.Errorf("tracer live = %v, want %v", got, tc.tracer)
+			}
+			if got := ts.Metrics != nil; got != tc.registry {
+				t.Errorf("registry live = %v, want %v", got, tc.registry)
+			}
+			if got := ts.Ops() != nil; got != tc.ops {
+				t.Errorf("ops server live = %v, want %v", got, tc.ops)
+			}
+		})
+	}
+}
+
+// TestStartFailsOnBadOpsAddr covers malformed and unbindable -ops
+// values; Start must fail cleanly rather than serve nothing.
+func TestStartFailsOnBadOpsAddr(t *testing.T) {
+	for _, addr := range []string{"not an address", "256.0.0.1:80", "127.0.0.1:99999"} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		cfg := RegisterOn(fs)
+		if err := fs.Parse([]string{"-ops", addr}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cfg.Start("tool"); err == nil {
+			t.Errorf("Start succeeded with -ops %q", addr)
+		}
+	}
+}
+
+func TestSessionOpsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg := RegisterOn(fs)
+	if err := fs.Parse([]string{"-ops", "127.0.0.1:0", "-metrics", filepath.Join(dir, "m.json")}); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := cfg.Start("tool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Metrics.Counter("work.items").Add(9)
+	ts.SetProgress(func() any { return map[string]int{"done": 1} })
+
+	url := ts.Ops().URL()
+	for path, want := range map[string]string{
+		"/healthz":  "ok",
+		"/metrics":  "dmfb_work_items 9",
+		"/progress": `"done": 1`,
+	} {
+		resp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), want) {
+			t.Errorf("GET %s = %d, missing %q:\n%s", path, resp.StatusCode, want, body)
+		}
+	}
+
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("ops server still serving after Close")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "m.json")); err != nil {
+		t.Errorf("metrics snapshot not written on Close: %v", err)
+	}
+}
+
+// TestFlushPersistsMidRun checks a Flush mid-session leaves a readable
+// metrics snapshot and a synced trace without ending the session.
+func TestFlushPersistsMidRun(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.jsonl")
+	metricsPath := filepath.Join(dir, "m.json")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg := RegisterOn(fs)
+	if err := fs.Parse([]string{"-trace", tracePath, "-metrics", metricsPath}); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := cfg.Start("tool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Metrics.Counter("work.items").Add(4)
+	ts.Tracer.Event("work.tick", nil)
+	if err := ts.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("flushed metrics invalid: %v\n%s", err, data)
+	}
+	if snap.Counters["work.items"] != 4 {
+		t.Errorf("flushed work.items = %d, want 4", snap.Counters["work.items"])
+	}
+	traced, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(traced), "work.tick") {
+		t.Errorf("flushed trace missing work.tick:\n%s", traced)
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStageNestsSpans checks the default-parent plumbing: spans
+// emitted by library code inside a Stage must carry the stage span as
+// parent, and the stage span the root.
+func TestStageNestsSpans(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.jsonl")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg := RegisterOn(fs)
+	if err := fs.Parse([]string{"-trace", tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := cfg.Start("tool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := ts.Stage("work")
+	ts.Tracer.EmitSpan("lib.inner", time.Millisecond, nil) // library code, no explicit parent
+	done()
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ids := map[string]uint64{}
+	pars := map[string]uint64{}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec struct {
+			Kind string `json:"kind"`
+			Name string `json:"name"`
+			ID   uint64 `json:"id"`
+			Par  uint64 `json:"par"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Kind == "span" {
+			ids[rec.Name] = rec.ID
+			pars[rec.Name] = rec.Par
+		}
+	}
+	if pars["lib.inner"] != ids["stage.work"] || ids["stage.work"] == 0 {
+		t.Errorf("lib.inner parent = %d, want stage.work id %d", pars["lib.inner"], ids["stage.work"])
+	}
+	if pars["stage.work"] != ids["tool.run"] || ids["tool.run"] == 0 {
+		t.Errorf("stage.work parent = %d, want tool.run id %d", pars["stage.work"], ids["tool.run"])
+	}
+	if pars["tool.run"] != 0 {
+		t.Errorf("tool.run parent = %d, want root", pars["tool.run"])
 	}
 }

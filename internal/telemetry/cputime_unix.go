@@ -1,4 +1,4 @@
-//go:build linux
+//go:build linux || darwin
 
 package telemetry
 
@@ -8,7 +8,8 @@ import (
 )
 
 // processCPUTime returns the process's cumulative user+system CPU
-// time via getrusage(2).
+// time via getrusage(2). Linux and darwin share the call; both
+// expose the rusage timevals through the syscall package.
 func processCPUTime() time.Duration {
 	var ru syscall.Rusage
 	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {

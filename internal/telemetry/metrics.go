@@ -233,6 +233,29 @@ func (b BucketCount) MarshalJSON() ([]byte, error) {
 	return json.Marshal(a)
 }
 
+// UnmarshalJSON is the inverse of MarshalJSON: it accepts both a
+// numeric bound and the string "inf", so metrics snapshots round-trip
+// (dmfb-report reads them back).
+func (b *BucketCount) UnmarshalJSON(data []byte) error {
+	var a struct {
+		LE json.RawMessage `json:"le"`
+		N  int64           `json:"n"`
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	b.N = a.N
+	var s string
+	if err := json.Unmarshal(a.LE, &s); err == nil {
+		if s != "inf" {
+			return fmt.Errorf("telemetry: bucket bound %q is neither a number nor \"inf\"", s)
+		}
+		b.LE = math.Inf(1)
+		return nil
+	}
+	return json.Unmarshal(a.LE, &b.LE)
+}
+
 // HistogramSnapshot is the JSON form of a histogram.
 type HistogramSnapshot struct {
 	Count   int64         `json:"count"`

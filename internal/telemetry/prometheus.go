@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) rendered straight
+// from the registry, for the embedded ops server's /metrics endpoint.
+// Metric names are prefixed "dmfb_" and dots become underscores, so
+// "campaign.trial_ms" is exported as the histogram
+// dmfb_campaign_trial_ms with cumulative _bucket/_sum/_count series
+// plus a companion dmfb_campaign_trial_ms_q gauge carrying estimated
+// p50/p90/p95/p99 quantiles.
+
+// promQuantiles are the quantile estimates exported per histogram.
+var promQuantiles = []float64{0.5, 0.9, 0.95, 0.99}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format. Output is sorted by metric name, so it is deterministic for
+// a fixed registry state. A nil registry writes nothing and returns
+// nil.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	var b strings.Builder
+
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(snap.Gauges[name]))
+	}
+
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+		cum := int64(0)
+		for _, bk := range h.Buckets {
+			cum += bk.N
+			le := "+Inf"
+			if !math.IsInf(bk.LE, 1) {
+				le = promFloat(bk.LE)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", pn, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n", pn, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count)
+		if h.Count > 0 {
+			fmt.Fprintf(&b, "# TYPE %s_q gauge\n", pn)
+			for _, q := range promQuantiles {
+				fmt.Fprintf(&b, "%s_q{quantile=%q} %s\n", pn, promFloat(q), promFloat(h.Quantile(q)))
+			}
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket
+// counts by linear interpolation inside the spanning bucket — the
+// same estimator as Prometheus's histogram_quantile, sharpened with
+// the tracked exact Min and Max. It returns NaN for an empty
+// histogram.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count <= 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := q * float64(h.Count)
+	cum := int64(0)
+	for i, bk := range h.Buckets {
+		prev := cum
+		cum += bk.N
+		if float64(cum) < rank || bk.N == 0 {
+			continue
+		}
+		// The rank falls in bucket i: interpolate between its bounds.
+		lo := h.Min
+		if i > 0 {
+			lo = h.Buckets[i-1].LE
+			if lo < h.Min {
+				lo = h.Min
+			}
+		}
+		hi := bk.LE
+		if math.IsInf(hi, 1) || hi > h.Max {
+			hi = h.Max
+		}
+		if hi <= lo {
+			return hi
+		}
+		frac := (rank - float64(prev)) / float64(bk.N)
+		v := lo + (hi-lo)*frac
+		if v > h.Max {
+			v = h.Max
+		}
+		return v
+	}
+	return h.Max
+}
+
+// promName mangles a dotted metric name into the Prometheus
+// identifier charset with the toolkit namespace prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("dmfb_")
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way the exposition format expects.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// promLine matches one exposition sample line: name{labels} value.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+="[^"]*"(,[a-zA-Z0-9_]+="[^"]*")*\})? (\+Inf|-Inf|NaN|[-+0-9.eE]+)$`)
+
+func TestWritePrometheusGrammar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("campaign.trials").Add(42)
+	r.Gauge("anneal.best_cost").Set(141.75)
+	h := r.Histogram("campaign.trial_ms", 1, 10, 100)
+	for _, v := range []float64{0.5, 2, 3, 20, 250} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("line does not parse as exposition format: %q", line)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE dmfb_campaign_trials counter\ndmfb_campaign_trials 42\n",
+		"# TYPE dmfb_anneal_best_cost gauge\ndmfb_anneal_best_cost 141.75\n",
+		"# TYPE dmfb_campaign_trial_ms histogram\n",
+		`dmfb_campaign_trial_ms_bucket{le="1"} 1`,
+		`dmfb_campaign_trial_ms_bucket{le="10"} 3`,
+		`dmfb_campaign_trial_ms_bucket{le="100"} 4`,
+		`dmfb_campaign_trial_ms_bucket{le="+Inf"} 5`,
+		"dmfb_campaign_trial_ms_count 5\n",
+		`dmfb_campaign_trial_ms_q{quantile="0.99"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusNilAndEmpty(t *testing.T) {
+	var b strings.Builder
+	var nilReg *Registry
+	if err := nilReg.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil registry: err=%v, wrote %q", err, b.String())
+	}
+	if err := NewRegistry().WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Errorf("empty registry: err=%v, wrote %q", err, b.String())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8, 16})
+	// 1000 samples uniform on (0, 10]: quantile(q) ≈ 10q.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	snap := snapshotOf(h)
+	for _, c := range []struct{ q, want, tol float64 }{
+		{0.5, 5, 1.0},
+		{0.95, 9.5, 1.0},
+		{0, 0.01, 1e-9},  // exact Min
+		{1, 10, 1e-9},    // exact Max
+		{0.05, 0.5, 0.5}, // first bucket interpolates from Min, not 0
+	} {
+		got := snap.Quantile(c.q)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("Quantile(%v) = %v, want %v ± %v", c.q, got, c.want, c.tol)
+		}
+	}
+	if !math.IsNaN((HistogramSnapshot{}).Quantile(0.5)) {
+		t.Error("empty histogram quantile is not NaN")
+	}
+}
+
+// snapshotOf captures a single histogram through the registry path.
+func snapshotOf(h *Histogram) HistogramSnapshot {
+	r := NewRegistry()
+	r.hists["h"] = h
+	return r.Snapshot().Histograms["h"]
+}
+
+func TestBucketCountRoundTrip(t *testing.T) {
+	in := []BucketCount{{LE: 0.5, N: 3}, {LE: math.Inf(1), N: 7}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []BucketCount
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != in[0] || !math.IsInf(out[1].LE, 1) || out[1].N != 7 {
+		t.Errorf("round trip: %v -> %s -> %v", in, data, out)
+	}
+	if err := json.Unmarshal([]byte(`{"le":"wat","n":1}`), &out[0]); err == nil {
+		t.Error("bad bound string accepted")
+	}
+}

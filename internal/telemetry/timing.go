@@ -9,6 +9,11 @@ type StageTiming struct {
 	CPU  time.Duration // process CPU time (user+system) consumed; 0 where unsupported
 }
 
+// ProcessCPUTime returns the process's cumulative user+system CPU
+// time, or zero where the platform is unsupported. The ops server
+// exports it as process_cpu_seconds_total.
+func ProcessCPUTime() time.Duration { return processCPUTime() }
+
 // StageClock measures a pipeline stage. Create with StartStage.
 type StageClock struct {
 	name string

@@ -1,8 +1,9 @@
 // Package telemetry is the stdlib-only observability layer of the
-// toolkit: a structured trace emitter (typed events and spans written
-// as JSONL to any io.Writer), a metrics registry (named counters,
-// gauges and fixed-bucket histograms, safe for concurrent use), and
-// per-stage wall/CPU timing plus pprof capture hooks.
+// toolkit: a structured trace emitter (typed events and hierarchical
+// spans written as JSONL to any io.Writer), a metrics registry (named
+// counters, gauges and fixed-bucket histograms, safe for concurrent
+// use), per-stage wall/CPU timing, pprof capture hooks, and a
+// Prometheus text renderer for the embedded ops server.
 //
 // Every entry point is nil-safe: a nil *Tracer, *Registry, *Counter,
 // *Gauge or *Histogram turns the corresponding call into a no-op, so
@@ -11,8 +12,8 @@
 //
 // Trace schema (one JSON object per line):
 //
-//		{"seq":3,"t_us":1042,"kind":"event","name":"sim.fault","fields":{...}}
-//		{"seq":4,"t_us":1042,"kind":"span","name":"anneal.level","dur_us":981,"fields":{...}}
+//		{"seq":3,"t_us":1042,"kind":"event","name":"sim.fault","par":2,"fields":{...}}
+//		{"seq":4,"t_us":1042,"kind":"span","name":"anneal.level","id":5,"par":2,"dur_us":981,"fields":{...}}
 //
 //	  - seq    strictly increasing emission sequence number
 //	  - t_us   microseconds since the tracer was created (monotonic
@@ -21,17 +22,24 @@
 //	           duration, carrying dur_us)
 //	  - name   dotted stage.verb identifier, e.g. "anneal.level",
 //	           "sim.reconfig", "cli.run"
+//	  - id     the span's identifier, unique within the trace (spans
+//	           only; ids start at 1)
+//	  - par    id of the enclosing span, omitted at the root — the
+//	           edge that makes the trace a reconstructable tree
+//	           (anneal→place→fti, campaign→trial→recovery)
 //	  - fields free-form payload; keys are sorted by the JSON encoder,
 //	           so output is deterministic given deterministic inputs
 //
 // Records are ordered by seq (emission order). Because a span is
-// emitted when it ends, its t_us may precede that of an earlier line.
+// emitted when it ends, its t_us may precede that of an earlier line,
+// and a parent span always appears after its children.
 package telemetry
 
 import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dmfb/internal/stats"
@@ -39,6 +47,11 @@ import (
 
 // Fields is the free-form payload of a trace record.
 type Fields map[string]any
+
+// SpanID identifies one span within a trace. The zero SpanID means
+// "no explicit span": as a parent argument it falls back to the
+// tracer's default parent (see SwapDefaultParent).
+type SpanID uint64
 
 // maxSpanSamples bounds the per-name duration samples kept for
 // Summaries, so long campaigns cannot grow memory without bound.
@@ -54,6 +67,9 @@ type Tracer struct {
 	seq   uint64
 	err   error
 	durs  map[string][]float64 // span duration samples in milliseconds
+
+	ids    atomic.Uint64 // span id allocator
+	parent atomic.Uint64 // default parent for zero-SpanID emissions
 }
 
 // New returns a Tracer emitting JSONL records to w. Timestamps are
@@ -82,28 +98,63 @@ func (t *Tracer) Err() error {
 	return t.err
 }
 
+// SwapDefaultParent sets the parent attached to spans and events
+// emitted without an explicit one and returns the previous default.
+// Single-threaded pipeline drivers (the CLI stage wrappers) use it to
+// nest instrumented library code under the current stage span;
+// concurrent emitters must pass explicit parents instead.
+func (t *Tracer) SwapDefaultParent(p SpanID) SpanID {
+	if t == nil {
+		return 0
+	}
+	return SpanID(t.parent.Swap(uint64(p)))
+}
+
+// resolve maps the zero SpanID to the tracer's default parent.
+func (t *Tracer) resolve(p SpanID) SpanID {
+	if p != 0 {
+		return p
+	}
+	return SpanID(t.parent.Load())
+}
+
 // record is the wire format of one JSONL line.
 type record struct {
 	Seq    uint64 `json:"seq"`
 	TUS    int64  `json:"t_us"`
 	Kind   string `json:"kind"`
 	Name   string `json:"name"`
+	ID     uint64 `json:"id,omitempty"`
+	Parent uint64 `json:"par,omitempty"`
 	DurUS  int64  `json:"dur_us,omitempty"`
 	Fields Fields `json:"fields,omitempty"`
 }
 
-// Event emits a point-in-time record.
+// Event emits a point-in-time record under the default parent.
 func (t *Tracer) Event(name string, fields Fields) {
+	t.EventIn(name, 0, fields)
+}
+
+// EventIn emits a point-in-time record under the given span (zero:
+// the default parent).
+func (t *Tracer) EventIn(name string, parent SpanID, fields Fields) {
 	if t == nil {
 		return
 	}
-	t.emit(record{TUS: t.clock().Microseconds(), Kind: "event", Name: name, Fields: fields})
+	t.emit(record{TUS: t.clock().Microseconds(), Kind: "event", Name: name,
+		Parent: uint64(t.resolve(parent)), Fields: fields})
 }
 
 // EmitSpan emits a completed span retrospectively: a span of the
-// given duration ending now. Used when the caller measured the
-// duration itself (e.g. anneal.Level.Duration).
+// given duration ending now, under the default parent. Used when the
+// caller measured the duration itself (e.g. anneal.Level.Duration).
 func (t *Tracer) EmitSpan(name string, dur time.Duration, fields Fields) {
+	t.EmitSpanIn(name, 0, dur, fields)
+}
+
+// EmitSpanIn is EmitSpan under an explicit parent span (zero: the
+// default parent).
+func (t *Tracer) EmitSpanIn(name string, parent SpanID, dur time.Duration, fields Fields) {
 	if t == nil {
 		return
 	}
@@ -113,24 +164,53 @@ func (t *Tracer) EmitSpan(name string, dur time.Duration, fields Fields) {
 		start = 0
 	}
 	t.emit(record{TUS: start.Microseconds(), Kind: "span", Name: name,
+		ID: t.ids.Add(1), Parent: uint64(t.resolve(parent)),
 		DurUS: dur.Microseconds(), Fields: fields})
 	t.sample(name, dur)
 }
 
-// Span is an in-flight span started by Start. The zero Span (from a
-// nil tracer) is valid and End no-ops.
+// Span is an in-flight span started by Start or StartChild. The zero
+// Span (from a nil tracer) is valid: End no-ops and ID returns 0, so
+// a child started under it becomes a root.
 type Span struct {
-	t     *Tracer
-	name  string
-	start time.Duration
+	t      *Tracer
+	name   string
+	start  time.Duration
+	id     SpanID
+	parent SpanID
 }
 
-// Start begins a span. End emits it as one "span" record.
-func (t *Tracer) Start(name string) Span {
+// Start begins a span under the default parent. End emits it as one
+// "span" record.
+func (t *Tracer) Start(name string) Span { return t.StartChild(name, 0) }
+
+// StartChild begins a span under an explicit parent (zero: the
+// default parent). The span's id is allocated immediately, so nested
+// work can reference it before End.
+func (t *Tracer) StartChild(name string, parent SpanID) Span {
 	if t == nil {
 		return Span{}
 	}
-	return Span{t: t, name: name, start: t.clock()}
+	return Span{t: t, name: name, start: t.clock(), id: SpanID(t.ids.Add(1)), parent: t.resolve(parent)}
+}
+
+// ID returns the span's identifier (0 for the zero Span).
+func (s Span) ID() SpanID { return s.id }
+
+// StartChild begins a child span of s.
+func (s Span) StartChild(name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	return s.t.StartChild(name, s.id)
+}
+
+// Event emits a point-in-time record inside s.
+func (s Span) Event(name string, fields Fields) {
+	if s.t == nil {
+		return
+	}
+	s.t.EventIn(name, s.id, fields)
 }
 
 // End completes the span, attaching the given fields.
@@ -140,6 +220,7 @@ func (s Span) End(fields Fields) {
 	}
 	dur := s.t.clock() - s.start
 	s.t.emit(record{TUS: s.start.Microseconds(), Kind: "span", Name: s.name,
+		ID: uint64(s.id), Parent: uint64(s.parent),
 		DurUS: dur.Microseconds(), Fields: fields})
 	s.t.sample(s.name, dur)
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"errors"
 	"strconv"
 	"strings"
@@ -31,8 +32,8 @@ func TestTracerGoldenOutput(t *testing.T) {
 
 	want := strings.Join([]string{
 		`{"seq":1,"t_us":100,"kind":"event","name":"sim.fault","fields":{"cell":"(3,4)","t_sec":1}}`,
-		`{"seq":2,"t_us":200,"kind":"span","name":"anneal.level","dur_us":100,"fields":{"level":0}}`,
-		`{"seq":3,"t_us":350,"kind":"span","name":"route","dur_us":50}`,
+		`{"seq":2,"t_us":200,"kind":"span","name":"anneal.level","id":1,"dur_us":100,"fields":{"level":0}}`,
+		`{"seq":3,"t_us":350,"kind":"span","name":"route","id":2,"dur_us":50}`,
 		`{"seq":4,"t_us":500,"kind":"event","name":"done"}`,
 	}, "\n") + "\n"
 	if got := buf.String(); got != want {
@@ -52,11 +53,90 @@ func TestNilTracerNoOps(t *testing.T) {
 	sp := tr.Start("y")
 	sp.End(nil)
 	tr.EmitSpan("z", time.Second, nil)
+	tr.EventIn("w", 3, nil)
+	tr.EmitSpanIn("v", 3, time.Second, nil)
+	if tr.SwapDefaultParent(7) != 0 {
+		t.Error("nil tracer has a default parent")
+	}
+	child := sp.StartChild("grandchild") // zero Span: child is inert too
+	child.End(nil)
+	sp.Event("inside", nil)
+	if sp.ID() != 0 {
+		t.Error("zero span has an id")
+	}
 	if tr.Err() != nil {
 		t.Error("nil tracer reports an error")
 	}
 	if tr.Summaries() != nil {
 		t.Error("nil tracer reports summaries")
+	}
+}
+
+// TestNilTracerZeroAlloc pins the disabled-telemetry hot path: span
+// bookkeeping on a nil tracer must not allocate, because it runs
+// inside the annealing and campaign inner loops.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("hot")
+		c := sp.StartChild("hotter")
+		c.End(nil)
+		sp.End(nil)
+		tr.EmitSpanIn("loop", sp.ID(), time.Microsecond, nil)
+	})
+	if allocs != 0 {
+		t.Errorf("nil-tracer span path allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSpanHierarchy checks that explicit parents, Span.StartChild and
+// the default parent reconstruct into one tree.
+func TestSpanHierarchy(t *testing.T) {
+	var buf strings.Builder
+	tr := NewWithClock(&buf, fakeClock(time.Microsecond))
+
+	root := tr.Start("tool.run")
+	prev := tr.SwapDefaultParent(root.ID())
+	if prev != 0 {
+		t.Fatalf("initial default parent = %d, want 0", prev)
+	}
+	stage := tr.Start("stage.place") // default parent -> root
+	tr.EmitSpanIn("anneal.level", stage.ID(), time.Microsecond, nil)
+	trial := stage.StartChild("campaign.trial")
+	trial.Event("sim.fault", nil)
+	trial.End(nil)
+	stage.End(nil)
+	tr.SwapDefaultParent(prev)
+	root.End(nil)
+
+	type rec struct {
+		Kind string `json:"kind"`
+		Name string `json:"name"`
+		ID   uint64 `json:"id"`
+		Par  uint64 `json:"par"`
+	}
+	parentOf := map[string]uint64{}
+	idOf := map[string]uint64{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var r rec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad line %q: %v", line, err)
+		}
+		parentOf[r.Name] = r.Par
+		idOf[r.Name] = r.ID
+	}
+	if idOf["tool.run"] == 0 || parentOf["tool.run"] != 0 {
+		t.Errorf("root span: id=%d par=%d, want id>0 par=0", idOf["tool.run"], parentOf["tool.run"])
+	}
+	for child, parent := range map[string]string{
+		"stage.place":    "tool.run",
+		"anneal.level":   "stage.place",
+		"campaign.trial": "stage.place",
+		"sim.fault":      "campaign.trial",
+	} {
+		if parentOf[child] != idOf[parent] {
+			t.Errorf("%s has par=%d, want %s's id %d", child, parentOf[child], parent, idOf[parent])
+		}
 	}
 }
 
