@@ -3,8 +3,9 @@ FUZZTIME ?= 10s
 CAMPAIGN_TRIALS ?= 10000
 CAMPAIGN_WORKERS ?= 8
 RECOVERY_TRIALS ?= 512
+SERVE_REQUESTS ?= 100
 
-.PHONY: all build test race vet fmtcheck errcheck fuzz bench benchquick ci clean
+.PHONY: all build test race vet fmtcheck errcheck fuzz bench benchquick serve-smoke ci clean
 
 all: build
 
@@ -32,7 +33,8 @@ fmtcheck:
 errcheck:
 	@out="$$(grep -rnE '(^|[^[:alnum:]_])_ =|, _ =|, _ :=' \
 		--include='*.go' --exclude='*_test.go' \
-		internal/recovery internal/sim internal/campaign internal/obs || true)"; \
+		internal/recovery internal/sim internal/campaign internal/obs \
+		internal/pipeline internal/pcache internal/server || true)"; \
 	if [ -n "$$out" ]; then \
 		echo "ignored error returns (handle or propagate):"; echo "$$out"; exit 1; \
 	fi
@@ -70,15 +72,28 @@ bench:
 		-trials $(RECOVERY_TRIALS) -seed 5 -quiet -json bench_assay_l1.json
 	$(GO) run ./cmd/dmfb-campaign -mode assay -k 1 -recovery ladder \
 		-trials $(RECOVERY_TRIALS) -seed 5 -quiet -json bench_assay_ladder.json
+	$(GO) run ./cmd/dmfb-server -addr 127.0.0.1:0 -replay $(SERVE_REQUESTS) \
+		-json bench_serve.json
 	$(GO) run ./tools/benchreport -go bench_go.out -exp bench_exp.json \
 		-campaign1 bench_campaign1.json -campaignN bench_campaignN.json \
 		-assay-l1 bench_assay_l1.json -assay-ladder bench_assay_ladder.json \
+		-serve bench_serve.json \
 		-out BENCH_place.json
 	rm -f bench_go.out bench_exp.json bench_campaign1.json bench_campaignN.json \
-		bench_assay_l1.json bench_assay_ladder.json
+		bench_assay_l1.json bench_assay_ladder.json bench_serve.json
 
 benchquick:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+# serve-smoke boots the real dmfb-server binary on a free port,
+# compiles the same assay twice over HTTP and asserts the second
+# response is a byte-identical cache hit, then SIGTERMs it and expects
+# a graceful drain. See tools/serve_smoke.sh.
+serve-smoke:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/dmfb-server ./cmd/dmfb-server && \
+	sh tools/serve_smoke.sh $$tmp/dmfb-server; \
+	rc=$$?; rm -rf $$tmp; exit $$rc
 
 ci: vet build test race fmtcheck errcheck
 

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"dmfb"
+	"dmfb/internal/pipeline"
 	"dmfb/internal/telemetry"
 	"dmfb/internal/telemetry/cliflags"
 )
@@ -45,26 +47,16 @@ type expResult struct {
 	Measurements []measurement `json:"measurements,omitempty"`
 }
 
-func main() { os.Exit(run()) }
-
-func run() int {
+func main() {
 	exp := flag.String("exp", "all", "experiment to run (see usage)")
 	jsonOut := flag.String("json", "", "write machine-readable results to `file`")
-	obs := cliflags.Register()
-	flag.Parse()
+	os.Exit(cliflags.Main("dmfb-bench", func(session *cliflags.Session) int {
+		ts = session
+		return run(*exp, *jsonOut)
+	}))
+}
 
-	var err error
-	ts, err = obs.Start("dmfb-bench")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-bench:", err)
-		return 1
-	}
-	defer func() {
-		if err := ts.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "dmfb-bench:", err)
-		}
-	}()
-
+func run(exp, jsonOut string) int {
 	experiments := []struct {
 		name string
 		run  func() []measurement
@@ -83,7 +75,7 @@ func run() int {
 	var results []expResult
 	found := false
 	for _, e := range experiments {
-		if *exp != "all" && *exp != e.name {
+		if exp != "all" && exp != e.name {
 			continue
 		}
 		found = true
@@ -103,19 +95,19 @@ func run() int {
 		fmt.Printf("(%s in %v)\n\n", e.name, st.Wall.Round(time.Millisecond))
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "dmfb-bench: unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "dmfb-bench: unknown experiment %q\n", exp)
 		return 2
 	}
-	if *jsonOut != "" {
+	if jsonOut != "" {
 		data, err := json.MarshalIndent(results, "", "  ")
 		if err == nil {
-			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+			err = os.WriteFile(jsonOut, append(data, '\n'), 0o644)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmfb-bench:", err)
 			return 1
 		}
-		fmt.Println("results written to", *jsonOut)
+		fmt.Println("results written to", jsonOut)
 	}
 	return 0
 }
@@ -136,6 +128,28 @@ func placerOpts() dmfb.PlacerOptions {
 		Observer: dmfb.ObserveAnneal(ts.Tracer, ts.Metrics, "bench"),
 		Metrics:  ts.Metrics,
 	}
+}
+
+// benchPlace synthesises the PCR case study and places it via the
+// shared pipeline, with the bench-stage anneal observer attached. beta
+// only matters for the "twostage" placer.
+func benchPlace(placer string, beta float64) pipeline.Result {
+	res, err := pipeline.Run(context.Background(), pipeline.Request{
+		Tool:  "dmfb-bench",
+		Synth: &pipeline.SynthSpec{Assay: "pcr"},
+		Place: &pipeline.PlaceSpec{
+			Placer:  placer,
+			Options: placerOpts(),
+			FT:      dmfb.FTOptions{Beta: beta},
+		},
+		Tracer:  ts.Tracer,
+		Metrics: ts.Metrics,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return res
 }
 
 // table1 prints the module catalogue used by the PCR binding.
@@ -191,9 +205,8 @@ func fig6() []measurement {
 // baseline runs the greedy placers (paper Section 6.1: 84 cells / 189 mm²).
 func baseline() []measurement {
 	fmt.Println("Baseline greedy placement (paper: 84 cells = 189.00 mm2)")
-	prob := dmfb.PlacementProblemOf(must(dmfb.PCRSchedule()))
-	aware := must(dmfb.PlaceGreedy(prob, true))
-	obliv := must(dmfb.PlaceGreedy(prob, false))
+	aware := benchPlace("greedy", 0).Placement
+	obliv := benchPlace("greedy-oblivious", 0).Placement
 	fmt.Printf("time-aware greedy:      %3d cells = %7.2f mm2\n",
 		aware.ArrayCells(), dmfb.AreaMM2(aware.ArrayCells()))
 	fmt.Printf("time-oblivious greedy:  %3d cells = %7.2f mm2\n",
@@ -208,19 +221,15 @@ func baseline() []measurement {
 // fig7 runs the area-only SA placer (paper: 63 cells = 141.75 mm², −25% vs baseline).
 func fig7() []measurement {
 	fmt.Println("Figure 7: simulated-annealing placement, area only (paper: 7x9 = 63 cells = 141.75 mm2)")
-	prob := dmfb.PlacementProblemOf(must(dmfb.PCRSchedule()))
 	clock := telemetry.StartStage("fig7.anneal")
-	p, stats, err := dmfb.PlaceAnneal(prob, placerOpts())
+	res := benchPlace("sa", 0)
 	st := clock.Stop()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	p, stats := res.Placement, res.PlacerStats
 	fmt.Print(dmfb.RenderPlacement(p))
 	fmt.Printf("measured: %d cells = %.2f mm2 (%d evaluations, %d levels, %v)\n",
 		p.ArrayCells(), dmfb.AreaMM2(p.ArrayCells()),
 		stats.Evaluations, stats.Levels, st.Wall.Round(time.Millisecond))
-	g := must(dmfb.PlaceGreedy(prob, true))
+	g := benchPlace("greedy", 0).Placement
 	improvement := 100 * (1 - float64(p.ArrayCells())/float64(g.ArrayCells()))
 	fmt.Printf("improvement over greedy baseline: %.1f%% (paper: 25%%)\n", improvement)
 	return []measurement{
@@ -233,12 +242,7 @@ func fig7() []measurement {
 // ftiExp computes the FTI of the area-minimal placement (paper: 0.1270).
 func ftiExp() []measurement {
 	fmt.Println("FTI of the area-minimal placement (paper: 0.1270, computed in 1.7 s on a Pentium III)")
-	prob := dmfb.PlacementProblemOf(must(dmfb.PCRSchedule()))
-	p, _, err := dmfb.PlaceAnneal(prob, placerOpts())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	p := benchPlace("sa", 0).Placement
 	clock := telemetry.StartStage("fti.compute")
 	r := dmfb.ComputeFTI(p)
 	st := clock.Stop()
@@ -255,12 +259,7 @@ func ftiExp() []measurement {
 func fig8() []measurement {
 	fmt.Println("Figure 8: two-stage fault-tolerant placement, beta=30")
 	fmt.Println("(paper: 77 cells = 173.25 mm2, FTI 0.8052; +534% FTI for +22.2% area)")
-	prob := dmfb.PlacementProblemOf(must(dmfb.PCRSchedule()))
-	res, err := dmfb.PlaceFaultTolerant(prob, placerOpts(), dmfb.FTOptions{Beta: 30})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	res := *benchPlace("twostage", 30).TwoStage
 	f1 := dmfb.ComputeFTI(res.Stage1).FTI()
 	f2 := dmfb.ComputeFTI(res.Final).FTI()
 	a1, a2 := res.Stage1.ArrayCells(), res.Final.ArrayCells()
@@ -313,14 +312,8 @@ func table2() []measurement {
 // reconfigExp demonstrates on-line recovery (paper Figure 4b / Section 5.1).
 func reconfigExp() []measurement {
 	fmt.Println("Partial reconfiguration during field operation (Section 5.1)")
-	sched := must(dmfb.PCRSchedule())
-	prob := dmfb.PlacementProblemOf(sched)
-	res, err := dmfb.PlaceFaultTolerant(prob, placerOpts(), dmfb.FTOptions{Beta: 50})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	p := res.Final
+	pres := benchPlace("twostage", 50)
+	sched, p := pres.Schedule, pres.Placement
 	cov := dmfb.ComputeFTI(p)
 	// Inject a fault into the first covered module cell, mid-assay.
 	array := p.BoundingBox()
@@ -355,24 +348,15 @@ func reconfigExp() []measurement {
 // monteCarlo validates FTI as a survivability predictor (extension).
 func monteCarlo() []measurement {
 	fmt.Println("Monte-Carlo validation: survival rate vs FTI (extension experiment)")
-	prob := dmfb.PlacementProblemOf(must(dmfb.PCRSchedule()))
-	s1, _, err := dmfb.PlaceAnneal(prob, placerOpts())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	res, err := dmfb.PlaceFaultTolerant(prob, placerOpts(), dmfb.FTOptions{Beta: 60})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	s1 := benchPlace("sa", 0).Placement
+	res := benchPlace("twostage", 60)
 	var ms []measurement
 	for _, c := range []struct {
 		label string
 		slug  string
 		p     *dmfb.Placement
 	}{{"area-minimal", "area_minimal", s1},
-		{"fault-tolerant (beta=60)", "fault_tolerant", res.Final}} {
+		{"fault-tolerant (beta=60)", "fault_tolerant", res.Placement}} {
 		ex := dmfb.ExhaustiveSingleFault(c.p)
 		mc := dmfb.MonteCarloSingleFault(c.p, 10000, *seed)
 		fmt.Printf("%-26s exhaustive: %v\n", c.label, ex)

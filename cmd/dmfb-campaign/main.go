@@ -27,12 +27,13 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"dmfb/internal/campaign"
 	"dmfb/internal/core"
 	"dmfb/internal/faultsim"
 	"dmfb/internal/fti"
-	"dmfb/internal/pcr"
+	"dmfb/internal/pipeline"
 	"dmfb/internal/place"
 	"dmfb/internal/schedule"
 	"dmfb/internal/sim"
@@ -53,9 +54,7 @@ type output struct {
 	TrialMS      stats.Summary    `json:"trial_ms"`
 }
 
-func main() { os.Exit(run()) }
-
-func run() int {
+func main() {
 	var (
 		mode      = flag.String("mode", "multi", "campaign kind: single | multi | yield | exhaustive | assay")
 		trials    = flag.Int("trials", 10000, "number of trials (ignored for -mode exhaustive)")
@@ -73,24 +72,37 @@ func run() int {
 		placeSeed = flag.Int64("place-seed", 2, "annealing seed of the PCR placement under test")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 	)
-	obs := cliflags.Register()
-	flag.Parse()
+	os.Exit(cliflags.Main("dmfb-campaign", func(ts *cliflags.Session) int {
+		return run(ts, params{
+			mode: *mode, trials: *trials, workers: *workers, seed: *seed,
+			k: *k, q: *q, full: *full, recovery: *recovery, transient: *transient,
+			timeout: *timeout, ckpt: *ckpt, resume: *resume, jsonOut: *jsonOut,
+			placeSeed: *placeSeed, quiet: *quiet,
+		})
+	}))
+}
 
-	ts, err := obs.Start("dmfb-campaign")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-campaign:", err)
-		return 1
-	}
-	defer func() {
-		if err := ts.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "dmfb-campaign:", err)
-		}
-	}()
+// params carries the parsed flag values into run.
+type params struct {
+	mode                string
+	trials, workers, k  int
+	seed, placeSeed     int64
+	q, transient        float64
+	full, resume, quiet bool
+	recovery            string
+	timeout             time.Duration
+	ckpt, jsonOut       string
+}
 
-	sched, p, err := pcrPlacement(*placeSeed)
+func run(ts *cliflags.Session, pr params) int {
+	mode, trials, seed := &pr.mode, &pr.trials, &pr.seed
+	workers, k, q, full := &pr.workers, &pr.k, &pr.q, &pr.full
+	recovery, transient, timeout := &pr.recovery, &pr.transient, &pr.timeout
+	ckpt, resume, jsonOut, quiet := &pr.ckpt, &pr.resume, &pr.jsonOut, &pr.quiet
+
+	sched, p, err := pcrPlacement(context.Background(), pr.placeSeed, ts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-campaign:", err)
-		return 1
+		return ts.Fail(err)
 	}
 	array := p.BoundingBox()
 	predicted := fti.Compute(p).FTI()
@@ -227,12 +239,16 @@ func recoveryModeName(mode, recovery string) string {
 
 // pcrPlacement synthesises and places the PCR case study with
 // experiment-grade area-minimal annealing.
-func pcrPlacement(seed int64) (*schedule.Schedule, *place.Placement, error) {
-	s, err := pcr.Schedule()
-	if err != nil {
-		return nil, nil, err
-	}
-	p, _, err := core.AnnealArea(core.FromSchedule(s),
-		core.Options{Seed: seed, ItersPerModule: 120, WindowPatience: 4})
-	return s, p, err
+func pcrPlacement(ctx context.Context, seed int64, ts *cliflags.Session) (*schedule.Schedule, *place.Placement, error) {
+	res, err := pipeline.Run(ctx, pipeline.Request{
+		Tool:  "dmfb-campaign",
+		Synth: &pipeline.SynthSpec{Assay: "pcr"},
+		Place: &pipeline.PlaceSpec{
+			Placer:  "sa",
+			Options: core.Options{Seed: seed, ItersPerModule: 120, WindowPatience: 4},
+		},
+		Tracer:  ts.Tracer,
+		Metrics: ts.Metrics,
+	})
+	return res.Schedule, res.Placement, err
 }

@@ -9,77 +9,63 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 
 	"dmfb"
+	"dmfb/internal/pipeline"
 	"dmfb/internal/telemetry/cliflags"
 )
 
-func main() { os.Exit(run()) }
-
-func run() int {
+func main() {
 	var (
 		in         = flag.String("placement", "", "placement JSON from dmfb-place (required)")
 		verify     = flag.Bool("verify", false, "cross-check with exhaustive fault injection")
 		monteCarlo = flag.Int("montecarlo", 0, "additionally run N random fault trials")
 		seed       = flag.Int64("seed", 1, "Monte-Carlo seed")
 	)
-	obs := cliflags.Register()
-	flag.Parse()
-
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "dmfb-fti: -placement is required")
-		return 2
-	}
-	ts, err := obs.Start("dmfb-fti")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-fti:", err)
-		return 1
-	}
-	defer func() {
-		if err := ts.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "dmfb-fti:", err)
+	os.Exit(cliflags.Main("dmfb-fti", func(ts *cliflags.Session) int {
+		if *in == "" {
+			return ts.Usage(errors.New("-placement is required"))
 		}
-	}()
-
-	data, err := os.ReadFile(*in)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-fti:", err)
-		return 1
-	}
-	p, err := dmfb.UnmarshalPlacement(data)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-fti:", err)
-		return 1
-	}
-
-	doneFTI := ts.Stage("fti")
-	r := dmfb.ComputeFTI(p)
-	doneFTI()
-	ts.Metrics.Gauge("fti.value").Set(r.FTI())
-	ts.Metrics.Gauge("place.array_cells").Set(float64(p.ArrayCells()))
-	ts.Metrics.Gauge("place.utilization").Set(p.Utilization())
-	fmt.Print(dmfb.RenderCoverage(r))
-	fmt.Printf("array area: %d cells = %.2f mm2\n", p.ArrayCells(), dmfb.AreaMM2(p.ArrayCells()))
-
-	if *verify {
-		doneEx := ts.Stage("exhaustive")
-		ex := dmfb.ExhaustiveSingleFault(p)
-		doneEx()
-		fmt.Println("exhaustive fault injection:", ex)
-		if math.Abs(ex.SurvivalRate()-r.FTI()) > 1e-12 {
-			fmt.Fprintln(os.Stderr, "dmfb-fti: MISMATCH between FTI and injection!")
-			return 1
+		p, err := pipeline.LoadPlacement(*in, os.ReadFile)
+		if err != nil {
+			return ts.Fail(err)
 		}
-	}
-	if *monteCarlo > 0 {
-		doneMC := ts.Stage("montecarlo")
-		mc := dmfb.MonteCarloSingleFault(p, *monteCarlo, *seed)
-		doneMC()
-		fmt.Println("Monte-Carlo fault injection:", mc)
-	}
-	return 0
+
+		res, err := pipeline.Run(context.Background(), pipeline.Request{
+			Tool:      "dmfb-fti",
+			Placement: p,
+			FTI: &pipeline.FTISpec{
+				Verify:     *verify,
+				MonteCarlo: *monteCarlo,
+				Seed:       *seed,
+			},
+			Tracer:  ts.Tracer,
+			Metrics: ts.Metrics,
+		})
+		if err != nil {
+			return ts.Fail(err)
+		}
+
+		r := *res.FTI
+		fmt.Print(dmfb.RenderCoverage(r))
+		fmt.Printf("array area: %d cells = %.2f mm2\n", p.ArrayCells(), dmfb.AreaMM2(p.ArrayCells()))
+
+		if res.Exhaustive != nil {
+			fmt.Println("exhaustive fault injection:", *res.Exhaustive)
+			if math.Abs(res.Exhaustive.SurvivalRate()-r.FTI()) > 1e-12 {
+				fmt.Fprintln(os.Stderr, "dmfb-fti: MISMATCH between FTI and injection!")
+				return 1
+			}
+		}
+		if res.MonteCarlo != nil {
+			fmt.Println("Monte-Carlo fault injection:", *res.MonteCarlo)
+		}
+		return 0
+	}))
 }

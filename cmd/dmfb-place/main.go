@@ -12,17 +12,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"dmfb"
+	"dmfb/internal/pipeline"
 	"dmfb/internal/telemetry/cliflags"
 )
 
-func main() { os.Exit(run()) }
-
-func run() int {
+func main() {
 	var (
 		schedFile = flag.String("schedule", "", "schedule JSON from dmfb-synth (default: built-in PCR)")
 		placer    = flag.String("placer", "sa", "placer: greedy | greedy-oblivious | sa | twostage")
@@ -32,100 +32,59 @@ func run() int {
 		svg       = flag.String("svg", "", "write the placement as SVG")
 		coverage  = flag.Bool("coverage", false, "print the C-coverage map")
 	)
-	obs := cliflags.Register()
-	flag.Parse()
-
-	ts, err := obs.Start("dmfb-place")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-place:", err)
-		return 1
-	}
-	defer func() {
-		if err := ts.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "dmfb-place:", err)
-		}
-	}()
-
-	sched, err := loadSchedule(*schedFile)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-place:", err)
-		return 1
-	}
-	prob := dmfb.PlacementProblemOf(sched)
-	opts := dmfb.PlacerOptions{
-		Seed:     *seed,
-		Observer: dmfb.ObserveAnneal(ts.Tracer, ts.Metrics, "place"),
-		Metrics:  ts.Metrics,
-	}
-
-	done := ts.Stage("place")
-	var p *dmfb.Placement
-	switch *placer {
-	case "greedy":
-		p, err = dmfb.PlaceGreedy(prob, true)
-	case "greedy-oblivious":
-		p, err = dmfb.PlaceGreedy(prob, false)
-	case "sa":
-		p, _, err = dmfb.PlaceAnneal(prob, opts)
-	case "twostage":
-		var res dmfb.TwoStageResult
-		res, err = dmfb.PlaceFaultTolerant(prob, opts, dmfb.FTOptions{Beta: *beta})
-		if err == nil {
-			p = res.Final
-			fmt.Printf("stage 1: %d cells (%.2f mm2), FTI %.4f\n",
-				res.Stage1.ArrayCells(), dmfb.AreaMM2(res.Stage1.ArrayCells()),
-				dmfb.ComputeFTI(res.Stage1).FTI())
-		}
-	default:
-		err = fmt.Errorf("unknown placer %q", *placer)
-	}
-	done()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-place:", err)
-		return 1
-	}
-	ts.Metrics.Gauge("place.array_cells").Set(float64(p.ArrayCells()))
-	ts.Metrics.Gauge("place.utilization").Set(p.Utilization())
-
-	doneFTI := ts.Stage("fti")
-	r := dmfb.ComputeFTI(p)
-	doneFTI()
-	fmt.Print(dmfb.RenderPlacement(p))
-	fmt.Printf("area: %d cells = %.2f mm2 at %.1f mm pitch\n",
-		p.ArrayCells(), dmfb.AreaMM2(p.ArrayCells()), dmfb.CellPitchMM)
-	fmt.Println(r)
-	if *coverage {
-		fmt.Print(dmfb.RenderCoverage(r))
-	}
-
-	if *out != "" {
-		data, err := dmfb.MarshalPlacement(p)
-		if err == nil {
-			err = os.WriteFile(*out, data, 0o644)
-		}
+	os.Exit(cliflags.Main("dmfb-place", func(ts *cliflags.Session) int {
+		sched, err := pipeline.LoadSchedule(*schedFile, nil, os.ReadFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dmfb-place:", err)
-			return 1
+			return ts.Fail(err)
 		}
-		fmt.Println("placement written to", *out)
-	}
-	if *svg != "" {
-		if err := os.WriteFile(*svg, []byte(dmfb.RenderPlacementSVG(p, 24)), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "dmfb-place:", err)
-			return 1
-		}
-		fmt.Println("SVG written to", *svg)
-	}
-	return 0
-}
 
-func loadSchedule(path string) (*dmfb.Schedule, error) {
-	if path == "" {
-		return dmfb.PCRSchedule()
-	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return dmfb.UnmarshalSchedule(data, dmfb.Table1Library())
+		res, err := pipeline.Run(context.Background(), pipeline.Request{
+			Tool:     "dmfb-place",
+			Schedule: sched,
+			Place: &pipeline.PlaceSpec{
+				Placer:  *placer,
+				Options: dmfb.PlacerOptions{Seed: *seed},
+				FT:      dmfb.FTOptions{Beta: *beta},
+			},
+			FTI:     &pipeline.FTISpec{},
+			Tracer:  ts.Tracer,
+			Metrics: ts.Metrics,
+		})
+		if err != nil {
+			return ts.Fail(err)
+		}
+		p := res.Placement
+		if res.TwoStage != nil {
+			s1 := res.TwoStage.Stage1
+			fmt.Printf("stage 1: %d cells (%.2f mm2), FTI %.4f\n",
+				s1.ArrayCells(), dmfb.AreaMM2(s1.ArrayCells()), dmfb.ComputeFTI(s1).FTI())
+		}
+
+		r := *res.FTI
+		fmt.Print(dmfb.RenderPlacement(p))
+		fmt.Printf("area: %d cells = %.2f mm2 at %.1f mm pitch\n",
+			p.ArrayCells(), dmfb.AreaMM2(p.ArrayCells()), dmfb.CellPitchMM)
+		fmt.Println(r)
+		if *coverage {
+			fmt.Print(dmfb.RenderCoverage(r))
+		}
+
+		if *out != "" {
+			data, err := dmfb.MarshalPlacement(p)
+			if err == nil {
+				err = os.WriteFile(*out, data, 0o644)
+			}
+			if err != nil {
+				return ts.Fail(err)
+			}
+			fmt.Println("placement written to", *out)
+		}
+		if *svg != "" {
+			if err := os.WriteFile(*svg, []byte(dmfb.RenderPlacementSVG(p, 24)), 0o644); err != nil {
+				return ts.Fail(err)
+			}
+			fmt.Println("SVG written to", *svg)
+		}
+		return 0
+	}))
 }

@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"dmfb"
+	"dmfb/internal/pipeline"
 	"dmfb/internal/telemetry/cliflags"
 )
 
@@ -49,9 +52,7 @@ func (c *cellList) Set(s string) error {
 	return nil
 }
 
-func main() { os.Exit(run()) }
-
-func run() int {
+func main() {
 	var eps endpointList
 	var faults cellList
 	var (
@@ -61,65 +62,46 @@ func run() int {
 	)
 	flag.Var(&eps, "d", "droplet endpoint x1,y1:x2,y2 (repeatable)")
 	flag.Var(&faults, "fault", "faulty cell x,y (repeatable)")
-	obs := cliflags.Register()
-	flag.Parse()
-
-	if len(eps) == 0 {
-		fmt.Fprintln(os.Stderr, "dmfb-route: at least one -d endpoint required")
-		return 2
-	}
-	ts, err := obs.Start("dmfb-route")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-route:", err)
-		return 1
-	}
-	defer func() {
-		if err := ts.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "dmfb-route:", err)
+	os.Exit(cliflags.Main("dmfb-route", func(ts *cliflags.Session) int {
+		if len(eps) == 0 {
+			return ts.Usage(errors.New("at least one -d endpoint required"))
 		}
-	}()
 
-	chip := dmfb.NewChip(*w, *h)
-	for _, f := range faults {
-		if err := chip.InjectFault(f); err != nil {
-			fmt.Fprintln(os.Stderr, "dmfb-route:", err)
-			return 1
+		res, err := pipeline.Run(context.Background(), pipeline.Request{
+			Tool: "dmfb-route",
+			Route: &pipeline.RouteSpec{
+				W: *w, H: *h,
+				Faults:    faults,
+				Endpoints: eps,
+				Frames:    true,
+			},
+			Tracer:  ts.Tracer,
+			Metrics: ts.Metrics,
+		})
+		if err != nil {
+			return ts.Fail(err)
 		}
-	}
 
-	doneRoute := ts.Stage("route")
-	plan, err := dmfb.PlanDropletRoutes(chip, eps, dmfb.RouteOptions{Metrics: ts.Metrics})
-	doneRoute()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-route:", err)
-		return 1
-	}
-	if err := dmfb.ValidateDropletRoutes(chip, eps, plan, nil); err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-route: plan failed validation:", err)
-		return 1
-	}
-	fmt.Printf("%d droplet(s) routed in %d control steps (%d ms), %d cell moves\n",
-		len(eps), plan.Makespan, plan.Makespan*10, plan.Steps())
-	for i, path := range plan.Paths {
-		fmt.Printf("  droplet %d: %v", i, path[0])
-		for t := 1; t < len(path); t++ {
-			if path[t] != path[t-1] {
-				fmt.Printf(" %v", path[t])
+		plan := res.Route.Plan
+		fmt.Printf("%d droplet(s) routed in %d control steps (%d ms), %d cell moves\n",
+			len(eps), plan.Makespan, plan.Makespan*10, plan.Steps())
+		for i, path := range plan.Paths {
+			fmt.Printf("  droplet %d: %v", i, path[0])
+			for t := 1; t < len(path); t++ {
+				if path[t] != path[t-1] {
+					fmt.Printf(" %v", path[t])
+				}
+			}
+			fmt.Println()
+		}
+
+		prog := res.Route.Program
+		fmt.Printf("actuation program: %d frames, %d ms\n", len(prog.Frames), prog.DurationMS())
+		if *frames {
+			for _, f := range prog.Frames {
+				fmt.Println(" ", f)
 			}
 		}
-		fmt.Println()
-	}
-
-	prog, err := dmfb.CompileActuation(plan, *w, *h)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-route:", err)
-		return 1
-	}
-	fmt.Printf("actuation program: %d frames, %d ms\n", len(prog.Frames), prog.DurationMS())
-	if *frames {
-		for _, f := range prog.Frames {
-			fmt.Println(" ", f)
-		}
-	}
-	return 0
+		return 0
+	}))
 }

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ import (
 	"syscall"
 
 	"dmfb"
+	"dmfb/internal/pipeline"
 	"dmfb/internal/telemetry/cliflags"
 )
 
@@ -52,9 +54,7 @@ func (f *faultList) Set(s string) error {
 	return nil
 }
 
-func main() { os.Exit(run()) }
-
-func run() int {
+func main() {
 	var faults faultList
 	var (
 		schedFile = flag.String("schedule", "", "schedule JSON (default: built-in PCR)")
@@ -66,68 +66,70 @@ func run() int {
 		verbose   = flag.Bool("verbose", false, "log every droplet action")
 	)
 	flag.Var(&faults, "fault", "inject fault: t,x,y (repeatable; x,y in placed-array cells)")
-	obs := cliflags.Register()
-	flag.Parse()
+	os.Exit(cliflags.Main("dmfb-sim", func(ts *cliflags.Session) int {
+		// The simulator has no cancellation path, so ^C mid-run would
+		// otherwise drop the trace and metrics collected so far.
+		ts.FlushOnSignal(130, os.Interrupt, syscall.SIGTERM)
 
-	ts, err := obs.Start("dmfb-sim")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-sim:", err)
-		return 1
-	}
-	defer func() {
-		if err := ts.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "dmfb-sim:", err)
+		mode, err := dmfb.ParseRecoveryMode(*recovery)
+		if err != nil {
+			return ts.Fail(err)
 		}
-	}()
-	// The simulator has no cancellation path, so ^C mid-run would
-	// otherwise drop the trace and metrics collected so far.
-	ts.FlushOnSignal(130, os.Interrupt, syscall.SIGTERM)
 
-	mode, err := dmfb.ParseRecoveryMode(*recovery)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-sim:", err)
-		return 1
-	}
-
-	donePlace := ts.Stage("place")
-	sched, p, err := load(*schedFile, *placeFile, *placer, *beta, *seed, ts)
-	donePlace()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-sim:", err)
-		return 1
-	}
-
-	fmt.Print(dmfb.RenderPlacement(p))
-	doneSim := ts.Stage("sim")
-	res := dmfb.Simulate(sched, p, dmfb.SimOptions{
-		Trace:        *verbose,
-		Recovery:     mode,
-		RecoverySeed: *seed,
-		Telemetry:    ts.Tracer,
-		Metrics:      ts.Metrics,
-	}, faults...)
-	doneSim()
-	for _, e := range res.Events {
-		fmt.Println(" ", e)
-	}
-	if res.Outcome == dmfb.OutcomeFailed {
-		fmt.Printf("ASSAY FAILED: %s\n", res.FailReason)
-		return 1
-	}
-	fmt.Printf("assay %s: %d s of operations + %d transport steps (%d ms)\n",
-		res.Outcome, res.MakespanSec, res.TransportSteps, res.TransportMS)
-	fmt.Printf("products: %s\n", strings.Join(res.ProductFluids, "; "))
-	if len(res.Relocations) > 0 {
-		fmt.Printf("partial reconfigurations: %d\n", len(res.Relocations))
-		for _, r := range res.Relocations {
-			fmt.Println(" ", r)
+		req := pipeline.Request{
+			Tool: "dmfb-sim",
+			Sim: &pipeline.SimSpec{
+				Options: dmfb.SimOptions{
+					Trace:        *verbose,
+					Recovery:     mode,
+					RecoverySeed: *seed,
+				},
+				Faults: faults,
+			},
+			Tracer:  ts.Tracer,
+			Metrics: ts.Metrics,
 		}
-	}
-	printRecovery(res.Recovery)
-	if res.Outcome == dmfb.OutcomeDegraded {
-		return 2
-	}
-	return 0
+		if req.Schedule, err = pipeline.LoadSchedule(*schedFile, nil, os.ReadFile); err != nil {
+			return ts.Fail(err)
+		}
+		if *placeFile != "" {
+			if req.Placement, err = pipeline.LoadPlacement(*placeFile, os.ReadFile); err != nil {
+				return ts.Fail(err)
+			}
+		} else {
+			req.Place = &pipeline.PlaceSpec{
+				Placer:  *placer,
+				Options: dmfb.PlacerOptions{Seed: *seed},
+				FT:      dmfb.FTOptions{Beta: *beta},
+			}
+		}
+
+		res, err := pipeline.Run(context.Background(), req)
+		if err != nil {
+			return ts.Fail(err)
+		}
+
+		fmt.Print(dmfb.RenderPlacement(res.Placement))
+		sr := *res.Sim
+		for _, e := range sr.Events {
+			fmt.Println(" ", e)
+		}
+		if sr.Outcome == dmfb.OutcomeFailed {
+			fmt.Printf("ASSAY FAILED: %s\n", sr.FailReason)
+			return 1
+		}
+		fmt.Printf("assay %s: %d s of operations + %d transport steps (%d ms)\n",
+			sr.Outcome, sr.MakespanSec, sr.TransportSteps, sr.TransportMS)
+		fmt.Printf("products: %s\n", strings.Join(sr.ProductFluids, "; "))
+		if len(sr.Relocations) > 0 {
+			fmt.Printf("partial reconfigurations: %d\n", len(sr.Relocations))
+			for _, r := range sr.Relocations {
+				fmt.Println(" ", r)
+			}
+		}
+		printRecovery(sr.Recovery)
+		return pipeline.ExitCode(res, nil)
+	}))
 }
 
 // printRecovery summarises the run's fault handling, if any.
@@ -143,52 +145,4 @@ func printRecovery(r dmfb.SimRecoveryReport) {
 	for _, op := range r.AbandonedOps {
 		fmt.Printf("  abandoned: %s\n", op)
 	}
-}
-
-func load(schedFile, placeFile, placer string, beta float64, seed int64,
-	ts *cliflags.Session) (*dmfb.Schedule, *dmfb.Placement, error) {
-
-	var sched *dmfb.Schedule
-	var err error
-	if schedFile == "" {
-		sched, err = dmfb.PCRSchedule()
-	} else {
-		var data []byte
-		if data, err = os.ReadFile(schedFile); err == nil {
-			sched, err = dmfb.UnmarshalSchedule(data, dmfb.Table1Library())
-		}
-	}
-	if err != nil {
-		return nil, nil, err
-	}
-
-	if placeFile != "" {
-		data, err := os.ReadFile(placeFile)
-		if err != nil {
-			return nil, nil, err
-		}
-		p, err := dmfb.UnmarshalPlacement(data)
-		return sched, p, err
-	}
-
-	prob := dmfb.PlacementProblemOf(sched)
-	opts := dmfb.PlacerOptions{
-		Seed:     seed,
-		Observer: dmfb.ObserveAnneal(ts.Tracer, ts.Metrics, "place"),
-	}
-	switch placer {
-	case "greedy":
-		p, err := dmfb.PlaceGreedy(prob, true)
-		return sched, p, err
-	case "sa":
-		p, _, err := dmfb.PlaceAnneal(prob, opts)
-		return sched, p, err
-	case "twostage":
-		res, err := dmfb.PlaceFaultTolerant(prob, opts, dmfb.FTOptions{Beta: beta})
-		if err != nil {
-			return nil, nil, err
-		}
-		return sched, res.Final, nil
-	}
-	return nil, nil, fmt.Errorf("unknown placer %q", placer)
 }

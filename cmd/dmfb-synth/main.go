@@ -11,17 +11,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"dmfb"
+	"dmfb/internal/pipeline"
 	"dmfb/internal/telemetry/cliflags"
 )
 
-func main() { os.Exit(run()) }
-
-func run() int {
+func main() {
 	var (
 		assayName = flag.String("assay", "pcr", "built-in assay: pcr | invitro")
 		graphFile = flag.String("graph", "", "sequencing-graph JSON file (overrides -assay)")
@@ -31,75 +31,51 @@ func run() int {
 		policy    = flag.String("bind", "fastest", "binding policy: fastest | smallest")
 		out       = flag.String("o", "", "write the schedule as JSON to this file")
 	)
-	obs := cliflags.Register()
-	flag.Parse()
-
-	ts, err := obs.Start("dmfb-synth")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-synth:", err)
-		return 1
-	}
-	defer func() {
-		if err := ts.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "dmfb-synth:", err)
+	os.Exit(cliflags.Main("dmfb-synth", func(ts *cliflags.Session) int {
+		spec := &pipeline.SynthSpec{
+			Assay:   *assayName,
+			Samples: *samples,
+			Assays:  *assays,
+			Budget:  *budget,
 		}
-	}()
+		if *graphFile != "" {
+			data, err := os.ReadFile(*graphFile)
+			if err != nil {
+				return ts.Fail(err)
+			}
+			if spec.Graph, err = dmfb.UnmarshalAssay(data); err != nil {
+				return ts.Fail(err)
+			}
+			if *policy == "smallest" {
+				spec.Bind = dmfb.BindSmallest
+			}
+		}
 
-	doneSynth := ts.Stage("synth")
-	sched, err := synthesize(*assayName, *graphFile, *samples, *assays, *budget, *policy)
-	doneSynth()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-synth:", err)
-		return 1
-	}
-	ts.Metrics.Gauge("synth.makespan_sec").Set(float64(sched.Makespan))
-	ts.Metrics.Gauge("synth.peak_area_cells").Set(float64(sched.PeakArea()))
-
-	fmt.Print(dmfb.RenderSchedule(sched))
-	fmt.Printf("peak concurrent module area: %d cells (%.2f mm2)\n",
-		sched.PeakArea(), dmfb.AreaMM2(sched.PeakArea()))
-
-	if *out != "" {
-		data, err := dmfb.MarshalSchedule(sched)
+		res, err := pipeline.Run(context.Background(), pipeline.Request{
+			Tool:    "dmfb-synth",
+			Synth:   spec,
+			Tracer:  ts.Tracer,
+			Metrics: ts.Metrics,
+		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dmfb-synth:", err)
-			return 1
+			return ts.Fail(err)
 		}
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "dmfb-synth:", err)
-			return 1
-		}
-		fmt.Println("schedule written to", *out)
-	}
-	return 0
-}
+		sched := res.Schedule
 
-func synthesize(assayName, graphFile string, samples, assays, budget int, policy string) (*dmfb.Schedule, error) {
-	if graphFile != "" {
-		data, err := os.ReadFile(graphFile)
-		if err != nil {
-			return nil, err
+		fmt.Print(dmfb.RenderSchedule(sched))
+		fmt.Printf("peak concurrent module area: %d cells (%.2f mm2)\n",
+			sched.PeakArea(), dmfb.AreaMM2(sched.PeakArea()))
+
+		if *out != "" {
+			data, err := dmfb.MarshalSchedule(sched)
+			if err == nil {
+				err = os.WriteFile(*out, data, 0o644)
+			}
+			if err != nil {
+				return ts.Fail(err)
+			}
+			fmt.Println("schedule written to", *out)
 		}
-		g, err := dmfb.UnmarshalAssay(data)
-		if err != nil {
-			return nil, err
-		}
-		pol := dmfb.BindFastest
-		if policy == "smallest" {
-			pol = dmfb.BindSmallest
-		}
-		b, err := dmfb.Bind(g, dmfb.Table1Library(), pol)
-		if err != nil {
-			return nil, err
-		}
-		return dmfb.ScheduleAssay(g, b, dmfb.ScheduleOptions{AreaBudget: budget})
-	}
-	switch assayName {
-	case "pcr":
-		return dmfb.PCRSchedule()
-	case "invitro":
-		return dmfb.InVitroSchedule(samples, assays, budget)
-	default:
-		return nil, fmt.Errorf("unknown assay %q (want pcr or invitro)", assayName)
-	}
+		return 0
+	}))
 }

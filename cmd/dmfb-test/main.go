@@ -11,11 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"dmfb"
+	"dmfb/internal/pipeline"
 	"dmfb/internal/telemetry/cliflags"
 )
 
@@ -32,9 +34,7 @@ func (c *cellList) Set(s string) error {
 	return nil
 }
 
-func main() { os.Exit(run()) }
-
-func run() int {
+func main() {
 	var faults cellList
 	var (
 		w         = flag.Int("w", 9, "array width in cells")
@@ -42,61 +42,43 @@ func run() int {
 		placeFile = flag.String("placement", "", "mask this placement's modules (online test)")
 	)
 	flag.Var(&faults, "fault", "faulty cell x,y (repeatable)")
-	obs := cliflags.Register()
-	flag.Parse()
-
-	ts, err := obs.Start("dmfb-test")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmfb-test:", err)
-		return 1
-	}
-	defer func() {
-		if err := ts.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "dmfb-test:", err)
+	os.Exit(cliflags.Main("dmfb-test", func(ts *cliflags.Session) int {
+		req := pipeline.Request{
+			Tool: "dmfb-test",
+			Test: &pipeline.TestSpec{
+				W: *w, H: *h,
+				Faults: faults,
+			},
+			Tracer:  ts.Tracer,
+			Metrics: ts.Metrics,
 		}
-	}()
-
-	chip := dmfb.NewChip(*w, *h)
-	for _, f := range faults {
-		if err := chip.InjectFault(f); err != nil {
-			fmt.Fprintln(os.Stderr, "dmfb-test:", err)
-			return 1
+		if *placeFile != "" {
+			p, err := pipeline.LoadPlacement(*placeFile, os.ReadFile)
+			if err != nil {
+				return ts.Fail(err)
+			}
+			req.Placement = p
+			req.Test.Online = true
 		}
-	}
 
-	if *placeFile != "" {
-		data, err := os.ReadFile(*placeFile)
+		res, err := pipeline.Run(context.Background(), req)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dmfb-test:", err)
-			return 1
+			return ts.Fail(err)
 		}
-		p, err := dmfb.UnmarshalPlacement(data)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dmfb-test:", err)
-			return 1
-		}
-		var keepOut []dmfb.Rect
-		for i := range p.Modules {
-			keepOut = append(keepOut, p.Rect(i))
-		}
-		doneOnline := ts.Stage("sweep_online")
-		rep := dmfb.TestArrayOnline(chip, keepOut)
-		doneOnline()
-		fmt.Println("online sweep (module regions masked):")
-		fmt.Println(" ", rep)
-	}
 
-	fmt.Println("offline sweep:")
-	doneOffline := ts.Stage("sweep_offline")
-	rep := dmfb.TestArray(chip)
-	doneOffline()
-	fmt.Println(" ", rep)
-	if rep.Faulty {
-		fmt.Println("localising all faults by repeated sweeps:")
-		for _, f := range dmfb.LocateAllFaults(chip) {
-			fmt.Println("  fault at", f)
+		if res.Test.Online != nil {
+			fmt.Println("online sweep (module regions masked):")
+			fmt.Println(" ", *res.Test.Online)
 		}
-		return 1
-	}
-	return 0
+		fmt.Println("offline sweep:")
+		fmt.Println(" ", res.Test.Offline)
+		if res.Test.Offline.Faulty {
+			fmt.Println("localising all faults by repeated sweeps:")
+			for _, f := range res.Test.Located {
+				fmt.Println("  fault at", f)
+			}
+			return 1
+		}
+		return 0
+	}))
 }

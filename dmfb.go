@@ -43,7 +43,9 @@ import (
 	"dmfb/internal/invitro"
 	"dmfb/internal/mixcalc"
 	"dmfb/internal/modlib"
+	"dmfb/internal/pcache"
 	"dmfb/internal/pcr"
+	"dmfb/internal/pipeline"
 	"dmfb/internal/place"
 	"dmfb/internal/reconfig"
 	"dmfb/internal/recovery"
@@ -604,3 +606,56 @@ func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 func ObserveAnneal(tr *Tracer, reg *MetricsRegistry, stage string) AnnealObserver {
 	return telemetry.AnnealObserver(tr, reg, stage)
 }
+
+// Pipeline. RunPipeline executes the shared synth → place → analyse →
+// route/test/simulate flow the CLI tools and dmfb-server are built on:
+// describe the stages in a PipelineRequest and read the typed
+// PipelineResult. A PlacementCache attached to the request serves
+// placements by content-addressed fingerprint, byte-identical to a
+// fresh run.
+type (
+	// PipelineRequest selects and configures the stages of one run.
+	PipelineRequest = pipeline.Request
+	// PipelineResult carries the outputs of the selected stages.
+	PipelineResult = pipeline.Result
+	// PipelineStageError tags a pipeline failure with its stage.
+	PipelineStageError = pipeline.StageError
+	// SynthSpec, PlaceSpec, FTISpec, RouteSpec, TestSpec and SimSpec
+	// configure the individual stages.
+	SynthSpec = pipeline.SynthSpec
+	PlaceSpec = pipeline.PlaceSpec
+	FTISpec   = pipeline.FTISpec
+	RouteSpec = pipeline.RouteSpec
+	TestSpec  = pipeline.TestSpec
+	SimSpec   = pipeline.SimSpec
+	// PlacementCache is a bounded, concurrency-safe LRU of placement
+	// results keyed by canonical problem fingerprint.
+	PlacementCache = pcache.Cache
+	// PlacementCacheKey is a content-addressed fingerprint.
+	PlacementCacheKey = pcache.Key
+	// PlacementCacheStats reports hit/miss/eviction counts and
+	// occupancy.
+	PlacementCacheStats = pcache.Stats
+)
+
+// RunPipeline executes the requested stages in order; see
+// pipeline.Run.
+func RunPipeline(ctx context.Context, req PipelineRequest) (PipelineResult, error) {
+	return pipeline.Run(ctx, req)
+}
+
+// PipelineExitCode maps a pipeline outcome to the dmfb tools' process
+// exit status convention: 1 on error or failed assay, 2 on degraded
+// completion, 0 otherwise.
+func PipelineExitCode(res PipelineResult, err error) int { return pipeline.ExitCode(res, err) }
+
+// NewPlacementCache returns a placement cache bounded to maxBytes of
+// stored placement data (0 = the 64 MiB default). Metrics, when
+// non-nil, receives pcache.* hit/miss/eviction counters.
+func NewPlacementCache(maxBytes int, reg *MetricsRegistry) *PlacementCache {
+	return pcache.New(maxBytes, reg)
+}
+
+// FingerprintPlacement computes the content-addressed cache key of a
+// placement problem.
+func FingerprintPlacement(in pcache.Input) PlacementCacheKey { return pcache.Fingerprint(in) }

@@ -182,6 +182,18 @@ func (o Options) withDefaults(nm int) Options {
 	return o
 }
 
+// Canonicalized returns the options in the canonical form the
+// placement cache fingerprints: the paper's defaults are filled in, so
+// a zero field and its explicit default hash to the same key, and the
+// telemetry sinks (Observer, Metrics) — which never influence the
+// placement — are cleared.
+func (o Options) Canonicalized() Options {
+	c := o.withDefaults(0)
+	c.Observer = nil
+	c.Metrics = nil
+	return c
+}
+
 // Stats summarises an annealing run.
 type Stats struct {
 	Levels      int
@@ -531,6 +543,10 @@ type FTOptions struct {
 	// different seeds and keeps the lowest-cost result. Default 1.
 	Restarts int
 }
+
+// Canonicalized returns the stage-2 options with defaults filled in —
+// the form the placement cache fingerprints.
+func (f FTOptions) Canonicalized() FTOptions { return f.withDefaults() }
 
 func (f FTOptions) withDefaults() FTOptions {
 	if f.T0 == 0 {

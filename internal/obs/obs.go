@@ -1,7 +1,7 @@
 // Package obs is the embeddable ops HTTP server of the dmfb tools:
 // the live observability surface a long campaign or anneal exposes
-// while it runs, and the serving skeleton the planned dispatcher and
-// compile-and-simulate server plug into.
+// while it runs, and the serving skeleton the compile-and-simulate
+// service plugs into.
 //
 // Endpoints:
 //
@@ -13,8 +13,13 @@
 //	              (campaign.ProgressTracker.Snapshot for campaigns)
 //	/debug/pprof  the standard pprof handlers
 //
-// The server binds eagerly (so ":0" callers can read the resolved
-// port from Addr before any request arrives), serves from a
+// Two entry points share one implementation: Serve runs a standalone
+// ops server on its own listener (the CLI -ops flag), while NewHandler
+// + Register mount the same endpoints on a mux another server owns
+// (dmfb-server serves them next to its /v1 API).
+//
+// The standalone server binds eagerly (so ":0" callers can read the
+// resolved port from Addr before any request arrives), serves from a
 // background goroutine, and shuts down gracefully via Close. It never
 // mutates the registry or tracker it renders, so enabling it cannot
 // perturb a campaign's deterministic summary.
@@ -49,16 +54,55 @@ type Options struct {
 	Progress func() any
 }
 
-// Server is a running ops server.
-type Server struct {
-	srv   *http.Server
-	ln    net.Listener
+// Handler renders the ops endpoints. Zero value is unusable; build one
+// with NewHandler and mount it with Register.
+type Handler struct {
 	tool  string
 	start time.Time
 	reg   *telemetry.Registry
 
 	mu       sync.Mutex
 	progress func() any
+}
+
+// NewHandler builds an ops endpoint handler for a process named tool,
+// rendering reg on /metrics (nil reg serves process metrics only) and
+// progress (may be nil) on /progress.
+func NewHandler(tool string, reg *telemetry.Registry, progress func() any) *Handler {
+	return &Handler{tool: tool, start: time.Now(), reg: reg, progress: progress}
+}
+
+// Register mounts /healthz, /metrics, /progress and /debug/pprof/* on
+// mux.
+func (h *Handler) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/healthz", h.handleHealthz)
+	mux.HandleFunc("/metrics", h.handleMetrics)
+	mux.HandleFunc("/progress", h.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// SetProgress installs (or replaces) the /progress payload source.
+// Nil-safe, so inert sessions can call it unconditionally.
+func (h *Handler) SetProgress(fn func() any) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.progress = fn
+	h.mu.Unlock()
+}
+
+// Server is a running standalone ops server.
+type Server struct {
+	*Handler
+	srv *http.Server
+	ln  net.Listener
+
+	mu       sync.Mutex
 	serveErr error // fatal listener error, surfaced by Close
 
 	done chan struct{} // closed when the serve goroutine exits
@@ -73,22 +117,12 @@ func Serve(opts Options) (*Server, error) {
 		return nil, fmt.Errorf("obs: listen %s: %w", opts.Addr, err)
 	}
 	s := &Server{
-		ln:       ln,
-		tool:     opts.Tool,
-		start:    time.Now(),
-		reg:      opts.Metrics,
-		progress: opts.Progress,
-		done:     make(chan struct{}),
+		Handler: NewHandler(opts.Tool, opts.Metrics, opts.Progress),
+		ln:      ln,
+		done:    make(chan struct{}),
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/progress", s.handleProgress)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.Register(mux)
 	s.srv = &http.Server{Handler: mux}
 	go func() {
 		defer close(s.done)
@@ -126,9 +160,7 @@ func (s *Server) SetProgress(fn func() any) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	s.progress = fn
-	s.mu.Unlock()
+	s.Handler.SetProgress(fn)
 }
 
 // Close gracefully shuts the server down: in-flight requests finish,
@@ -150,21 +182,21 @@ func (s *Server) Close(ctx context.Context) error {
 	return err
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (h *Handler) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (h *Handler) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	// Process metrics first, then the registry.
 	fmt.Fprintf(w, "# TYPE dmfb_process_uptime_seconds gauge\ndmfb_process_uptime_seconds %g\n",
-		time.Since(s.start).Seconds())
+		time.Since(h.start).Seconds())
 	fmt.Fprintf(w, "# TYPE dmfb_process_cpu_seconds_total counter\ndmfb_process_cpu_seconds_total %g\n",
 		telemetry.ProcessCPUTime().Seconds())
 	fmt.Fprintf(w, "# TYPE dmfb_process_goroutines gauge\ndmfb_process_goroutines %d\n",
 		runtime.NumGoroutine())
-	if err := s.reg.WritePrometheus(w); err != nil {
+	if err := h.reg.WritePrometheus(w); err != nil {
 		// Headers are already out; the truncated body is all we can
 		// offer the scraper.
 		return
@@ -178,13 +210,13 @@ type progressPayload struct {
 	Progress any     `json:"progress,omitempty"`
 }
 
-func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	fn := s.progress
-	s.mu.Unlock()
+func (h *Handler) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	h.mu.Lock()
+	fn := h.progress
+	h.mu.Unlock()
 	p := progressPayload{
-		Tool:     s.tool,
-		UptimeMS: float64(time.Since(s.start).Microseconds()) / 1000,
+		Tool:     h.tool,
+		UptimeMS: float64(time.Since(h.start).Microseconds()) / 1000,
 	}
 	if fn != nil {
 		p.Progress = fn()

@@ -1,0 +1,120 @@
+// Package pcache is the content-addressed placement cache of the
+// compile-and-simulate pipeline. Placements are fully deterministic
+// given (assay graph, module library, array size, placer, options,
+// seed), so a repeated synthesis of a common assay — PCR, a
+// multiplexed in-vitro panel — need not re-run the annealer: the
+// cache serves the previously computed placement bytes, which are
+// guaranteed byte-identical to a fresh run.
+//
+// Keys are canonical SHA-256 fingerprints (see Fingerprint for the
+// canonicalization rules); values are the serialised placement plus
+// annealing stats, held under an LRU byte budget. All operations are
+// safe for concurrent use and every hit/miss/eviction is counted in
+// the telemetry registry (pcache.* metrics).
+package pcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+
+	"dmfb/internal/core"
+	"dmfb/internal/modlib"
+	"dmfb/internal/schedule"
+)
+
+// Key is a content-addressed cache key: the hex SHA-256 of the
+// canonical encoding of everything a placement depends on.
+type Key string
+
+// Input bundles the placement-determining inputs of one pipeline run.
+type Input struct {
+	// Schedule is the synthesis result the placement problem was
+	// extracted from; its sequencing graph and bound devices are part
+	// of the key. Optional for raw placement problems.
+	Schedule *schedule.Schedule
+	// Library is the module catalogue used for binding. Optional; when
+	// present its devices are part of the key, so the same assay bound
+	// against a different library never aliases.
+	Library *modlib.Library
+	// Problem is the placement problem: modules, core area, obstacles.
+	Problem core.Problem
+	// Placer names the placement algorithm ("greedy",
+	// "greedy-oblivious", "sa", "twostage").
+	Placer string
+	// Options configures the annealing placers. Canonicalized before
+	// hashing: defaults are filled in, telemetry sinks are ignored.
+	Options core.Options
+	// FT configures stage 2. Hashed only for the "twostage" placer —
+	// the other placers never read it, so it must not split their keys.
+	FT core.FTOptions
+}
+
+// Fingerprint computes the content-addressed key of a placement
+// request. Canonicalization rules (documented in DESIGN.md §12):
+//
+//   - The sequencing graph is encoded in operation-ID order with its
+//     edge list; the schedule adds each item's time span and bound
+//     device name.
+//   - Library devices are encoded sorted by name.
+//   - Placer options are canonicalized first (zero fields take the
+//     paper's defaults, so an explicit default and a zero hash
+//     identically); Observer/Metrics never participate.
+//   - FT options participate only when the placer is "twostage".
+//   - The encoding is versioned ("pcache/v1"): change the encoding,
+//     bump the version, and every old key misses rather than aliasing.
+func Fingerprint(in Input) Key {
+	h := sha256.New()
+	fmt.Fprintln(h, "dmfb pcache/v1")
+	fmt.Fprintf(h, "placer %s\n", in.Placer)
+
+	if s := in.Schedule; s != nil {
+		fmt.Fprintf(h, "graph %q makespan=%d\n", s.Graph.Name, s.Makespan)
+		for _, op := range s.Graph.Ops() {
+			fmt.Fprintf(h, "op %d %q %s %q\n", op.ID, op.Name, op.Kind, op.Fluid)
+			for _, succ := range s.Graph.Succ(op.ID) {
+				fmt.Fprintf(h, "edge %d %d\n", op.ID, succ)
+			}
+		}
+		for i, it := range s.Items {
+			dev := ""
+			if it.Bound {
+				dev = it.Device.Name
+			}
+			fmt.Fprintf(h, "item %d [%d,%d) bound=%t dev=%q\n",
+				i, it.Span.Start, it.Span.End, it.Bound, dev)
+		}
+	}
+	if in.Library != nil {
+		devs := in.Library.Devices()
+		sort.Slice(devs, func(a, b int) bool { return devs[a].Name < devs[b].Name })
+		for _, d := range devs {
+			fmt.Fprintf(h, "lib %q %s %dx%d %ds\n", d.Name, d.Kind, d.Size.W, d.Size.H, d.Duration)
+		}
+	}
+
+	fmt.Fprintf(h, "core %dx%d\n", in.Problem.MaxW, in.Problem.MaxH)
+	for _, m := range in.Problem.Modules {
+		fmt.Fprintf(h, "module %d %q %dx%d [%d,%d)\n",
+			m.ID, m.Name, m.Size.W, m.Size.H, m.Span.Start, m.Span.End)
+	}
+	for _, o := range in.Problem.Obstacles {
+		fmt.Fprintf(h, "obstacle %d,%d\n", o.X, o.Y)
+	}
+
+	writeOptions(h, in.Options.Canonicalized())
+	if in.Placer == "twostage" {
+		ft := in.FT.Canonicalized()
+		fmt.Fprintf(h, "ft beta=%g t0=%g margin=%d restarts=%d\n",
+			ft.Beta, ft.T0, ft.MarginCells, ft.Restarts)
+	}
+	return Key(hex.EncodeToString(h.Sum(nil)))
+}
+
+func writeOptions(w io.Writer, o core.Options) {
+	fmt.Fprintf(w, "opts seed=%d t0=%g alpha=%g iters=%d psingle=%g overlap=%g wt0=%g patience=%d\n",
+		o.Seed, o.T0, o.Alpha, o.ItersPerModule, o.PSingle,
+		o.OverlapPenalty, o.WindowT0, o.WindowPatience)
+}

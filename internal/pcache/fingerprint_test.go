@@ -1,0 +1,152 @@
+package pcache
+
+import (
+	"testing"
+
+	"dmfb/internal/anneal"
+	"dmfb/internal/assay"
+	"dmfb/internal/core"
+	"dmfb/internal/geom"
+	"dmfb/internal/invitro"
+	"dmfb/internal/modlib"
+	"dmfb/internal/pcr"
+)
+
+// Golden fingerprints for the paper's two reference assays. These pin
+// the canonical encoding: if either changes, every cache entry in the
+// wild silently misses, so a change here must be deliberate (and must
+// bump the "pcache/v1" version string).
+const (
+	goldenPCRKey     = Key("78b5e3d6a4dc9e4301734de8eab53a434af94a8113706a2cd6f639050a8a2154")
+	goldenInvitroKey = Key("ed601123e37aa809782d24cc0ce630d5214300389320eb8b47ce31a3a8a77c3c")
+)
+
+func pcrInput(t *testing.T) Input {
+	t.Helper()
+	s, err := pcr.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Input{
+		Schedule: s,
+		Library:  modlib.Table1(),
+		Problem:  core.FromSchedule(s),
+		Placer:   "sa",
+		Options:  core.Options{Seed: 1},
+	}
+}
+
+func invitroInput(t *testing.T) Input {
+	t.Helper()
+	s := invitro.MustSynthesize(2, 2, 0)
+	return Input{
+		Schedule: s,
+		Library:  modlib.Table1(),
+		Problem:  core.FromSchedule(s),
+		Placer:   "twostage",
+		Options:  core.Options{Seed: 1},
+		FT:       core.FTOptions{Beta: 30},
+	}
+}
+
+func TestFingerprintGolden(t *testing.T) {
+	if got := Fingerprint(pcrInput(t)); got != goldenPCRKey {
+		t.Errorf("PCR fingerprint = %s, want %s", got, goldenPCRKey)
+	}
+	if got := Fingerprint(invitroInput(t)); got != goldenInvitroKey {
+		t.Errorf("in-vitro fingerprint = %s, want %s", got, goldenInvitroKey)
+	}
+}
+
+// TestFingerprintCanonicalization: zero-valued options and their
+// explicit paper defaults must hash identically, and telemetry sinks
+// must not participate in the key.
+func TestFingerprintCanonicalization(t *testing.T) {
+	base := pcrInput(t)
+	key := Fingerprint(base)
+
+	explicit := base
+	explicit.Options = core.Options{Seed: 1}.Canonicalized()
+	if got := Fingerprint(explicit); got != key {
+		t.Errorf("explicit-default options changed the key: %s vs %s", got, key)
+	}
+
+	observed := base
+	observed.Options.Observer = func(anneal.Progress) {}
+	if got := Fingerprint(observed); got != key {
+		t.Errorf("attaching an Observer changed the key")
+	}
+
+	// FT options are irrelevant to single-stage placers...
+	ft := base
+	ft.FT = core.FTOptions{Beta: 99}
+	if got := Fingerprint(ft); got != key {
+		t.Errorf("FT options changed a non-twostage key")
+	}
+	// ...but do participate for twostage.
+	ts1, ts2 := invitroInput(t), invitroInput(t)
+	ts2.FT.Beta = 60
+	if Fingerprint(ts1) == Fingerprint(ts2) {
+		t.Errorf("twostage beta mutation did not change the key")
+	}
+}
+
+// TestFingerprintMutations: every placement-relevant mutation of the
+// input must produce a distinct key. Mutations are to non-default
+// values, since canonicalization deliberately folds zero → default.
+func TestFingerprintMutations(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Input)
+	}{
+		{"placer", func(in *Input) { in.Placer = "greedy" }},
+		{"seed", func(in *Input) { in.Options.Seed = 2 }},
+		{"t0", func(in *Input) { in.Options.T0 = 5000 }},
+		{"alpha", func(in *Input) { in.Options.Alpha = 0.95 }},
+		{"iters", func(in *Input) { in.Options.ItersPerModule = 100 }},
+		{"psingle", func(in *Input) { in.Options.PSingle = 0.5 }},
+		{"overlap", func(in *Input) { in.Options.OverlapPenalty = 50 }},
+		{"window_t0", func(in *Input) { in.Options.WindowT0 = 77 }},
+		{"patience", func(in *Input) { in.Options.WindowPatience = 3 }},
+		{"array_w", func(in *Input) { in.Problem.MaxW++ }},
+		{"array_h", func(in *Input) { in.Problem.MaxH++ }},
+		{"obstacle", func(in *Input) {
+			in.Problem.Obstacles = append(in.Problem.Obstacles, geom.Point{X: 1, Y: 1})
+		}},
+		{"module_size", func(in *Input) { in.Problem.Modules[0].Size.W++ }},
+		{"module_span", func(in *Input) { in.Problem.Modules[0].Span.End++ }},
+		{"schedule_span", func(in *Input) { in.Schedule.Items[2].Span.End++ }},
+		{"schedule_device", func(in *Input) {
+			for i := range in.Schedule.Items {
+				if in.Schedule.Items[i].Bound {
+					in.Schedule.Items[i].Device.Name = "other"
+					return
+				}
+			}
+			t.Fatal("no bound item to mutate")
+		}},
+		{"library_device", func(in *Input) {
+			lib, err := modlib.NewLibrary(modlib.Device{
+				Name: "mixer-tiny", Kind: assay.Mix,
+				Size: geom.Size{W: 2, H: 2}, Duration: 9,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			in.Library = lib
+		}},
+		{"no_schedule", func(in *Input) { in.Schedule = nil }},
+		{"no_library", func(in *Input) { in.Library = nil }},
+	}
+
+	seen := map[Key]string{Fingerprint(pcrInput(t)): "base"}
+	for _, m := range mutations {
+		in := pcrInput(t) // fresh input: mutations must not accumulate
+		m.mut(&in)
+		key := Fingerprint(in)
+		if prev, dup := seen[key]; dup {
+			t.Errorf("mutation %q collides with %q: %s", m.name, prev, key)
+		}
+		seen[key] = m.name
+	}
+}

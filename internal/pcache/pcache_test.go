@@ -1,0 +1,144 @@
+package pcache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dmfb/internal/core"
+	"dmfb/internal/format"
+	"dmfb/internal/telemetry"
+)
+
+func TestCacheBasics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := New(0, reg)
+
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	e := Entry{Placement: []byte("placement-bytes"), FTI: 0.5}
+	c.Put("k1", e)
+	got, ok := c.Get("k1")
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if !bytes.Equal(got.Placement, e.Placement) || got.FTI != e.FTI {
+		t.Fatalf("entry mismatch: %+v", got)
+	}
+
+	// Returned slices are copies: mutating one must not poison the cache.
+	got.Placement[0] = 'X'
+	again, _ := c.Get("k1")
+	if again.Placement[0] == 'X' {
+		t.Fatal("Get returned an aliased slice")
+	}
+
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss / 1 entry", s)
+	}
+	if v := reg.Counter("pcache.hits").Value(); v != 2 {
+		t.Errorf("pcache.hits counter = %d, want 2", v)
+	}
+	if v := reg.Counter("pcache.misses").Value(); v != 1 {
+		t.Errorf("pcache.misses counter = %d, want 1", v)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	entrySize := Entry{Placement: make([]byte, 100)}.bytes()
+	c := New(3*entrySize, nil) // room for exactly three entries
+
+	for i := 0; i < 3; i++ {
+		c.Put(Key(fmt.Sprintf("k%d", i)), Entry{Placement: make([]byte, 100)})
+	}
+	c.Get("k0") // refresh k0: k1 becomes least recently used
+	c.Put("k3", Entry{Placement: make([]byte, 100)})
+
+	if _, ok := c.Get("k1"); ok {
+		t.Error("k1 should have been evicted as LRU")
+	}
+	for _, k := range []Key{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should have survived eviction", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 3 {
+		t.Errorf("stats = %+v, want 1 eviction / 3 entries", s)
+	}
+
+	// An entry larger than the whole budget is refused outright.
+	c.Put("huge", Entry{Placement: make([]byte, 10*entrySize)})
+	if _, ok := c.Get("huge"); ok {
+		t.Error("over-budget entry was cached")
+	}
+}
+
+// TestCacheByteIdentity is the layer-2 acceptance test: the bytes
+// served from cache are exactly the bytes a fresh placement run
+// produces.
+func TestCacheByteIdentity(t *testing.T) {
+	in := pcrInput(t)
+	run := func() []byte {
+		p, _, err := core.AnnealArea(in.Problem, in.Options)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := format.MarshalPlacement(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	c := New(0, nil)
+	key := Fingerprint(in)
+	fresh := run()
+	c.Put(key, Entry{Placement: fresh})
+
+	cached, ok := c.Get(key)
+	if !ok {
+		t.Fatal("placement not found under its own fingerprint")
+	}
+	if !bytes.Equal(cached.Placement, fresh) {
+		t.Fatal("cached placement differs from stored bytes")
+	}
+	if rerun := run(); !bytes.Equal(cached.Placement, rerun) {
+		t.Fatal("fresh re-run differs from cached placement — placer is nondeterministic")
+	}
+}
+
+// TestCacheConcurrent hammers the cache from many goroutines; run
+// under -race (make race / CI) this is the concurrency acceptance test.
+func TestCacheConcurrent(t *testing.T) {
+	entrySize := Entry{Placement: make([]byte, 64)}.bytes()
+	c := New(8*entrySize, telemetry.NewRegistry()) // small budget forces evictions
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := Key(fmt.Sprintf("k%d", (g+i)%16))
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, Entry{Placement: make([]byte, 64)})
+				}
+				if i%97 == 0 {
+					c.Stats()
+					c.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := c.Stats()
+	if s.Hits+s.Misses != 8*500 {
+		t.Errorf("hits+misses = %d, want %d", s.Hits+s.Misses, 8*500)
+	}
+	if s.Entries > 8 || s.Bytes > 8*entrySize {
+		t.Errorf("budget exceeded: %+v", s)
+	}
+}

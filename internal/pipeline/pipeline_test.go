@@ -1,0 +1,230 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"dmfb/internal/core"
+	"dmfb/internal/format"
+	"dmfb/internal/fti"
+	"dmfb/internal/geom"
+	"dmfb/internal/pcache"
+	"dmfb/internal/pcr"
+	"dmfb/internal/router"
+	"dmfb/internal/sim"
+	"dmfb/internal/telemetry"
+)
+
+// TestRunParity: the pipeline must produce bit-identical results to
+// the direct library calls it replaced in the CLIs.
+func TestRunParity(t *testing.T) {
+	res, err := Run(context.Background(), Request{
+		Synth: &SynthSpec{Assay: "pcr"},
+		Place: &PlaceSpec{Placer: "sa", Options: core.Options{Seed: 1}},
+		FTI:   &FTISpec{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := pcr.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _, err := core.AnnealArea(core.FromSchedule(s), core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement.String() != direct.String() {
+		t.Errorf("pipeline placement differs from direct AnnealArea:\n%s\nvs\n%s",
+			res.Placement, direct)
+	}
+	if got, want := res.FTI.FTI(), fti.Compute(direct).FTI(); got != want {
+		t.Errorf("pipeline FTI %v != direct %v", got, want)
+	}
+	if res.Schedule.Makespan != s.Makespan {
+		t.Errorf("makespan %d != %d", res.Schedule.Makespan, s.Makespan)
+	}
+}
+
+// TestRunTelemetryInert: attaching telemetry sinks must not change the
+// placement (the anneal observer never touches the RNG).
+func TestRunTelemetryInert(t *testing.T) {
+	req := Request{
+		Synth: &SynthSpec{Assay: "pcr"},
+		Place: &PlaceSpec{Placer: "twostage", Options: core.Options{Seed: 1},
+			FT: core.FTOptions{Beta: 30}},
+	}
+	bare, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	req.Tracer = telemetry.New(&buf)
+	req.Metrics = telemetry.NewRegistry()
+	observed, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Placement.String() != observed.Placement.String() {
+		t.Error("telemetry sinks changed the placement")
+	}
+	if buf.Len() == 0 {
+		t.Error("tracer attached but no spans emitted")
+	}
+}
+
+// TestRunCache is the tentpole acceptance test for layer 2: a second
+// identical request must be served from cache — byte-identical
+// placement, no annealer invocation (pipeline.placer_runs counter).
+func TestRunCache(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cache := pcache.New(0, reg)
+	req := Request{
+		Synth:   &SynthSpec{Assay: "pcr"},
+		Place:   &PlaceSpec{Placer: "sa", Options: core.Options{Seed: 1}},
+		Cache:   cache,
+		Metrics: reg,
+	}
+
+	first, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first run reported a cache hit")
+	}
+	if n := reg.Counter("pipeline.placer_runs").Value(); n != 1 {
+		t.Fatalf("placer_runs after first run = %d, want 1", n)
+	}
+
+	second, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("second identical run missed the cache")
+	}
+	if n := reg.Counter("pipeline.placer_runs").Value(); n != 1 {
+		t.Fatalf("placer_runs after cached run = %d, want still 1 (annealer re-ran)", n)
+	}
+	if second.CacheKey != first.CacheKey {
+		t.Errorf("cache keys differ: %s vs %s", first.CacheKey, second.CacheKey)
+	}
+
+	fresh, err := format.MarshalPlacement(first.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := format.MarshalPlacement(second.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh, cached) {
+		t.Error("cached placement is not byte-identical to the fresh one")
+	}
+
+	// A different seed must miss.
+	req.Place = &PlaceSpec{Placer: "sa", Options: core.Options{Seed: 2}}
+	third, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.CacheHit {
+		t.Error("different seed hit the cache")
+	}
+}
+
+// TestRunCacheTwoStage: twostage entries round-trip the stage-1
+// placement through the cache too.
+func TestRunCacheTwoStage(t *testing.T) {
+	cache := pcache.New(0, nil)
+	req := Request{
+		Synth: &SynthSpec{Assay: "pcr"},
+		Place: &PlaceSpec{Placer: "twostage", Options: core.Options{Seed: 1},
+			FT: core.FTOptions{Beta: 30}},
+		Cache: cache,
+	}
+	first, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit || second.TwoStage == nil {
+		t.Fatalf("cached twostage run: hit=%v twoStage=%v", second.CacheHit, second.TwoStage)
+	}
+	if first.TwoStage.Stage1.String() != second.TwoStage.Stage1.String() {
+		t.Error("stage-1 placement did not survive the cache round-trip")
+	}
+}
+
+func TestStageErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		req   Request
+		stage string
+	}{
+		{"synth", Request{Synth: &SynthSpec{Assay: "warp"}}, StageSynth},
+		{"place", Request{Synth: &SynthSpec{Assay: "pcr"},
+			Place: &PlaceSpec{Placer: "magic"}}, StagePlace},
+		{"place_no_schedule", Request{Place: &PlaceSpec{Placer: "sa"}}, StagePlace},
+		{"fti_no_placement", Request{FTI: &FTISpec{}}, StageFTI},
+		{"route", Request{Route: &RouteSpec{W: 4, H: 4,
+			Endpoints: []router.Endpoint{{From: geom.Point{X: 0, Y: 0}, To: geom.Point{X: 99, Y: 99}}}}},
+			StageRoute},
+		{"test_fault_off_chip", Request{Test: &TestSpec{W: 4, H: 4,
+			Faults: []geom.Point{{X: 77, Y: 0}}}}, StageTest},
+		{"sim_no_inputs", Request{Sim: &SimSpec{}}, StageSim},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(context.Background(), tc.req)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			var se *StageError
+			if !errors.As(err, &se) {
+				t.Fatalf("error %v is not a *StageError", err)
+			}
+			if se.Stage != tc.stage {
+				t.Errorf("stage = %q, want %q", se.Stage, tc.stage)
+			}
+			if se.Unwrap() == nil {
+				t.Error("StageError wraps nothing")
+			}
+			if code := ExitCode(res, err); code != 1 {
+				t.Errorf("ExitCode on error = %d, want 1", code)
+			}
+		})
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	if c := ExitCode(Result{}, nil); c != 0 {
+		t.Errorf("empty success = %d, want 0", c)
+	}
+	for outcome, want := range map[sim.Outcome]int{
+		sim.OutcomeCompleted: 0,
+		sim.OutcomeDegraded:  2,
+		sim.OutcomeFailed:    1,
+	} {
+		res := Result{Sim: &sim.Result{Outcome: outcome}}
+		if c := ExitCode(res, nil); c != want {
+			t.Errorf("ExitCode(%v) = %d, want %d", outcome, c, want)
+		}
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, Request{Synth: &SynthSpec{Assay: "pcr"}})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run returned %v, want context.Canceled", err)
+	}
+}

@@ -61,6 +61,30 @@ func RegisterOn(fs *flag.FlagSet) *Config {
 	return c
 }
 
+// Main is the shared entry point of the dmfb CLIs: it registers the
+// observability flags, parses the command line (tool-specific flags
+// must be declared before the call), starts the telemetry session and
+// runs the tool body, closing the session afterwards. The returned
+// code is run's — a session-close error is reported on stderr but
+// does not override a successful run, matching the tools' historic
+// behaviour. Use as:
+//
+//	func main() { os.Exit(cliflags.Main("dmfb-place", run)) }
+func Main(tool string, run func(ts *Session) int) int {
+	cfg := Register()
+	flag.Parse()
+	ts, err := cfg.Start(tool)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		return 1
+	}
+	code := run(ts)
+	if err := ts.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	}
+	return code
+}
+
 // Session is the live observability state of one tool invocation.
 type Session struct {
 	Tracer  *telemetry.Tracer
@@ -121,6 +145,24 @@ func (c *Config) Start(tool string) (*Session, error) {
 	s.root = s.Tracer.Start("tool.run")
 	s.Tracer.SwapDefaultParent(s.root.ID())
 	return s, nil
+}
+
+// Fail reports err on stderr prefixed with the tool name and returns
+// exit code 1 — the uniform error epilogue of the CLI run functions.
+func (s *Session) Fail(err error) int {
+	tool := "dmfb"
+	if s != nil && s.tool != "" {
+		tool = s.tool
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	return 1
+}
+
+// Usage reports err on stderr prefixed with the tool name and returns
+// exit code 2, the tools' convention for bad invocations.
+func (s *Session) Usage(err error) int {
+	s.Fail(err)
+	return 2
 }
 
 // Ops returns the live ops server, or nil when -ops was not given.

@@ -65,6 +65,16 @@ type report struct {
 	SurvivalL1     float64 `json:"survival_l1,omitempty"`
 	SurvivalLadder float64 `json:"survival_ladder,omitempty"`
 	SurvivalGain   float64 `json:"survival_gain,omitempty"`
+
+	// Server throughput: dmfb-server -replay against its own listener
+	// (mixed PCR/in-vitro compile requests through the placement
+	// cache). The report is refused unless the hit rate matches the
+	// replay mix's steady state, since a cold cache would overstate
+	// annealing cost and a leaky fingerprint would overstate hit rate.
+	ServeRequests     int     `json:"serve_requests,omitempty"`
+	ServeRPS          float64 `json:"serve_rps,omitempty"`
+	ServeCacheHits    int     `json:"serve_cache_hits,omitempty"`
+	ServeCacheHitRate float64 `json:"serve_cache_hit_rate,omitempty"`
 }
 
 // campaignRun is the slice of dmfb-campaign -json output the report
@@ -117,6 +127,7 @@ func main() {
 	campN := flag.String("campaignN", "", "`file` holding dmfb-campaign -json output at N workers (optional)")
 	assayL1 := flag.String("assay-l1", "", "`file` holding dmfb-campaign -mode assay -recovery l1 -json output (optional)")
 	assayLadder := flag.String("assay-ladder", "", "`file` holding dmfb-campaign -mode assay -recovery ladder -json output (optional)")
+	serveJSON := flag.String("serve", "", "`file` holding dmfb-server -replay -json output (optional)")
 	out := flag.String("out", "BENCH_place.json", "output `file`")
 	flag.Parse()
 	if *goOut == "" {
@@ -228,6 +239,33 @@ func main() {
 		rep.SurvivalGain = round2(sl.SurvivalRate - s1.SurvivalRate)
 	}
 
+	if *serveJSON != "" {
+		raw, err := os.ReadFile(*serveJSON)
+		if err != nil {
+			fatal(err)
+		}
+		var sr struct {
+			Requests     int     `json:"requests"`
+			RPS          float64 `json:"rps"`
+			CacheHits    int     `json:"cache_hits"`
+			CacheHitRate float64 `json:"cache_hit_rate"`
+		}
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			fatal(fmt.Errorf("%s: %w", *serveJSON, err))
+		}
+		// The replay cycles 4 distinct requests from a cold cache, so
+		// exactly 4 misses are expected; anything else means the cache
+		// broke and the throughput number is not comparable.
+		if want := sr.Requests - 4; sr.Requests >= 8 && sr.CacheHits != want {
+			fatal(fmt.Errorf("serve replay: %d cache hits on %d requests, want %d — placement cache misbehaving",
+				sr.CacheHits, sr.Requests, want))
+		}
+		rep.ServeRequests = sr.Requests
+		rep.ServeRPS = round2(sr.RPS)
+		rep.ServeCacheHits = sr.CacheHits
+		rep.ServeCacheHitRate = sr.CacheHitRate
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -244,6 +282,9 @@ func main() {
 	}
 	if rep.RecoveryTrials > 0 {
 		fmt.Printf(", assay survival %.4f (l1) -> %.4f (ladder)", rep.SurvivalL1, rep.SurvivalLadder)
+	}
+	if rep.ServeRequests > 0 {
+		fmt.Printf(", serve %.1f req/s at %.2f hit rate", rep.ServeRPS, rep.ServeCacheHitRate)
 	}
 	fmt.Println(")")
 }
