@@ -5,7 +5,7 @@ CAMPAIGN_WORKERS ?= 8
 RECOVERY_TRIALS ?= 512
 SERVE_REQUESTS ?= 100
 
-.PHONY: all build test race vet fmtcheck errcheck fuzz bench benchquick serve-smoke ci clean
+.PHONY: all build test race vet fmtcheck errcheck fuzz bench benchquick serve-smoke dispatch-smoke ci clean
 
 all: build
 
@@ -34,7 +34,7 @@ errcheck:
 	@out="$$(grep -rnE '(^|[^[:alnum:]_])_ =|, _ =|, _ :=' \
 		--include='*.go' --exclude='*_test.go' \
 		internal/recovery internal/sim internal/campaign internal/obs \
-		internal/pipeline internal/pcache internal/server || true)"; \
+		internal/pipeline internal/pcache internal/server internal/dispatch || true)"; \
 	if [ -n "$$out" ]; then \
 		echo "ignored error returns (handle or propagate):"; echo "$$out"; exit 1; \
 	fi
@@ -48,6 +48,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzRecover$$' -fuzztime $(FUZZTIME) ./internal/reconfig/
 	$(GO) test -run '^$$' -fuzz '^FuzzMiner$$' -fuzztime $(FUZZTIME) ./internal/emptyrect/
 	$(GO) test -run '^$$' -fuzz '^FuzzLadder$$' -fuzztime $(FUZZTIME) ./internal/recovery/
+	$(GO) test -run '^$$' -fuzz '^FuzzChunkMerge$$' -fuzztime $(FUZZTIME) ./internal/campaign/
 
 # bench measures the annealing inner loop (clone-and-recompute vs the
 # incremental move kernel), one end-to-end fault-tolerant PCR
@@ -93,6 +94,19 @@ serve-smoke:
 	@tmp=$$(mktemp -d); \
 	$(GO) build -o $$tmp/dmfb-server ./cmd/dmfb-server && \
 	sh tools/serve_smoke.sh $$tmp/dmfb-server; \
+	rc=$$?; rm -rf $$tmp; exit $$rc
+
+# dispatch-smoke boots the real distributed campaign service — a
+# dmfb-dispatch dispatcher plus two dmfb-simd workers — submits the
+# seeded 512-trial assay campaign and byte-compares the fleet's merged
+# summary against the single-process dmfb-campaign engine. See
+# tools/dispatch_smoke.sh.
+dispatch-smoke:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/dmfb-dispatch ./cmd/dmfb-dispatch && \
+	$(GO) build -o $$tmp/dmfb-simd ./cmd/dmfb-simd && \
+	$(GO) build -o $$tmp/dmfb-campaign ./cmd/dmfb-campaign && \
+	sh tools/dispatch_smoke.sh $$tmp; \
 	rc=$$?; rm -rf $$tmp; exit $$rc
 
 ci: vet build test race fmtcheck errcheck

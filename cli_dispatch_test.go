@@ -1,0 +1,286 @@
+package dmfb
+
+// End-to-end tests of the distributed campaign service driven through
+// the real binaries: a dmfb-dispatch dispatcher process, dmfb-simd
+// worker processes (including one SIGKILLed mid-lease), and byte-level
+// comparison of the fleet's merged summary against the single-process
+// dmfb-campaign engine.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// dispatchStatus is the slice of the dispatcher's status JSON the
+// tests steer by.
+type dispatchStatus struct {
+	ID            string `json:"id"`
+	State         string `json:"state"`
+	Trials        int    `json:"trials"`
+	Done          int    `json:"done"`
+	PendingChunks int    `json:"pending_chunks"`
+	LeasedChunks  int    `json:"leased_chunks"`
+	Failure       string `json:"failure"`
+}
+
+// startDispatcher launches the dispatcher binary and returns its base
+// URL once the listening line appears on stderr.
+func startDispatcher(t *testing.T, bin string, extra ...string) string {
+	t.Helper()
+	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(filepath.Join(bin, "dmfb-dispatch"), args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), "listening on http://"); ok {
+			go io.Copy(io.Discard, stderr)
+			return "http://" + strings.TrimSpace(rest)
+		}
+	}
+	t.Fatalf("dispatcher never printed its listening line (scan err: %v)", sc.Err())
+	return ""
+}
+
+// startWorker launches a dmfb-simd process against the dispatcher.
+func startWorker(t *testing.T, bin, url, name string, extra ...string) *exec.Cmd {
+	t.Helper()
+	args := append([]string{"-dispatcher", url, "-name", name}, extra...)
+	cmd := exec.Command(filepath.Join(bin, "dmfb-simd"), args...)
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return cmd
+}
+
+// getStatus polls GET /v1/campaigns/{id} (which also reaps expired
+// leases server-side).
+func getStatus(t *testing.T, url, id string) dispatchStatus {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("status read: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	var st dispatchStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("status JSON invalid: %v\n%s", err, raw)
+	}
+	return st
+}
+
+// submitCampaign submits the canonical 512-trial seeded assay
+// campaign through the real client and returns the campaign id.
+func submitCampaign(t *testing.T, bin, url string) string {
+	t.Helper()
+	out := run(t, filepath.Join(bin, "dmfb-dispatch"), true,
+		"submit", "-to", url, "-mode", "assay", "-k", "1", "-recovery", "l1",
+		"-trials", "512", "-seed", "5")
+	fields := strings.Fields(out)
+	if len(fields) < 2 || fields[0] != "submitted" {
+		t.Fatalf("unexpected submit output: %q", out)
+	}
+	return fields[1]
+}
+
+// singleProcessSummary runs the same campaign through dmfb-campaign
+// -summary and returns the deterministic bytes.
+func singleProcessSummary(t *testing.T, bin string) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "single.json")
+	run(t, filepath.Join(bin, "dmfb-campaign"), true,
+		"-mode", "assay", "-k", "1", "-recovery", "l1",
+		"-trials", "512", "-seed", "5", "-workers", "1", "-quiet", "-summary", path)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestCLIDispatchChaos is the cross-process byte-identity test under
+// failure: one worker is SIGKILLed while it holds a lease, the
+// dispatcher expires and re-issues the chunk to a fresh fleet, and
+// the merged 512-trial summary still matches the single-process
+// engine byte for byte.
+func TestCLIDispatchChaos(t *testing.T) {
+	bin := buildCLI(t)
+	url := startDispatcher(t, bin, "-chunk", "64", "-lease-ttl", "750ms",
+		"-state", t.TempDir())
+	id := submitCampaign(t, bin, url)
+
+	// One slow worker (one trial per results batch) so the kill lands
+	// mid-lease with near certainty.
+	victim := startWorker(t, bin, url, "victim", "-batch", "1", "-workers", "1")
+
+	// Wait until the victim holds a lease and has recorded some — but
+	// not all — trials, then SIGKILL it.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := getStatus(t, url, id)
+		if st.Done > 0 && st.Done < st.Trials && st.LeasedChunks > 0 {
+			break
+		}
+		if st.State == "done" {
+			t.Fatal("campaign finished before the chaos kill; slow the victim down")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim never made partial progress: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait()
+	killedAt := getStatus(t, url, id)
+
+	// The orphaned lease must expire and its chunk return to the
+	// pending queue (status requests drive the dispatcher's reaper).
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		st := getStatus(t, url, id)
+		if st.LeasedChunks == 0 && st.PendingChunks > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("killed worker's lease never expired: %+v (at kill: %+v)", st, killedAt)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// A replacement fleet of three workers drains the rest, including
+	// the re-issued chunk with the victim's partially reported trials.
+	for i := 0; i < 3; i++ {
+		startWorker(t, bin, url, fmt.Sprintf("w%d", i), "-max-idle", "2s", "-quiet")
+	}
+	distPath := filepath.Join(t.TempDir(), "dist.json")
+	out := run(t, filepath.Join(bin, "dmfb-dispatch"), true,
+		"wait", "-to", url, "-timeout", "60s", "-summary", distPath, id)
+	if !strings.Contains(out, "done") {
+		t.Fatalf("wait did not report done:\n%s", out)
+	}
+	dist, err := os.ReadFile(distPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := singleProcessSummary(t, bin); string(dist) != string(want) {
+		t.Errorf("distributed summary differs from single-process after chaos:\n got %s\nwant %s",
+			dist, want)
+	}
+}
+
+// TestCLIDispatchWorkerCounts pins byte-identity across fleet sizes:
+// 1, 2 and 4 real worker processes all reproduce the single-process
+// summary bytes.
+func TestCLIDispatchWorkerCounts(t *testing.T) {
+	bin := buildCLI(t)
+	want := singleProcessSummary(t, bin)
+	for _, n := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+			url := startDispatcher(t, bin, "-chunk", "32")
+			id := submitCampaign(t, bin, url)
+			for i := 0; i < n; i++ {
+				startWorker(t, bin, url, fmt.Sprintf("w%d", i), "-max-idle", "2s", "-quiet")
+			}
+			path := filepath.Join(t.TempDir(), "dist.json")
+			run(t, filepath.Join(bin, "dmfb-dispatch"), true,
+				"wait", "-to", url, "-timeout", "60s", "-summary", path, id)
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("%d workers: summary differs from single-process:\n got %s\nwant %s",
+					n, got, want)
+			}
+		})
+	}
+}
+
+// elapsedMS wipes the only wall-clock field in the dispatcher's
+// status JSON.
+var elapsedMS = regexp.MustCompile(`"elapsed_ms": [0-9.e+-]+`)
+
+// TestCLIGoldenDispatch pins the dmfb-dispatch client's stdout and
+// the dispatcher's status JSON for a completed campaign.
+func TestCLIGoldenDispatch(t *testing.T) {
+	bin := buildCLI(t)
+	update := os.Getenv("DMFB_UPDATE_GOLDEN") != ""
+	url := startDispatcher(t, bin, "-chunk", "64")
+
+	subOut := run(t, filepath.Join(bin, "dmfb-dispatch"), true,
+		"submit", "-to", url, "-mode", "assay", "-k", "1", "-recovery", "l1",
+		"-trials", "512", "-seed", "5")
+	compareGolden(t, "dispatch_submit.golden", subOut, update)
+	id := strings.Fields(subOut)[1]
+
+	startWorker(t, bin, url, "w0", "-max-idle", "2s", "-quiet")
+	run(t, filepath.Join(bin, "dmfb-dispatch"), true,
+		"wait", "-to", url, "-timeout", "60s", id)
+
+	statusOut := run(t, filepath.Join(bin, "dmfb-dispatch"), true, "status", "-to", url, id)
+	compareGolden(t, "dispatch_status.golden", statusOut, update)
+
+	resp, err := http.Get(url + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable := elapsedMS.ReplaceAllString(string(raw), `"elapsed_ms": 0`)
+	compareGolden(t, "dispatch_status_json.golden", stable, update)
+}
+
+// TestCLICampaignResumeFingerprint checks -resume refuses a
+// checkpoint recorded under a different campaign configuration with a
+// clear error and exit 1 — same name, seed and trial count, but a
+// different placement seed, so silently merging the trial streams
+// would corrupt the summary.
+func TestCLICampaignResumeFingerprint(t *testing.T) {
+	bin := buildCLI(t)
+	tool := filepath.Join(bin, "dmfb-campaign")
+	ckpt := filepath.Join(t.TempDir(), "run.jsonl")
+	run(t, tool, true, "-mode", "assay", "-trials", "50", "-seed", "5",
+		"-quiet", "-checkpoint", ckpt)
+	out := run(t, tool, false, "-mode", "assay", "-trials", "50", "-seed", "5",
+		"-place-seed", "9", "-quiet", "-checkpoint", ckpt, "-resume")
+	if !strings.Contains(out, "refusing to resume") {
+		t.Errorf("fingerprint mismatch not reported clearly:\n%s", out)
+	}
+}

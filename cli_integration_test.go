@@ -20,7 +20,7 @@ import (
 
 var cliTools = []string{
 	"dmfb-synth", "dmfb-place", "dmfb-fti", "dmfb-sim", "dmfb-bench", "dmfb-test", "dmfb-route",
-	"dmfb-campaign", "dmfb-report",
+	"dmfb-campaign", "dmfb-report", "dmfb-dispatch", "dmfb-simd",
 }
 
 // buildCLI compiles every tool once per test binary invocation.

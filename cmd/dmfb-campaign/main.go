@@ -5,7 +5,10 @@
 // re-placement. Trials run across a worker pool with per-trial
 // deterministic RNG streams, so the same seed produces the same
 // summary at any worker count, and campaigns checkpoint to a JSONL
-// file so an interrupted run resumes exactly where it stopped.
+// file so an interrupted run resumes exactly where it stopped. The
+// campaign definition lives in dispatch.Spec, shared with the
+// distributed dispatcher — a dmfb-dispatch fleet produces summaries
+// byte-identical to this tool's (compare with -summary).
 //
 // Usage:
 //
@@ -15,6 +18,7 @@
 //	dmfb-campaign -mode assay -recovery ladder       # full simulation per trial
 //	dmfb-campaign -trials 1e6 -checkpoint run.jsonl  # interruptible
 //	dmfb-campaign -trials 1e6 -checkpoint run.jsonl -resume
+//	dmfb-campaign -summary sum.json                  # deterministic summary bytes
 //	dmfb-campaign -trace t.jsonl -metrics m.json     # observability
 //	dmfb-campaign -ops :9090                         # live /metrics + /progress
 package main
@@ -30,13 +34,7 @@ import (
 	"time"
 
 	"dmfb/internal/campaign"
-	"dmfb/internal/core"
-	"dmfb/internal/faultsim"
-	"dmfb/internal/fti"
-	"dmfb/internal/pipeline"
-	"dmfb/internal/place"
-	"dmfb/internal/schedule"
-	"dmfb/internal/sim"
+	"dmfb/internal/dispatch"
 	"dmfb/internal/stats"
 	"dmfb/internal/telemetry/cliflags"
 )
@@ -56,86 +54,58 @@ type output struct {
 
 func main() {
 	var (
-		mode      = flag.String("mode", "multi", "campaign kind: single | multi | yield | exhaustive | assay")
-		trials    = flag.Int("trials", 10000, "number of trials (ignored for -mode exhaustive)")
-		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		seed      = flag.Int64("seed", 1, "campaign seed; same seed => same summary at any worker count")
-		k         = flag.Int("k", 2, "faults per trial in -mode multi")
-		q         = flag.Float64("q", 0.01, "per-cell defect probability in -mode yield")
-		full      = flag.Bool("full", false, "fall back to full re-placement when partial reconfiguration fails")
-		recovery  = flag.String("recovery", "l1", "fault response in -mode assay: l1 | ladder | off")
-		transient = flag.Float64("transient", 0, "probability a fault is transient in -mode assay")
-		timeout   = flag.Duration("timeout", 0, "per-trial timeout (0 = none; breaks determinism when it fires)")
-		ckpt      = flag.String("checkpoint", "", "JSONL checkpoint `file` (appended per trial)")
-		resume    = flag.Bool("resume", false, "resume a previous run from -checkpoint")
-		jsonOut   = flag.String("json", "", "write machine-readable results to `file`")
-		placeSeed = flag.Int64("place-seed", 2, "annealing seed of the PCR placement under test")
-		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		sp      = dispatch.Spec{}
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "per-trial timeout (0 = none; breaks determinism when it fires)")
+		ckpt    = flag.String("checkpoint", "", "JSONL checkpoint `file` (appended per trial)")
+		resume  = flag.Bool("resume", false, "resume a previous run from -checkpoint")
+		jsonOut = flag.String("json", "", "write machine-readable results to `file`")
+		sumOut  = flag.String("summary", "", "write the deterministic summary JSON to `file` (byte-identical to a dmfb-dispatch fleet's)")
+		quiet   = flag.Bool("quiet", false, "suppress progress output")
 	)
+	flag.StringVar(&sp.Mode, "mode", "multi", "campaign kind: single | multi | yield | exhaustive | assay")
+	flag.IntVar(&sp.Trials, "trials", 10000, "number of trials (ignored for -mode exhaustive)")
+	flag.Int64Var(&sp.Seed, "seed", 1, "campaign seed; same seed => same summary at any worker count")
+	flag.IntVar(&sp.K, "k", 2, "faults per trial in -mode multi")
+	flag.Float64Var(&sp.Q, "q", 0.01, "per-cell defect probability in -mode yield")
+	flag.BoolVar(&sp.Full, "full", false, "fall back to full re-placement when partial reconfiguration fails")
+	flag.StringVar(&sp.Recovery, "recovery", "l1", "fault response in -mode assay: l1 | ladder | off")
+	flag.Float64Var(&sp.Transient, "transient", 0, "probability a fault is transient in -mode assay")
+	flag.Int64Var(&sp.PlaceSeed, "place-seed", 2, "annealing seed of the PCR placement under test")
 	os.Exit(cliflags.Main("dmfb-campaign", func(ts *cliflags.Session) int {
 		return run(ts, params{
-			mode: *mode, trials: *trials, workers: *workers, seed: *seed,
-			k: *k, q: *q, full: *full, recovery: *recovery, transient: *transient,
-			timeout: *timeout, ckpt: *ckpt, resume: *resume, jsonOut: *jsonOut,
-			placeSeed: *placeSeed, quiet: *quiet,
+			spec: sp, workers: *workers, timeout: *timeout,
+			ckpt: *ckpt, resume: *resume, jsonOut: *jsonOut, sumOut: *sumOut,
+			quiet: *quiet,
 		})
 	}))
 }
 
 // params carries the parsed flag values into run.
 type params struct {
-	mode                string
-	trials, workers, k  int
-	seed, placeSeed     int64
-	q, transient        float64
-	full, resume, quiet bool
-	recovery            string
-	timeout             time.Duration
-	ckpt, jsonOut       string
+	spec                  dispatch.Spec
+	workers               int
+	resume, quiet         bool
+	timeout               time.Duration
+	ckpt, jsonOut, sumOut string
 }
 
 func run(ts *cliflags.Session, pr params) int {
-	mode, trials, seed := &pr.mode, &pr.trials, &pr.seed
-	workers, k, q, full := &pr.workers, &pr.k, &pr.q, &pr.full
-	recovery, transient, timeout := &pr.recovery, &pr.transient, &pr.timeout
-	ckpt, resume, jsonOut, quiet := &pr.ckpt, &pr.resume, &pr.jsonOut, &pr.quiet
+	sp := pr.spec.Normalized()
+	if err := sp.Validate(false); err != nil {
+		fmt.Fprintln(os.Stderr, "dmfb-campaign:", err)
+		return 2
+	}
 
-	sched, p, err := pcrPlacement(context.Background(), pr.placeSeed, ts)
+	built, err := sp.Build(context.Background(), dispatch.BuildOptions{
+		Tool: "dmfb-campaign", Tracer: ts.Tracer, Metrics: ts.Metrics,
+	})
 	if err != nil {
 		return ts.Fail(err)
 	}
-	array := p.BoundingBox()
-	predicted := fti.Compute(p).FTI()
+	name := sp.Name()
 	fmt.Printf("placement: PCR, %d modules on %dx%d array, predicted FTI %.4f\n",
-		len(p.Modules), array.W, array.H, predicted)
-
-	heavy := core.Options{Seed: 3, ItersPerModule: 40, WindowPatience: 2}
-	var fn campaign.TrialFunc
-	name := *mode
-	switch *mode {
-	case "single":
-		fn = faultsim.SingleFaultTrial(p)
-	case "multi":
-		fn = faultsim.MultiFaultTrial(p, *k, *full, heavy)
-		name = fmt.Sprintf("multi-k%d", *k)
-	case "yield":
-		fn = faultsim.YieldTrial(p, *q, *full, heavy)
-		name = fmt.Sprintf("yield-q%g", *q)
-	case "exhaustive":
-		fn = faultsim.ExhaustiveTrial(p)
-		*trials = array.Cells()
-	case "assay":
-		rm, err := sim.ParseRecoveryMode(*recovery)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dmfb-campaign:", err)
-			return 2
-		}
-		fn = faultsim.AssayTrial(sched, p, *k, rm, *transient)
-		name = fmt.Sprintf("assay-k%d-%s", *k, rm)
-	default:
-		fmt.Fprintf(os.Stderr, "dmfb-campaign: unknown -mode %q\n", *mode)
-		return 2
-	}
+		built.Modules, built.ArrayW, built.ArrayH, built.PredictedFTI)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -149,21 +119,26 @@ func run(ts *cliflags.Session, pr params) int {
 
 	cfg := campaign.Config{
 		Name:         name,
-		Trials:       *trials,
-		Workers:      *workers,
-		Seed:         *seed,
-		TrialTimeout: *timeout,
-		Checkpoint:   *ckpt,
-		Resume:       *resume,
-		Metrics:      ts.Metrics,
-		Tracer:       ts.Tracer,
+		Trials:       built.Trials,
+		Workers:      pr.workers,
+		Seed:         sp.Seed,
+		TrialTimeout: pr.timeout,
+		Checkpoint:   pr.ckpt,
+		Resume:       pr.resume,
+		// The fingerprint pins the trial-defining parameters in the
+		// checkpoint header, so -resume against a checkpoint written
+		// under a different configuration fails instead of merging
+		// incompatible trial streams.
+		Fingerprint: sp.Fingerprint(),
+		Metrics:     ts.Metrics,
+		Tracer:      ts.Tracer,
 	}
 	if ts.Ops() != nil {
-		tracker := campaign.NewProgressTracker(name, *trials)
+		tracker := campaign.NewProgressTracker(name, built.Trials)
 		cfg.Tracker = tracker
 		ts.SetProgress(func() any { return tracker.Snapshot() })
 	}
-	if !*quiet {
+	if !pr.quiet {
 		lastPct := -1
 		cfg.Progress = func(done, total int) {
 			if pct := done * 100 / total; pct != lastPct && pct%5 == 0 {
@@ -173,13 +148,13 @@ func run(ts *cliflags.Session, pr params) int {
 		}
 	}
 
-	rep, runErr := campaign.Run(ctx, cfg, fn)
-	if !*quiet {
+	rep, runErr := campaign.Run(ctx, cfg, built.Fn)
+	if !pr.quiet {
 		fmt.Fprintln(os.Stderr)
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "dmfb-campaign:", runErr)
-		if ctx.Err() != nil && *ckpt != "" {
+		if ctx.Err() != nil && pr.ckpt != "" {
 			fmt.Fprintf(os.Stderr, "dmfb-campaign: %d trials checkpointed; rerun with -resume to continue\n",
 				rep.Summary.Trials)
 		}
@@ -189,10 +164,10 @@ func run(ts *cliflags.Session, pr params) int {
 	s := rep.Summary
 	fmt.Printf("%s\n", s)
 	fmt.Printf("survival %.4f, 95%% Wilson CI [%.4f, %.4f] (predicted FTI %.4f)\n",
-		s.SurvivalRate, s.Wilson95Lo, s.Wilson95Hi, predicted)
+		s.SurvivalRate, s.Wilson95Lo, s.Wilson95Hi, built.PredictedFTI)
 	if s.Values != nil {
 		label := "values"
-		if *mode == "assay" {
+		if sp.Mode == "assay" {
 			label = "ladder depth"
 		}
 		fmt.Printf("%s: mean %.3f, median %.1f, p95 %.1f, max %.1f\n",
@@ -206,11 +181,22 @@ func run(ts *cliflags.Session, pr params) int {
 	}
 	fmt.Println()
 
-	if *jsonOut != "" {
+	if pr.sumOut != "" {
+		// The exact bytes a dispatcher serves from /v1/campaigns/{id}/summary.
+		raw, err := s.MarshalDeterministic()
+		if err == nil {
+			err = os.WriteFile(pr.sumOut, append(raw, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmfb-campaign:", err)
+			return 1
+		}
+	}
+	if pr.jsonOut != "" {
 		out := output{
 			Summary:      s,
-			PredictedFTI: predicted,
-			RecoveryMode: recoveryModeName(*mode, *recovery),
+			PredictedFTI: built.PredictedFTI,
+			RecoveryMode: recoveryModeName(sp.Mode, sp.Recovery),
 			Workers:      rep.Workers,
 			Resumed:      rep.Resumed,
 			ElapsedMS:    float64(rep.Elapsed.Microseconds()) / 1000,
@@ -218,7 +204,7 @@ func run(ts *cliflags.Session, pr params) int {
 		}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err == nil {
-			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+			err = os.WriteFile(pr.jsonOut, append(data, '\n'), 0o644)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmfb-campaign:", err)
@@ -235,20 +221,4 @@ func recoveryModeName(mode, recovery string) string {
 		return recovery
 	}
 	return ""
-}
-
-// pcrPlacement synthesises and places the PCR case study with
-// experiment-grade area-minimal annealing.
-func pcrPlacement(ctx context.Context, seed int64, ts *cliflags.Session) (*schedule.Schedule, *place.Placement, error) {
-	res, err := pipeline.Run(ctx, pipeline.Request{
-		Tool:  "dmfb-campaign",
-		Synth: &pipeline.SynthSpec{Assay: "pcr"},
-		Place: &pipeline.PlaceSpec{
-			Placer:  "sa",
-			Options: core.Options{Seed: seed, ItersPerModule: 120, WindowPatience: 4},
-		},
-		Tracer:  ts.Tracer,
-		Metrics: ts.Metrics,
-	})
-	return res.Schedule, res.Placement, err
 }

@@ -1,0 +1,64 @@
+// dmfb-simd is the distributed campaign service's worker daemon: it
+// registers with a dmfb-dispatch dispatcher, leases chunked trial
+// ranges, runs them through the campaign engine over a local worker
+// pool and streams per-trial results back, heartbeating so a killed
+// or wedged worker's chunks are re-issued to the rest of the fleet.
+// Trial RNG streams derive from (campaign seed, trial index) alone,
+// so any fleet shape produces byte-identical summaries.
+//
+// Usage:
+//
+//	dmfb-simd -dispatcher http://host:9400
+//	dmfb-simd -name rack7 -workers 8 -max-idle 30s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dmfb/internal/dispatch"
+	"dmfb/internal/telemetry/cliflags"
+)
+
+func main() {
+	var (
+		dispatcher = flag.String("dispatcher", "http://127.0.0.1:9400", "dispatcher base `URL`")
+		name       = flag.String("name", "", "worker `name` (default simd-<pid>)")
+		workers    = flag.Int("workers", 0, "trial pool size per lease (0 = GOMAXPROCS)")
+		batch      = flag.Int("batch", 32, "trials per streamed results batch")
+		maxIdle    = flag.Duration("max-idle", 0, "exit after this long without a lease (0 = run until signalled)")
+		quiet      = flag.Bool("quiet", false, "suppress per-lease progress lines")
+	)
+	os.Exit(cliflags.Main("dmfb-simd", func(ts *cliflags.Session) int {
+		wn := *name
+		if wn == "" {
+			wn = fmt.Sprintf("simd-%d", os.Getpid())
+		}
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dmfb-simd %s: %s\n", wn, fmt.Sprintf(format, args...))
+		}
+		if *quiet {
+			logf = nil
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		err := dispatch.RunWorker(ctx, dispatch.WorkerOptions{
+			Name:       wn,
+			Dispatcher: *dispatcher,
+			Workers:    *workers,
+			Batch:      *batch,
+			MaxIdle:    *maxIdle,
+			Metrics:    ts.Metrics,
+			Tracer:     ts.Tracer,
+			Logf:       logf,
+		})
+		if err != nil {
+			return ts.Fail(err)
+		}
+		return 0
+	}))
+}

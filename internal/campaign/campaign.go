@@ -28,6 +28,7 @@ import (
 	"math/rand"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -101,6 +102,14 @@ type Config struct {
 	// of re-running them. Requires Checkpoint; incompatible with
 	// SharedRNG (a shared stream cannot skip trials).
 	Resume bool
+	// Fingerprint identifies the campaign configuration beyond
+	// (Name, Seed, Trials) — typically ConfigFingerprint over the
+	// parameters that change what a trial computes (placement seed,
+	// fault counts, recovery mode). It is pinned in the checkpoint
+	// header, so Resume refuses to replay trials recorded under a
+	// different configuration. Empty disables the check against files
+	// that predate fingerprints.
+	Fingerprint string
 	// SharedRNG runs all trials in index order on one worker, sharing
 	// a single legacy math/rand stream seeded with Seed. It exists so
 	// the pre-engine sequential campaigns in internal/faultsim stay
@@ -211,7 +220,8 @@ func Run(ctx context.Context, cfg Config, fn TrialFunc) (Report, error) {
 
 	results := make([]trialResult, cfg.Trials)
 	resumed := 0
-	hdr := checkpointHeader{V: checkpointVersion, Campaign: cfg.Name, Seed: cfg.Seed, Trials: cfg.Trials}
+	hdr := checkpointHeader{V: checkpointVersion, Campaign: cfg.Name, Seed: cfg.Seed,
+		Trials: cfg.Trials, Config: cfg.Fingerprint}
 	if cfg.Resume {
 		done, err := loadCheckpoint(cfg.Checkpoint, hdr)
 		if err != nil {
@@ -415,21 +425,45 @@ func execTrial(ctx context.Context, timeout time.Duration, fn TrialFunc, t Trial
 // deterministic Summary. Incomplete trials (cancelled run) are
 // excluded from every aggregate.
 func summarize(cfg Config, results []trialResult) Summary {
-	s := Summary{Name: cfg.Name, Seed: cfg.Seed}
-	var values []float64
+	rs := make([]TrialResult, 0, len(results))
 	for i := range results {
 		r := &results[i]
 		if !r.done {
 			continue
 		}
+		rs = append(rs, TrialResult{Trial: i, Survived: r.survived, Value: r.value, Err: r.errMsg})
+	}
+	return Summarize(cfg.Name, cfg.Seed, rs)
+}
+
+// Summarize is the canonical merge: it folds completed-trial results —
+// from any number of workers, machines, or checkpoint replays, in any
+// order — into the deterministic Summary. It sorts by trial index
+// before folding (ignoring duplicate records for a trial, which are
+// identical by construction for a deterministic trial function), so
+// for a fixed result set the output is byte-identical to the
+// single-process engine's: Run itself aggregates through this
+// function. This is the spine of the distributed dispatcher's
+// byte-identity guarantee.
+func Summarize(name string, seed int64, results []TrialResult) Summary {
+	sorted := append([]TrialResult(nil), results...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Trial < sorted[j].Trial })
+	s := Summary{Name: name, Seed: seed}
+	var values []float64
+	prev := -1
+	for _, r := range sorted {
+		if r.Trial == prev {
+			continue
+		}
+		prev = r.Trial
 		s.Trials++
 		switch {
-		case r.errMsg != "":
+		case r.Err != "":
 			s.Errors++
-		case r.survived:
+		case r.Survived:
 			s.Survived++
 		}
-		values = append(values, r.value)
+		values = append(values, r.Value)
 	}
 	if s.Trials > 0 {
 		s.SurvivalRate = float64(s.Survived) / float64(s.Trials)
@@ -438,4 +472,134 @@ func summarize(cfg Config, results []trialResult) Summary {
 		s.Values = &vs
 	}
 	return s
+}
+
+// RunRange executes the contiguous trial range [lo, hi) of the
+// campaign described by cfg and returns the completed trials in index
+// order — the worker-side half of a distributed campaign. Because
+// every trial's RNG stream derives only from (cfg.Seed, index), a
+// range runs identically wherever it executes; merging the ranges of
+// any partition of [0, cfg.Trials) through Summarize reproduces
+// Run's summary byte for byte.
+//
+// Checkpointing, Resume and SharedRNG are whole-campaign concerns and
+// are rejected here; Metrics, Tracer, Tracker, Progress and
+// TrialTimeout apply as in Run. On cancellation the completed prefix
+// of results is returned along with the context error — partial
+// results are valid and may still be reported upstream.
+func RunRange(ctx context.Context, cfg Config, fn TrialFunc, lo, hi int) ([]TrialResult, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("campaign: nil trial function")
+	}
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("campaign: need at least one trial, got %d", cfg.Trials)
+	}
+	if lo < 0 || hi > cfg.Trials || lo >= hi {
+		return nil, fmt.Errorf("campaign: range [%d,%d) outside campaign of %d trials", lo, hi, cfg.Trials)
+	}
+	if cfg.SharedRNG {
+		return nil, fmt.Errorf("campaign: shared-stream campaigns cannot run as ranges")
+	}
+	if cfg.Checkpoint != "" || cfg.Resume {
+		return nil, fmt.Errorf("campaign: RunRange does not checkpoint; record results upstream")
+	}
+	n := hi - lo
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	span := cfg.Tracer.Start("campaign.range")
+	type slot struct {
+		done bool
+		res  TrialResult
+	}
+	results := make([]slot, n)
+	var mu sync.Mutex
+	safeFn := panicSafe(cfg.Name, fn)
+	record := func(out Outcome, t Trial) {
+		errMsg := ""
+		if out.Err != nil {
+			errMsg = out.Err.Error()
+		}
+		res := TrialResult{Trial: t.Index, Survived: out.Survived && out.Err == nil, Value: out.Value, Err: errMsg}
+		cfg.Metrics.Counter("campaign.trials").Inc()
+		if res.Survived {
+			cfg.Metrics.Counter("campaign.trials_survived").Inc()
+		}
+		if errMsg != "" {
+			cfg.Metrics.Counter("campaign.trial_errors").Inc()
+		}
+		cfg.Tracker.observe(res.Survived, errMsg != "", res.Value)
+		mu.Lock()
+		results[t.Index-lo] = slot{done: true, res: res}
+		mu.Unlock()
+	}
+
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 256 {
+		chunk = 256
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				o := int(cursor.Add(int64(chunk))) - chunk
+				if o >= n {
+					return
+				}
+				end := o + chunk
+				if end > n {
+					end = n
+				}
+				for i := lo + o; i < lo+end; i++ {
+					if ctx.Err() != nil {
+						return
+					}
+					t := Trial{Index: i, Seed: DeriveSeed(cfg.Seed, uint64(i)), RNG: TrialRNG(cfg.Seed, i)}
+					tsp := cfg.Tracer.StartChild("campaign.trial", span.ID())
+					t.Tracer = cfg.Tracer
+					t.Span = tsp.ID()
+					out := execTrial(ctx, cfg.TrialTimeout, safeFn, t)
+					if cerr := ctx.Err(); cerr != nil && errors.Is(out.Err, cerr) {
+						// Cancelled in flight: the outcome reflects the
+						// kill, not the trial — leave the slot empty so
+						// the range is re-runnable without a phantom
+						// error, exactly as Run does.
+						tsp.End(telemetry.Fields{"trial": i, "cancelled": true})
+						return
+					}
+					tsp.End(telemetry.Fields{
+						"trial":    i,
+						"survived": out.Survived && out.Err == nil,
+						"value":    out.Value,
+						"errored":  out.Err != nil,
+					})
+					record(out, t)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := make([]TrialResult, 0, n)
+	for i := range results {
+		if results[i].done {
+			out = append(out, results[i].res)
+		}
+	}
+	span.End(telemetry.Fields{"campaign": cfg.Name, "lo": lo, "hi": hi, "completed": len(out)})
+	if err := ctx.Err(); err != nil {
+		return out, fmt.Errorf("campaign: range [%d,%d) interrupted after %d trials: %w", lo, hi, len(out), err)
+	}
+	return out, nil
 }

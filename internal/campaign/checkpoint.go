@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"sort"
 	"sync"
@@ -16,11 +17,15 @@ import (
 //	{"trial":18,"survived":false,"err":"timeout"}
 //
 // The header pins the campaign identity; Resume refuses a checkpoint
-// whose name, seed or trial count differ, since replaying trials from
-// a different campaign would silently corrupt the aggregate. Trial
-// lines may appear in any order (workers finish out of order) and the
-// file tolerates a torn final line — the write that was interrupted by
-// the kill that the resume is recovering from.
+// whose name, seed, trial count or config fingerprint differ, since
+// replaying trials from a different campaign would silently corrupt
+// the aggregate. Trial lines may appear in any order (workers finish
+// out of order) and the file tolerates a torn final line — the write
+// that was interrupted by the kill that the resume is recovering from.
+//
+// The same format is the dispatcher's durable result store: ResultLog
+// appends TrialResult lines as workers stream them in, and
+// ReadResultLog replays them on restart.
 
 const checkpointVersion = 1
 
@@ -29,13 +34,40 @@ type checkpointHeader struct {
 	Campaign string `json:"campaign,omitempty"`
 	Seed     int64  `json:"seed"`
 	Trials   int    `json:"trials"`
+	// Config is the campaign's config fingerprint (ConfigFingerprint);
+	// empty in files written before fingerprints existed.
+	Config string `json:"config,omitempty"`
 }
 
-type checkpointLine struct {
+func (h checkpointHeader) identity() string {
+	return fmt.Sprintf("campaign %q seed=%d trials=%d config=%q",
+		h.Campaign, h.Seed, h.Trials, h.Config)
+}
+
+// TrialResult is the recorded outcome of one completed trial — the
+// unit of the checkpoint file and of the dispatcher's result stream.
+// Survived is already gated on Err being empty (an erroneous trial
+// never counts as survived), matching what Run records.
+type TrialResult struct {
 	Trial    int     `json:"trial"`
 	Survived bool    `json:"survived"`
 	Value    float64 `json:"value,omitempty"`
 	Err      string  `json:"err,omitempty"`
+}
+
+// checkpointLine predates the exported TrialResult; they are the same
+// record.
+type checkpointLine = TrialResult
+
+// ConfigFingerprint hashes the campaign-defining parameters (mode,
+// fault counts, placement seed, ...) into a short stable string for
+// Config.Fingerprint. Seed and trial count are pinned separately by
+// the checkpoint header, so callers should pass only the parameters
+// that change what a trial computes.
+func ConfigFingerprint(parts ...any) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%v", parts)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // loadCheckpoint reads a checkpoint file and returns the recorded
@@ -60,10 +92,11 @@ func loadCheckpoint(path string, want checkpointHeader) (map[int]checkpointLine,
 	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
 		return nil, fmt.Errorf("campaign: checkpoint %s: corrupt header: %w", path, err)
 	}
-	if hdr.V != want.V || hdr.Campaign != want.Campaign || hdr.Seed != want.Seed || hdr.Trials != want.Trials {
+	if hdr.V != want.V || hdr.Campaign != want.Campaign || hdr.Seed != want.Seed ||
+		hdr.Trials != want.Trials || hdr.Config != want.Config {
 		return nil, fmt.Errorf(
-			"campaign: checkpoint %s was written by campaign %q seed=%d trials=%d; refusing to resume %q seed=%d trials=%d",
-			path, hdr.Campaign, hdr.Seed, hdr.Trials, want.Campaign, want.Seed, want.Trials)
+			"campaign: checkpoint %s was written by %s; refusing to resume %s",
+			path, hdr.identity(), want.identity())
 	}
 
 	done := make(map[int]checkpointLine)
@@ -218,4 +251,68 @@ func (cw *checkpointWriter) close() error {
 		err = cerr
 	}
 	return err
+}
+
+// CheckpointID is the identity a checkpoint file is pinned to: the
+// header the file starts with, and what ResultLog/ReadResultLog (and
+// Resume, via Config) refuse to mix.
+type CheckpointID struct {
+	Campaign    string
+	Seed        int64
+	Trials      int
+	Fingerprint string
+}
+
+func (id CheckpointID) header() checkpointHeader {
+	return checkpointHeader{
+		V: checkpointVersion, Campaign: id.Campaign, Seed: id.Seed,
+		Trials: id.Trials, Config: id.Fingerprint,
+	}
+}
+
+// ResultLog is an append-only trial-result store in the campaign
+// checkpoint format, for processes (the dispatch service) that record
+// results they did not execute themselves. Appends are serialised and
+// flushed per record, so a killed process loses at most the record
+// being written.
+type ResultLog struct {
+	cw *checkpointWriter
+}
+
+// NewResultLog opens (or creates) the result log at path, writing the
+// id header when the file is new.
+func NewResultLog(path string, id CheckpointID) (*ResultLog, error) {
+	cw, err := newCheckpointWriter(path, id.header())
+	if err != nil {
+		return nil, err
+	}
+	return &ResultLog{cw: cw}, nil
+}
+
+// Append records one completed trial.
+func (l *ResultLog) Append(r TrialResult) error { return l.cw.record(r) }
+
+// Close flushes and closes the log file.
+func (l *ResultLog) Close() error { return l.cw.close() }
+
+// ReadResultLog replays a result log written under the same id and
+// returns the recorded trials sorted by trial index (duplicate
+// records for a trial collapse; a torn trailing line is skipped). A
+// missing file is an empty log. An id mismatch is an error — results
+// from a different campaign must never be merged.
+func ReadResultLog(path string, id CheckpointID) ([]TrialResult, error) {
+	done, err := loadCheckpoint(path, id.header())
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, 0, len(done))
+	for i := range done {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	results := make([]TrialResult, 0, len(done))
+	for _, i := range idx {
+		results = append(results, done[i])
+	}
+	return results, nil
 }

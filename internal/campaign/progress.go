@@ -54,6 +54,18 @@ func (p *ProgressTracker) noteResumed(n int) {
 	p.mu.Unlock()
 }
 
+// Record notes one completed trial observed outside a Run — the
+// dispatch service records results streamed in from remote workers
+// through it. Nil-safe and concurrency-safe.
+func (p *ProgressTracker) Record(survived bool, errored bool, value float64) {
+	p.observe(survived, errored, value)
+}
+
+// RecordReplayed notes n trials recovered from a durable store rather
+// than executed, so they count as done but not toward the trial rate
+// (and hence the ETA). Nil-safe.
+func (p *ProgressTracker) RecordReplayed(n int) { p.noteResumed(n) }
+
 // observe records one executed trial. Nil-safe; called from worker
 // goroutines.
 func (p *ProgressTracker) observe(survived bool, errored bool, value float64) {

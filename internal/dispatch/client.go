@@ -1,0 +1,192 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a dispatcher over HTTP/JSON. The zero value is not
+// usable; construct with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the dispatcher at base
+// (e.g. "http://127.0.0.1:9400"). A nil hc uses a client with a
+// conservative timeout.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: hc}
+}
+
+// StatusError is a non-2xx dispatcher reply.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("dispatcher: %s (HTTP %d)", e.Message, e.Code)
+}
+
+// IsStatus reports whether err is a StatusError with the given code.
+func IsStatus(err error, code int) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Code == code
+}
+
+// do runs one request; out, when non-nil, receives the decoded JSON
+// body. A 204 leaves out untouched and returns (false, nil).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) (bool, error) {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return false, err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return false, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode == http.StatusNoContent {
+		return false, nil
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e errorResponse
+		msg := strings.TrimSpace(string(raw))
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return false, &StatusError{Code: resp.StatusCode, Message: msg}
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return false, fmt.Errorf("dispatcher: decode %s %s reply: %w", method, path, err)
+		}
+	}
+	return true, nil
+}
+
+// Submit enqueues a campaign.
+func (c *Client) Submit(ctx context.Context, sp Spec) (SubmitResponse, error) {
+	var out SubmitResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/campaigns", sp, &out)
+	return out, err
+}
+
+// Status fetches one campaign's status.
+func (c *Client) Status(ctx context.Context, id string) (StatusResponse, error) {
+	var out StatusResponse
+	_, err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id, nil, &out)
+	return out, err
+}
+
+// List fetches every campaign's status, submission order.
+func (c *Client) List(ctx context.Context) ([]StatusResponse, error) {
+	var out []StatusResponse
+	_, err := c.do(ctx, http.MethodGet, "/v1/campaigns", nil, &out)
+	return out, err
+}
+
+// Summary fetches a completed campaign's deterministic summary bytes
+// (trailing newline included) — the exact bytes
+// campaign.Summary.MarshalDeterministic produces plus '\n'.
+func (c *Client) Summary(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/campaigns/"+id+"/summary", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		msg := strings.TrimSpace(string(raw))
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return nil, &StatusError{Code: resp.StatusCode, Message: msg}
+	}
+	return raw, nil
+}
+
+// Wait polls until the campaign reaches a terminal state ("done" or
+// "failed") or ctx expires. poll <= 0 defaults to 250ms.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (StatusResponse, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State == "done" || st.State == "failed" {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Register announces a worker.
+func (c *Client) Register(ctx context.Context, req RegisterRequest) (RegisterResponse, error) {
+	var out RegisterResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/workers", req, &out)
+	return out, err
+}
+
+// Lease asks for work. ok is false when the dispatcher has none (204).
+func (c *Client) Lease(ctx context.Context, worker string) (LeaseResponse, bool, error) {
+	var out LeaseResponse
+	ok, err := c.do(ctx, http.MethodPost, "/v1/lease", LeaseRequest{Worker: worker}, &out)
+	return out, ok && err == nil, err
+}
+
+// Heartbeat renews a lease. A 410 means the lease expired: the worker
+// should abandon the range (IsStatus(err, http.StatusGone)).
+func (c *Client) Heartbeat(ctx context.Context, leaseID string) error {
+	_, err := c.do(ctx, http.MethodPost, "/v1/lease/"+leaseID+"/heartbeat", struct{}{}, nil)
+	return err
+}
+
+// Results streams a batch of trial results.
+func (c *Client) Results(ctx context.Context, req ResultsRequest) (ResultsResponse, error) {
+	var out ResultsResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/results", req, &out)
+	return out, err
+}

@@ -1,0 +1,133 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runFleet runs n in-process simd workers against the dispatcher at
+// url until they all go idle. They share one Builder so the (here
+// synthetic) build happens once per fingerprint, the way a real fleet
+// shares one annealed placement per campaign.
+func runFleet(t *testing.T, url string, n int) {
+	t.Helper()
+	builder := &Builder{Build: syntheticBuild}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = RunWorker(context.Background(), WorkerOptions{
+				Name:       fmt.Sprintf("w%d", i),
+				Dispatcher: url,
+				Workers:    2,
+				Batch:      16,
+				MaxIdle:    500 * time.Millisecond,
+				Builder:    builder,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+}
+
+// TestWorkerFleetByteIdentity is the tentpole claim end to end, minus
+// process boundaries: the same campaign dispatched to fleets of 1, 2
+// and 4 workers produces summaries byte-identical to the
+// single-process engine every time. (The root-level chaos test covers
+// real binaries and SIGKILL.)
+func TestWorkerFleetByteIdentity(t *testing.T) {
+	sp := testSpec(256)
+	want := referenceSummary(t, sp)
+	for _, n := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+			d, err := New(Options{Chunk: 32, LeaseTTL: 5 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := httptest.NewServer(d.Handler())
+			defer srv.Close()
+			defer d.Close()
+			client := NewClient(srv.URL, srv.Client())
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			sub, err := client.Submit(ctx, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runFleet(t, srv.URL, n)
+			st, err := client.Wait(ctx, sub.ID, 20*time.Millisecond)
+			if err != nil {
+				t.Fatalf("wait: %v", err)
+			}
+			if st.State != "done" {
+				t.Fatalf("campaign %s with %d workers: %+v", sub.ID, n, st)
+			}
+			got, err := client.Summary(ctx, sub.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("fleet of %d: summary differs from single-process:\n got %s\nwant %s",
+					n, got, want)
+			}
+		})
+	}
+}
+
+// TestWorkerAbandonsExpiredLease drives one worker whose lease the
+// dispatcher expires mid-run (a wedged-then-revived worker): the
+// worker must notice the 410 and abandon, and a healthy worker must
+// finish the campaign with the canonical bytes.
+func TestWorkerAbandonsExpiredLease(t *testing.T) {
+	sp := testSpec(64)
+	d, err := New(Options{Chunk: 32, LeaseTTL: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := newTestClock()
+	d.now = clock.now
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	defer d.Close()
+	client := NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+	sub, err := client.Submit(ctx, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A worker leases a chunk, then "wedges": its lease expires on the
+	// manual clock before it reports.
+	l, ok, err := client.Lease(ctx, "wedged")
+	if err != nil || !ok {
+		t.Fatalf("lease: ok=%v err=%v", ok, err)
+	}
+	clock.advance(11 * time.Second)
+	if err := client.Heartbeat(ctx, l.LeaseID); !IsStatus(err, 410) {
+		t.Fatalf("want 410 after expiry, got %v", err)
+	}
+
+	// The healthy fleet drains everything, including the re-issued chunk.
+	runFleet(t, srv.URL, 2)
+	st, err := client.Wait(ctx, sub.ID, 20*time.Millisecond)
+	if err != nil || st.State != "done" {
+		t.Fatalf("wait: state=%q err=%v", st.State, err)
+	}
+	got, err := client.Summary(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := referenceSummary(t, sp); string(got) != string(want) {
+		t.Errorf("summary after abandoned lease differs:\n got %s\nwant %s", got, want)
+	}
+}

@@ -1,0 +1,275 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"dmfb/internal/campaign"
+	"dmfb/internal/core"
+	"dmfb/internal/faultsim"
+	"dmfb/internal/fti"
+	"dmfb/internal/pipeline"
+	"dmfb/internal/sim"
+	"dmfb/internal/telemetry"
+)
+
+// Spec is the portable definition of a fault-injection campaign — the
+// document a client submits to the dispatcher and a simd worker turns
+// back into a runnable trial function. It mirrors the dmfb-campaign
+// flag surface, and every consumer (the single-process CLI, the
+// dispatcher, every worker) derives the campaign's name, fingerprint
+// and trial function from the same Spec methods, which is what keeps
+// a distributed run byte-identical to a local one.
+type Spec struct {
+	// Mode selects the campaign kind: "single", "multi", "yield",
+	// "assay" (dispatcher-distributable) or "exhaustive" (local only —
+	// its trial count is a function of the placement).
+	Mode string `json:"mode"`
+	// Trials and Seed are the campaign dimensions; trial t always runs
+	// with the RNG stream campaign.TrialRNG(Seed, t).
+	Trials int   `json:"trials"`
+	Seed   int64 `json:"seed"`
+	// K is the faults per trial (multi and assay modes).
+	K int `json:"k,omitempty"`
+	// Q is the per-cell defect probability (yield mode).
+	Q float64 `json:"q,omitempty"`
+	// Full enables the full re-placement fallback (multi and yield).
+	Full bool `json:"full,omitempty"`
+	// Recovery is the assay-mode fault response: l1 | ladder | off.
+	Recovery string `json:"recovery,omitempty"`
+	// Transient is the assay-mode probability a fault is transient.
+	Transient float64 `json:"transient,omitempty"`
+	// PlaceSeed seeds the annealed PCR placement under test.
+	PlaceSeed int64 `json:"place_seed,omitempty"`
+}
+
+// Normalized returns the spec with the dmfb-campaign flag defaults
+// filled in, so a sparse wire document and a fully spelled-out one
+// name (and fingerprint) the same campaign.
+func (sp Spec) Normalized() Spec {
+	if sp.Mode == "" {
+		sp.Mode = "multi"
+	}
+	if sp.K == 0 {
+		sp.K = 2
+	}
+	if sp.Q == 0 {
+		sp.Q = 0.01
+	}
+	if sp.Recovery == "" {
+		sp.Recovery = "l1"
+	}
+	if sp.PlaceSeed == 0 {
+		sp.PlaceSeed = 2
+	}
+	return sp
+}
+
+// Validate checks the spec describes a runnable campaign. With remote
+// set it additionally rejects modes the dispatcher cannot shard
+// (exhaustive needs the placement to know its own trial count).
+func (sp Spec) Validate(remote bool) error {
+	sp = sp.Normalized()
+	switch sp.Mode {
+	case "single", "multi", "yield", "assay":
+	case "exhaustive":
+		if remote {
+			return fmt.Errorf("dispatch: -mode exhaustive derives its trial count from the placement; run it with dmfb-campaign")
+		}
+	default:
+		return fmt.Errorf("dispatch: unknown mode %q (want single, multi, yield, assay or exhaustive)", sp.Mode)
+	}
+	if sp.Trials <= 0 && sp.Mode != "exhaustive" {
+		return fmt.Errorf("dispatch: need at least one trial, got %d", sp.Trials)
+	}
+	if sp.K < 1 {
+		return fmt.Errorf("dispatch: need at least one fault per trial, got k=%d", sp.K)
+	}
+	if sp.Q <= 0 || sp.Q >= 1 {
+		return fmt.Errorf("dispatch: defect probability q=%g outside (0,1)", sp.Q)
+	}
+	if _, err := sim.ParseRecoveryMode(sp.Recovery); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Name returns the campaign's summary name, identical to what
+// dmfb-campaign derives from the same parameters.
+func (sp Spec) Name() string {
+	sp = sp.Normalized()
+	switch sp.Mode {
+	case "multi":
+		return fmt.Sprintf("multi-k%d", sp.K)
+	case "yield":
+		return fmt.Sprintf("yield-q%g", sp.Q)
+	case "assay":
+		rm, err := sim.ParseRecoveryMode(sp.Recovery)
+		if err != nil {
+			return "assay-invalid"
+		}
+		return fmt.Sprintf("assay-k%d-%s", sp.K, rm)
+	default:
+		return sp.Mode
+	}
+}
+
+// Fingerprint hashes the trial-defining parameters — everything that
+// changes what a trial computes except the campaign seed and trial
+// count, which the checkpoint header pins separately. Two specs with
+// equal fingerprints share a placement and trial function, so the
+// builder cache and the checkpoint resume guard both key on it.
+func (sp Spec) Fingerprint() string {
+	sp = sp.Normalized()
+	return campaign.ConfigFingerprint("dmfb-campaign",
+		sp.Mode, sp.K, sp.Q, sp.Full, sp.Recovery, sp.Transient, sp.PlaceSeed)
+}
+
+// Built is a spec turned runnable: the trial function over the
+// annealed placement, plus the facts clients report about it.
+type Built struct {
+	Fn campaign.TrialFunc
+	// Trials is the canonical trial count: the spec's, except in
+	// exhaustive mode where it is the placed array's cell count.
+	Trials int
+	// PredictedFTI is the placement's fault-tolerance index.
+	PredictedFTI float64
+	// ArrayW, ArrayH and Modules describe the placement under test.
+	ArrayW, ArrayH, Modules int
+}
+
+// BuildOptions parameterises Build; all fields are optional.
+type BuildOptions struct {
+	// Tool names the pipeline invocation in traces ("dmfb-simd", ...).
+	Tool    string
+	Tracer  *telemetry.Tracer
+	Metrics *telemetry.Registry
+}
+
+// Build synthesises and places the PCR case study with
+// experiment-grade annealing and returns the spec's trial function.
+// Identical specs build identical placements (the anneal is seeded by
+// PlaceSeed), so every worker in a fleet tests the same chip.
+func (sp Spec) Build(ctx context.Context, opts BuildOptions) (*Built, error) {
+	sp = sp.Normalized()
+	if err := sp.Validate(false); err != nil {
+		return nil, err
+	}
+	tool := opts.Tool
+	if tool == "" {
+		tool = "dispatch"
+	}
+	res, err := pipeline.Run(ctx, pipeline.Request{
+		Tool:  tool,
+		Synth: &pipeline.SynthSpec{Assay: "pcr"},
+		Place: &pipeline.PlaceSpec{
+			Placer:  "sa",
+			Options: core.Options{Seed: sp.PlaceSeed, ItersPerModule: 120, WindowPatience: 4},
+		},
+		Tracer:  opts.Tracer,
+		Metrics: opts.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := res.Placement
+	array := p.BoundingBox()
+	b := &Built{
+		Trials:       sp.Trials,
+		PredictedFTI: fti.Compute(p).FTI(),
+		ArrayW:       array.W,
+		ArrayH:       array.H,
+		Modules:      len(p.Modules),
+	}
+	// The heavy annealer options of the full-reconfiguration fallback,
+	// identical to dmfb-campaign's.
+	heavy := core.Options{Seed: 3, ItersPerModule: 40, WindowPatience: 2}
+	switch sp.Mode {
+	case "single":
+		b.Fn = faultsim.SingleFaultTrial(p)
+	case "multi":
+		b.Fn = faultsim.MultiFaultTrial(p, sp.K, sp.Full, heavy)
+	case "yield":
+		b.Fn = faultsim.YieldTrial(p, sp.Q, sp.Full, heavy)
+	case "exhaustive":
+		b.Fn = faultsim.ExhaustiveTrial(p)
+		b.Trials = array.Cells()
+	case "assay":
+		rm, err := sim.ParseRecoveryMode(sp.Recovery)
+		if err != nil {
+			return nil, err
+		}
+		b.Fn = faultsim.AssayTrial(res.Schedule, p, sp.K, rm, sp.Transient)
+	}
+	return b, nil
+}
+
+// BuildFunc is the Builder's construction seam; tests inject synthetic
+// trial functions through it.
+type BuildFunc func(ctx context.Context, sp Spec) (*Built, error)
+
+// Builder builds trial functions from specs, caching by spec
+// fingerprint: a worker that leases many chunks of the same campaign
+// (or of several campaigns over the same placement) anneals the
+// placement once. Safe for concurrent use; concurrent builds of the
+// same fingerprint are serialised so the anneal runs once.
+type Builder struct {
+	// Tool/Tracer/Metrics flow into Spec.Build for uncached builds.
+	Tool    string
+	Tracer  *telemetry.Tracer
+	Metrics *telemetry.Registry
+	// Build overrides Spec.Build when non-nil (tests).
+	Build BuildFunc
+
+	mu    sync.Mutex
+	cache map[string]*builderEntry
+}
+
+type builderEntry struct {
+	once  sync.Once
+	built *Built
+	err   error
+}
+
+// Get returns the built trial function for sp, building at most once
+// per fingerprint.
+func (b *Builder) Get(ctx context.Context, sp Spec) (*Built, error) {
+	key := sp.Fingerprint()
+	b.mu.Lock()
+	if b.cache == nil {
+		b.cache = make(map[string]*builderEntry)
+	}
+	e := b.cache[key]
+	if e == nil {
+		e = &builderEntry{}
+		b.cache[key] = e
+	}
+	b.mu.Unlock()
+	e.once.Do(func() {
+		build := b.Build
+		if build == nil {
+			build = func(ctx context.Context, sp Spec) (*Built, error) {
+				return sp.Build(ctx, BuildOptions{Tool: b.Tool, Tracer: b.Tracer, Metrics: b.Metrics})
+			}
+		}
+		e.built, e.err = build(ctx, sp)
+	})
+	if e.err != nil {
+		// Failed builds are not cached — a later lease retries.
+		b.mu.Lock()
+		if b.cache[key] == e {
+			delete(b.cache, key)
+		}
+		b.mu.Unlock()
+		return nil, e.err
+	}
+	// The fingerprint (hence the cache key) excludes Trials and Seed,
+	// so the shared entry carries the trial count of whichever spec
+	// built it — return a copy dimensioned for this caller.
+	out := *e.built
+	if sp.Normalized().Mode != "exhaustive" {
+		out.Trials = sp.Trials
+	}
+	return &out, nil
+}

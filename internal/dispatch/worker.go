@@ -1,0 +1,220 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"dmfb/internal/campaign"
+	"dmfb/internal/telemetry"
+)
+
+// WorkerOptions configures RunWorker.
+type WorkerOptions struct {
+	// Name identifies the worker to the dispatcher (required).
+	Name string
+	// Dispatcher is the dispatcher base URL (required).
+	Dispatcher string
+	// Workers sizes the in-process trial pool per lease; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Batch is how many trials to accumulate before streaming a
+	// results batch; 0 means 32. Smaller batches lose less work to a
+	// mid-lease kill.
+	Batch int
+	// MaxIdle exits the poll loop after this long without a lease;
+	// 0 runs forever (until ctx cancels).
+	MaxIdle time.Duration
+	// Builder caches built trial functions; a private one is created
+	// when nil. Sharing one across in-process workers (tests) anneals
+	// the placement once for the whole fleet.
+	Builder *Builder
+	// Metrics, when non-nil, receives simd.* counters.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records the builds' pipeline spans.
+	Tracer *telemetry.Tracer
+	// HTTPClient overrides the default client (tests).
+	HTTPClient *http.Client
+	// Logf, when non-nil, receives progress lines (lease grants,
+	// completions, expiries).
+	Logf func(format string, args ...any)
+}
+
+// RunWorker is the simd daemon loop: register, poll for leases, run
+// each leased trial range through the campaign engine, stream results
+// back in batches, heartbeat in the background. It returns nil when
+// ctx cancels or MaxIdle elapses with no work, and an error only when
+// the dispatcher is unreachable at registration.
+//
+// Crash-safety needs no worker-side code: results stream as they are
+// computed, so a killed worker loses at most one unreported batch, and
+// the dispatcher re-issues the remainder of the chunk when the lease's
+// heartbeat stops.
+func RunWorker(ctx context.Context, opts WorkerOptions) error {
+	if opts.Name == "" {
+		return fmt.Errorf("simd: worker name required")
+	}
+	if opts.Dispatcher == "" {
+		return fmt.Errorf("simd: dispatcher URL required")
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = 32
+	}
+	builder := opts.Builder
+	if builder == nil {
+		builder = &Builder{Tool: "dmfb-simd", Tracer: opts.Tracer, Metrics: opts.Metrics}
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	client := NewClient(opts.Dispatcher, opts.HTTPClient)
+
+	hello, err := client.Register(ctx, RegisterRequest{Worker: opts.Name, Cores: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		return fmt.Errorf("simd: register with %s: %w", opts.Dispatcher, err)
+	}
+	ttl := time.Duration(hello.LeaseTTLMS) * time.Millisecond
+	poll := time.Duration(hello.PollMS) * time.Millisecond
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	logf("registered with %s (lease ttl %v, poll %v)", opts.Dispatcher, ttl, poll)
+
+	idleSince := time.Now()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		l, ok, err := client.Lease(ctx, opts.Name)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			// The dispatcher may be restarting; back off and retry.
+			reg.Counter("simd.lease_errors").Inc()
+			logf("lease request failed: %v", err)
+		} else if ok {
+			idleSince = time.Now()
+			reg.Counter("simd.leases").Inc()
+			logf("lease %s: %s[%d,%d)", l.LeaseID, l.CampaignID, l.Lo, l.Hi)
+			if err := runLease(ctx, client, builder, reg, logf, opts, l, ttl); err != nil {
+				reg.Counter("simd.lease_failures").Inc()
+				logf("lease %s: %v", l.LeaseID, err)
+			}
+			continue // immediately ask for more work
+		}
+		if opts.MaxIdle > 0 && time.Since(idleSince) > opts.MaxIdle {
+			logf("idle for %v, exiting", opts.MaxIdle)
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(poll):
+		}
+	}
+}
+
+// runLease executes one leased trial range: build (cached) the trial
+// function, heartbeat in the background, run the range in Batch-sized
+// sub-ranges and stream each batch. A 410 from heartbeat or results
+// cancels the lease context — the remaining trials are abandoned to
+// whichever worker holds the re-issued chunk.
+func runLease(ctx context.Context, client *Client, builder *Builder,
+	reg *telemetry.Registry, logf func(string, ...any),
+	opts WorkerOptions, l LeaseResponse, ttl time.Duration) error {
+
+	lctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	built, err := builder.Get(lctx, l.Spec)
+	if err != nil {
+		// Build failures are deterministic in the spec: report so the
+		// dispatcher fails the campaign instead of re-issuing forever.
+		_, rerr := client.Results(ctx, ResultsRequest{
+			CampaignID: l.CampaignID, LeaseID: l.LeaseID,
+			Error: fmt.Sprintf("worker %s: build campaign: %v", opts.Name, err),
+		})
+		if rerr != nil {
+			return fmt.Errorf("build failed (%v); reporting failed too: %w", err, rerr)
+		}
+		return fmt.Errorf("build: %w", err)
+	}
+
+	// Heartbeat at a third of the TTL until the lease finishes. The
+	// cancel must precede the join: deferred functions run LIFO, and
+	// the goroutine only exits once lctx is cancelled (or the
+	// dispatcher answers 410 — which it can't if it's already gone).
+	hbDone := make(chan struct{})
+	defer func() { cancel(); <-hbDone }()
+	go func() {
+		defer close(hbDone)
+		interval := ttl / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-lctx.Done():
+				return
+			case <-t.C:
+				if err := client.Heartbeat(lctx, l.LeaseID); err != nil {
+					if IsStatus(err, http.StatusGone) {
+						logf("lease %s expired under us, abandoning", l.LeaseID)
+						cancel()
+						return
+					}
+					reg.Counter("simd.heartbeat_errors").Inc()
+				}
+			}
+		}
+	}()
+
+	cfg := campaign.Config{
+		Name:    l.Name,
+		Trials:  built.Trials,
+		Workers: opts.Workers,
+		Seed:    l.Spec.Seed,
+		Metrics: opts.Metrics,
+		Tracer:  opts.Tracer,
+	}
+	for lo := l.Lo; lo < l.Hi; lo += opts.Batch {
+		hi := lo + opts.Batch
+		if hi > l.Hi {
+			hi = l.Hi
+		}
+		results, err := campaign.RunRange(lctx, cfg, built.Fn, lo, hi)
+		if err != nil {
+			if lctx.Err() != nil {
+				return nil // lease lost or shutdown; abandon quietly
+			}
+			return fmt.Errorf("run [%d,%d): %w", lo, hi, err)
+		}
+		resp, err := client.Results(lctx, ResultsRequest{
+			CampaignID: l.CampaignID, LeaseID: l.LeaseID,
+			Results:  results,
+			Complete: hi == l.Hi,
+		})
+		if err != nil {
+			if IsStatus(err, http.StatusGone) || lctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("report [%d,%d): %w", lo, hi, err)
+		}
+		reg.Counter("simd.trials_reported").Add(int64(len(results)))
+		if resp.State == "done" || resp.State == "failed" {
+			logf("lease %s: campaign %s %s", l.LeaseID, l.CampaignID, resp.State)
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package obs
+
+import "sync"
+
+// ProgressMux merges named progress sources into one /progress
+// payload, for processes that track several workloads at once: the
+// campaign dispatcher registers one source per campaign (each a
+// campaign.ProgressTracker snapshot with rate/ETA) next to a fleet
+// overview, and sources come and go as campaigns are submitted and
+// retired. Safe for concurrent use; plug Snapshot into
+// Options.Progress or Handler.SetProgress.
+type ProgressMux struct {
+	mu      sync.Mutex
+	sources map[string]func() any
+}
+
+// NewProgressMux returns an empty mux.
+func NewProgressMux() *ProgressMux {
+	return &ProgressMux{sources: make(map[string]func() any)}
+}
+
+// Set installs (or replaces) the named source. A nil fn removes it.
+func (m *ProgressMux) Set(name string, fn func() any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if fn == nil {
+		delete(m.sources, name)
+		return
+	}
+	m.sources[name] = fn
+}
+
+// Delete removes the named source; unknown names are a no-op.
+func (m *ProgressMux) Delete(name string) { m.Set(name, nil) }
+
+// Snapshot polls every source and returns name → payload. The map
+// marshals with sorted keys, so the JSON rendering is stable. Sources
+// are called outside the mux lock — a slow source never blocks
+// Set/Delete.
+func (m *ProgressMux) Snapshot() any {
+	m.mu.Lock()
+	fns := make(map[string]func() any, len(m.sources))
+	for name, fn := range m.sources {
+		fns[name] = fn
+	}
+	m.mu.Unlock()
+	out := make(map[string]any, len(fns))
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	return out
+}

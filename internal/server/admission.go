@@ -1,0 +1,47 @@
+package server
+
+import "sync/atomic"
+
+// Admission is the shared load-shedding gate of the dmfb services: a
+// hard bound on admitted-but-unfinished work, beyond which a service
+// answers 429 immediately instead of building an unbounded backlog.
+// The compile-and-simulate server gates requests with it
+// (Workers running + QueueDepth waiting) and the campaign dispatcher
+// gates unfinished campaigns. Zero value is unusable; build with
+// NewAdmission.
+type Admission struct {
+	limit   int64
+	pending atomic.Int64
+}
+
+// NewAdmission returns a gate admitting at most limit concurrent
+// units; limit < 1 is clamped to 1.
+func NewAdmission(limit int) *Admission {
+	if limit < 1 {
+		limit = 1
+	}
+	return &Admission{limit: int64(limit)}
+}
+
+// Admit reserves one slot. It reports the number of units in flight
+// after the call and whether the caller was admitted; on false the
+// reservation was already rolled back and n is the in-flight count
+// that caused the rejection.
+func (a *Admission) Admit() (n int64, ok bool) {
+	n = a.pending.Add(1)
+	if n > a.limit {
+		a.pending.Add(-1)
+		return n - 1, false
+	}
+	return n, true
+}
+
+// Release returns one admitted slot and reports the remaining
+// in-flight count.
+func (a *Admission) Release() int64 { return a.pending.Add(-1) }
+
+// Pending returns the current in-flight count.
+func (a *Admission) Pending() int64 { return a.pending.Load() }
+
+// Limit returns the admission bound.
+func (a *Admission) Limit() int64 { return a.limit }

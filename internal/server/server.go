@@ -88,9 +88,8 @@ type Server struct {
 	cache  *pcache.Cache
 	mux    *http.ServeMux
 
-	slots   chan struct{} // worker pool; holding a token = annealing
-	limit   int64         // Workers + QueueDepth admission bound
-	pending atomic.Int64  // admitted requests not yet finished
+	slots chan struct{} // worker pool; holding a token = annealing
+	adm   *Admission    // Workers + QueueDepth admission bound
 
 	draining atomic.Bool
 	inflight sync.WaitGroup
@@ -142,7 +141,7 @@ func New(opts Options) *Server {
 		tracer:  opts.Tracer,
 		cache:   pcache.New(opts.CacheBytes, reg),
 		slots:   make(chan struct{}, opts.Workers),
-		limit:   int64(opts.Workers + opts.QueueDepth),
+		adm:     NewAdmission(opts.Workers + opts.QueueDepth),
 		run:     pipeline.Run,
 		jobs:    make(map[string]*job),
 		maxJobs: opts.MaxJobs,
@@ -296,14 +295,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, kind string) 
 	}
 
 	// Admission: Workers running + QueueDepth waiting, then shed load.
-	if n := s.pending.Add(1); n > s.limit {
-		s.pending.Add(-1)
+	n, ok := s.adm.Admit()
+	if !ok {
 		s.reg.Counter("server.rejected").Add(1)
 		s.fail(w, http.StatusTooManyRequests, "",
-			fmt.Errorf("server busy: %d requests in flight", n-1))
+			fmt.Errorf("server busy: %d requests in flight", n))
 		return
 	}
-	s.reg.Gauge("server.pending").Set(float64(s.pending.Load()))
+	s.reg.Gauge("server.pending").Set(float64(n))
 
 	j := s.newJob(kind)
 	s.inflight.Add(1)
@@ -325,8 +324,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, kind string) 
 func (s *Server) execute(ctx context.Context, j *job, kind string, sr *SimulateRequest, preq pipeline.Request) {
 	defer s.inflight.Done()
 	defer func() {
-		s.pending.Add(-1)
-		s.reg.Gauge("server.pending").Set(float64(s.pending.Load()))
+		s.reg.Gauge("server.pending").Set(float64(s.adm.Release()))
 	}()
 
 	select {
@@ -585,7 +583,7 @@ func (s *Server) progressSnapshot() any {
 	jobs := len(s.jobs)
 	s.jobsMu.Unlock()
 	return map[string]any{
-		"pending":  s.pending.Load(),
+		"pending":  s.adm.Pending(),
 		"workers":  cap(s.slots),
 		"busy":     len(s.slots),
 		"jobs":     jobs,

@@ -221,7 +221,7 @@ func TestAdmissionControl(t *testing.T) {
 	}
 	<-started // the worker slot is taken
 	// Wait until the second request is admitted and queued.
-	for i := 0; s.pending.Load() < 2; i++ {
+	for i := 0; s.adm.Pending() < 2; i++ {
 		if i > 1000 {
 			t.Fatal("second request never queued")
 		}

@@ -1,0 +1,60 @@
+#!/bin/sh
+# dispatch_smoke.sh — end-to-end smoke test of the distributed
+# campaign service with real binaries: boot dmfb-dispatch on a free
+# port, attach two dmfb-simd workers, submit the seeded 512-trial
+# assay campaign, wait for completion and byte-compare the fleet's
+# merged summary against the single-process dmfb-campaign engine.
+# Exercises the real processes (flags, listener, lease protocol,
+# graceful SIGTERM) where the unit tests use httptest.
+set -eu
+
+bin=${1:?usage: dispatch_smoke.sh <dir with dmfb-dispatch, dmfb-simd, dmfb-campaign>}
+tmp=$(mktemp -d)
+dpid=
+w1pid=
+w2pid=
+trap 'kill "$dpid" "$w1pid" "$w2pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+"$bin/dmfb-dispatch" serve -addr 127.0.0.1:0 -chunk 64 -state "$tmp/state" 2> "$tmp/stderr" &
+dpid=$!
+
+url=
+for _ in $(seq 1 100); do
+    url=$(sed -n 's#^dmfb-dispatch: listening on \(http://.*\)$#\1#p' "$tmp/stderr")
+    [ -n "$url" ] && break
+    kill -0 "$dpid" 2>/dev/null || { echo "dispatcher died at startup:"; cat "$tmp/stderr"; exit 1; }
+    sleep 0.1
+done
+[ -n "$url" ] || { echo "dispatcher never reported its address"; cat "$tmp/stderr"; exit 1; }
+
+"$bin/dmfb-simd" -dispatcher "$url" -name smoke1 -max-idle 5s 2> "$tmp/w1.log" &
+w1pid=$!
+"$bin/dmfb-simd" -dispatcher "$url" -name smoke2 -max-idle 5s 2> "$tmp/w2.log" &
+w2pid=$!
+
+out=$("$bin/dmfb-dispatch" submit -to "$url" \
+    -mode assay -k 1 -recovery l1 -trials 512 -seed 5)
+echo "$out"
+id=$(echo "$out" | awk '{print $2}')
+[ -n "$id" ] || { echo "no campaign id in submit output"; exit 1; }
+
+"$bin/dmfb-dispatch" wait -to "$url" -timeout 120s -summary "$tmp/dist.json" "$id"
+
+"$bin/dmfb-campaign" -mode assay -k 1 -recovery l1 -trials 512 -seed 5 \
+    -quiet -summary "$tmp/single.json" > /dev/null
+
+cmp -s "$tmp/dist.json" "$tmp/single.json" || {
+    echo "distributed summary differs from single-process engine:"
+    diff "$tmp/dist.json" "$tmp/single.json" || true
+    exit 1
+}
+
+curl -fsS "$url/healthz" | grep -qx ok || { echo "/healthz failed"; exit 1; }
+curl -fsS "$url/metrics" | grep -q dmfb_dispatch_leases_issued || { echo "/metrics missing dispatch counters"; exit 1; }
+curl -fsS "$url/progress" | grep -q '"dispatcher"' || { echo "/progress missing fleet overview"; exit 1; }
+
+kill -TERM "$dpid"
+wait "$dpid" || { echo "dispatcher exited nonzero on SIGTERM:"; cat "$tmp/stderr"; exit 1; }
+wait "$w1pid" || { echo "worker 1 exited nonzero:"; cat "$tmp/w1.log"; exit 1; }
+wait "$w2pid" || { echo "worker 2 exited nonzero:"; cat "$tmp/w2.log"; exit 1; }
+echo "dispatch-smoke: ok (2-worker summary byte-identical to single-process)"
