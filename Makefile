@@ -4,6 +4,7 @@ CAMPAIGN_TRIALS ?= 10000
 CAMPAIGN_WORKERS ?= 8
 RECOVERY_TRIALS ?= 512
 SERVE_REQUESTS ?= 100
+MULTISTART_STARTS ?= 4
 
 .PHONY: all build test race vet fmtcheck errcheck fuzz bench benchquick serve-smoke dispatch-smoke ci clean
 
@@ -47,6 +48,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzPlanModule$$' -fuzztime $(FUZZTIME) ./internal/reconfig/
 	$(GO) test -run '^$$' -fuzz '^FuzzRecover$$' -fuzztime $(FUZZTIME) ./internal/reconfig/
 	$(GO) test -run '^$$' -fuzz '^FuzzMiner$$' -fuzztime $(FUZZTIME) ./internal/emptyrect/
+	$(GO) test -run '^$$' -fuzz '^FuzzRowWords$$' -fuzztime $(FUZZTIME) ./internal/grid/
 	$(GO) test -run '^$$' -fuzz '^FuzzLadder$$' -fuzztime $(FUZZTIME) ./internal/recovery/
 	$(GO) test -run '^$$' -fuzz '^FuzzChunkMerge$$' -fuzztime $(FUZZTIME) ./internal/campaign/
 
@@ -58,13 +60,21 @@ fuzz:
 # completion gain: the same RECOVERY_TRIALS-trial seeded single-fault
 # assay campaign under L1-only recovery and under the full ladder
 # (benchreport refuses the report unless the ladder strictly improves
-# completion with zero errored trials). Assembles BENCH_place.json at
-# the repo root.
+# completion with zero errored trials). The multistart experiment runs
+# the same MULTISTART_STARTS-start derived-seed search serially and in
+# parallel: benchreport refuses the report unless the winners are
+# byte-identical, and records the wall-clock speedup plus the
+# time-to-target-FTI. -prev gates the fresh report against the
+# committed one: a stage-2 ns/op regression beyond timer noise or any
+# fig8 FTI/area regression refuses the report. Assembles
+# BENCH_place.json at the repo root.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkStage|BenchmarkActiveDuring' \
 		-benchtime 200000x -benchmem ./internal/core/ ./internal/place/ \
 		| tee bench_go.out
 	$(GO) run ./cmd/dmfb-bench -exp fig8 -json bench_exp.json
+	$(GO) run ./cmd/dmfb-bench -exp multistart -starts $(MULTISTART_STARTS) \
+		-json bench_multistart.json
 	$(GO) run ./cmd/dmfb-campaign -trials $(CAMPAIGN_TRIALS) -k 3 -workers 1 \
 		-quiet -json bench_campaign1.json
 	$(GO) run ./cmd/dmfb-campaign -trials $(CAMPAIGN_TRIALS) -k 3 -workers $(CAMPAIGN_WORKERS) \
@@ -78,10 +88,12 @@ bench:
 	$(GO) run ./tools/benchreport -go bench_go.out -exp bench_exp.json \
 		-campaign1 bench_campaign1.json -campaignN bench_campaignN.json \
 		-assay-l1 bench_assay_l1.json -assay-ladder bench_assay_ladder.json \
-		-serve bench_serve.json \
+		-serve bench_serve.json -multistart bench_multistart.json \
+		-prev BENCH_place.json \
 		-out BENCH_place.json
 	rm -f bench_go.out bench_exp.json bench_campaign1.json bench_campaignN.json \
-		bench_assay_l1.json bench_assay_ladder.json bench_serve.json
+		bench_assay_l1.json bench_assay_ladder.json bench_serve.json \
+		bench_multistart.json
 
 benchquick:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...

@@ -1,11 +1,15 @@
 // dmfb-fti computes the fault tolerance index of a placement (paper
 // Section 5), prints the C-coverage map, and optionally cross-checks
-// against exhaustive single-fault injection.
+// against exhaustive single-fault injection. Instead of a ready
+// placement it can take a schedule and run the two-stage fault-
+// tolerant placer itself (with the shared -starts/-anneal-workers
+// multi-start search group) before analysing.
 //
 // Usage:
 //
 //	dmfb-fti -placement placement.json
 //	dmfb-fti -placement placement.json -verify -montecarlo 10000
+//	dmfb-fti -schedule schedule.json -beta 30 -starts 8
 package main
 
 import (
@@ -23,23 +27,17 @@ import (
 
 func main() {
 	var (
-		in         = flag.String("placement", "", "placement JSON from dmfb-place (required)")
+		in         = flag.String("placement", "", "placement JSON from dmfb-place")
+		schedFile  = flag.String("schedule", "", "schedule JSON: place it with the two-stage placer, then analyse")
+		beta       = flag.Float64("beta", 30, "fault-tolerance weight for -schedule placement")
 		verify     = flag.Bool("verify", false, "cross-check with exhaustive fault injection")
 		monteCarlo = flag.Int("montecarlo", 0, "additionally run N random fault trials")
-		seed       = flag.Int64("seed", 1, "Monte-Carlo seed")
+		seed       = flag.Int64("seed", 1, "Monte-Carlo and placement seed")
+		search     = cliflags.SearchFlags()
 	)
 	os.Exit(cliflags.Main("dmfb-fti", func(ts *cliflags.Session) int {
-		if *in == "" {
-			return ts.Usage(errors.New("-placement is required"))
-		}
-		p, err := pipeline.LoadPlacement(*in, os.ReadFile)
-		if err != nil {
-			return ts.Fail(err)
-		}
-
-		res, err := pipeline.Run(context.Background(), pipeline.Request{
-			Tool:      "dmfb-fti",
-			Placement: p,
+		req := pipeline.Request{
+			Tool: "dmfb-fti",
 			FTI: &pipeline.FTISpec{
 				Verify:     *verify,
 				MonteCarlo: *monteCarlo,
@@ -47,10 +45,34 @@ func main() {
 			},
 			Tracer:  ts.Tracer,
 			Metrics: ts.Metrics,
-		})
+		}
+		switch {
+		case *in != "":
+			p, err := pipeline.LoadPlacement(*in, os.ReadFile)
+			if err != nil {
+				return ts.Fail(err)
+			}
+			req.Placement = p
+		case *schedFile != "":
+			sched, err := pipeline.LoadSchedule(*schedFile, nil, os.ReadFile)
+			if err != nil {
+				return ts.Fail(err)
+			}
+			req.Schedule = sched
+			req.Place = &pipeline.PlaceSpec{
+				Placer:  "twostage",
+				Options: dmfb.PlacerOptions{Seed: *seed, Search: *search},
+				FT:      dmfb.FTOptions{Beta: *beta},
+			}
+		default:
+			return ts.Usage(errors.New("-placement or -schedule is required"))
+		}
+
+		res, err := pipeline.Run(context.Background(), req)
 		if err != nil {
 			return ts.Fail(err)
 		}
+		p := res.Placement
 
 		r := *res.FTI
 		fmt.Print(dmfb.RenderCoverage(r))

@@ -31,6 +31,7 @@ func main() {
 		out       = flag.String("o", "", "write the placement as JSON")
 		svg       = flag.String("svg", "", "write the placement as SVG")
 		coverage  = flag.Bool("coverage", false, "print the C-coverage map")
+		search    = cliflags.SearchFlags()
 	)
 	os.Exit(cliflags.Main("dmfb-place", func(ts *cliflags.Session) int {
 		sched, err := pipeline.LoadSchedule(*schedFile, nil, os.ReadFile)
@@ -43,7 +44,7 @@ func main() {
 			Schedule: sched,
 			Place: &pipeline.PlaceSpec{
 				Placer:  *placer,
-				Options: dmfb.PlacerOptions{Seed: *seed},
+				Options: dmfb.PlacerOptions{Seed: *seed, Search: *search},
 				FT:      dmfb.FTOptions{Beta: *beta},
 			},
 			FTI:     &pipeline.FTISpec{},

@@ -127,6 +127,11 @@ type (
 	// gives the paper's parameters (T0 = 10000, α = 0.9,
 	// N = 400 × #modules, p = 0.8).
 	PlacerOptions = core.Options
+	// SearchOptions configures deterministic multi-start annealing
+	// (PlacerOptions.Search): Starts independent runs with splitmix64-
+	// derived seeds, fanned across at most Workers goroutines, winner
+	// byte-identical for a given seed at any worker count.
+	SearchOptions = place.SearchOptions
 	// FTOptions configures stage 2 of the fault-tolerant placer.
 	FTOptions = core.FTOptions
 	// PlacerStats reports annealing effort.

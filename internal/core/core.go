@@ -24,10 +24,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 
 	"dmfb/internal/anneal"
+	"dmfb/internal/campaign"
 	"dmfb/internal/fti"
 	"dmfb/internal/geom"
 	"dmfb/internal/place"
@@ -141,6 +143,15 @@ type Options struct {
 	// the paper's stopping criterion.
 	WindowPatience int
 
+	// Search configures deterministic multi-start annealing: TwoStage
+	// fans out Search.Starts independent two-stage runs (splitmix64-
+	// derived per-start seeds, start 0 = the base seed) across at most
+	// Search.Workers goroutines and keeps the lowest-cost result, with
+	// ties broken by lowest start index. The winner is byte-identical
+	// for a given seed at any worker count. Single-stage placers ignore
+	// it (AnnealAreaBestOf predates it and keeps its seed+i semantics).
+	Search place.SearchOptions
+
 	// Observer, if non-nil, receives annealing progress notifications
 	// (per temperature level and on best-cost improvement) from every
 	// annealing run these options configure. Wire telemetry through it
@@ -191,6 +202,7 @@ func (o Options) Canonicalized() Options {
 	c := o.withDefaults(0)
 	c.Observer = nil
 	c.Metrics = nil
+	c.Search = c.Search.Normalized()
 	return c
 }
 
@@ -649,12 +661,35 @@ type TwoStageResult struct {
 	Final       *place.Placement
 	Stage1Stats Stats
 	Stage2Stats Stats
+	// Start and Seed identify the winning start of a multi-start run:
+	// the start index (0 for a single start) and the derived seed it
+	// annealed with.
+	Start int
+	Seed  int64
 }
 
-// TwoStage runs the enhanced module placement algorithm of
-// Section 6.2: fault-oblivious area minimisation followed by LTSA
-// refinement of fault tolerance.
-func TwoStage(prob Problem, opts Options, ft FTOptions) (TwoStageResult, error) {
+// startOptions resolves the options of start i of a multi-start run:
+// the base seed is Options.Seed unless Search.Seed overrides it, start
+// 0 runs the base seed unchanged (so a single start is bit-identical
+// to a plain run), and start i ≥ 1 runs the splitmix64-derived stream
+// seed shared with the campaign runner's per-trial derivation. Search
+// is cleared so the per-start run cannot fan out again.
+func startOptions(opts Options, i int) Options {
+	o := opts
+	base := opts.Seed
+	if opts.Search.Seed != 0 {
+		base = opts.Search.Seed
+	}
+	if i > 0 {
+		base = campaign.DeriveSeed(base, uint64(i))
+	}
+	o.Seed = base
+	o.Search = place.SearchOptions{}
+	return o
+}
+
+// twoStageOne runs one two-stage placement with the options as given.
+func twoStageOne(prob Problem, opts Options, ft FTOptions) (TwoStageResult, error) {
 	s1, st1, err := AnnealArea(prob, opts)
 	if err != nil {
 		return TwoStageResult{}, err
@@ -663,7 +698,70 @@ func TwoStage(prob Problem, opts Options, ft FTOptions) (TwoStageResult, error) 
 	if err != nil {
 		return TwoStageResult{}, err
 	}
-	return TwoStageResult{Stage1: s1, Final: s2, Stage1Stats: st1, Stage2Stats: st2}, nil
+	return TwoStageResult{
+		Stage1: s1, Final: s2,
+		Stage1Stats: st1, Stage2Stats: st2,
+		Seed: opts.Seed,
+	}, nil
+}
+
+// TwoStage runs the enhanced module placement algorithm of
+// Section 6.2: fault-oblivious area minimisation followed by LTSA
+// refinement of fault tolerance.
+//
+// With opts.Search.Starts > 1 it becomes a deterministic parallel
+// multi-start search: that many independent two-stage runs fan out
+// across at most opts.Search.Workers goroutines (one per CPU when 0),
+// each with the per-start seed described by place.SearchOptions, and
+// the run with the lowest stage-2 final cost wins, ties broken by
+// lowest start index. Starts are compared in index order over the
+// fully collected result slice, so the winner — placements, stats,
+// everything — is byte-identical for a given seed at any worker
+// count. Simulated annealing restarts share nothing mutable: the
+// problem is immutable and every kernel, RNG, and FTI cache is
+// goroutine-private.
+func TwoStage(prob Problem, opts Options, ft FTOptions) (TwoStageResult, error) {
+	starts := opts.Search.Starts
+	if starts <= 1 {
+		return twoStageOne(prob, startOptions(opts, 0), ft)
+	}
+	workers := opts.Search.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > starts {
+		workers = starts
+	}
+	type outcome struct {
+		res TwoStageResult
+		err error
+	}
+	results := make([]outcome, starts)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < starts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := twoStageOne(prob, startOptions(opts, i), ft)
+			r.Start = i
+			results[i] = outcome{r, err}
+		}(i)
+	}
+	wg.Wait()
+
+	best := -1
+	for i := range results {
+		if results[i].err != nil {
+			return TwoStageResult{}, fmt.Errorf("core: multi-start %d: %w", i, results[i].err)
+		}
+		if best < 0 || results[i].res.Stage2Stats.FinalCost < results[best].res.Stage2Stats.FinalCost {
+			best = i
+		}
+	}
+	return results[best].res, nil
 }
 
 // SweepPoint is one row of the paper's Table 2.

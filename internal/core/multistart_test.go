@@ -1,0 +1,132 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"dmfb/internal/campaign"
+	"dmfb/internal/place"
+)
+
+// The multi-start determinism contract (place.SearchOptions): for a
+// fixed base seed and start count, the winning placement is
+// byte-identical at any worker count, start 0 reproduces a plain
+// single-start run, and per-start seeds follow the campaign runner's
+// splitmix64 stream derivation. These tests run under -race in CI, so
+// they also police the "starts share nothing mutable" claim.
+
+// multiStartOptions keeps the fan-out cheap enough to run three times.
+func multiStartOptions(seed int64) Options {
+	return Options{Seed: seed, ItersPerModule: 60, WindowPatience: 4}
+}
+
+func TestMultiStartByteIdenticalAcrossWorkers(t *testing.T) {
+	prob := pcrProblem()
+	ft := FTOptions{Beta: 50}
+	base := multiStartOptions(42)
+	base.Search = place.SearchOptions{Starts: 4}
+
+	var ref TwoStageResult
+	for i, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		o := base
+		o.Search.Workers = workers
+		res, err := TwoStage(prob, o, ft)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Fatalf("workers=%d: result diverged from workers=1\nref:  start %d seed %d final %v\ngot:  start %d seed %d final %v",
+				workers, ref.Start, ref.Seed, ref.Final, res.Start, res.Seed, res.Final)
+		}
+	}
+
+	// The winner's seed must be the documented stream derivation.
+	wantSeed := base.Seed
+	if ref.Start > 0 {
+		wantSeed = campaign.DeriveSeed(base.Seed, uint64(ref.Start))
+	}
+	if ref.Seed != wantSeed {
+		t.Fatalf("winner start %d carries seed %d, want derived %d", ref.Start, ref.Seed, wantSeed)
+	}
+
+	// The winner must reproduce as a standalone single-start run with
+	// its derived seed: multi-start is pure selection, not mutation.
+	solo, err := twoStageOne(prob, startOptions(base, ref.Start), ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(solo.Final, ref.Final) || !reflect.DeepEqual(solo.Stage1, ref.Stage1) {
+		t.Fatalf("winner (start %d) does not reproduce standalone:\nsolo:\n%s\nmulti:\n%s",
+			ref.Start, solo.Final, ref.Final)
+	}
+
+	// The winner actually is the argmin over the per-start runs, ties
+	// to the lowest index.
+	for i := 0; i < base.Search.Starts; i++ {
+		r, err := twoStageOne(prob, startOptions(base, i), ft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Stage2Stats.FinalCost < ref.Stage2Stats.FinalCost ||
+			(r.Stage2Stats.FinalCost == ref.Stage2Stats.FinalCost && i < ref.Start) {
+			t.Fatalf("start %d (cost %g) beats declared winner %d (cost %g)",
+				i, r.Stage2Stats.FinalCost, ref.Start, ref.Stage2Stats.FinalCost)
+		}
+	}
+}
+
+// TestMultiStartSingleBackCompat pins that every "one start" spelling
+// — zero Search, Starts 1, extra workers — is byte-identical to the
+// historical single-start TwoStage for the same seed.
+func TestMultiStartSingleBackCompat(t *testing.T) {
+	prob := pcrProblem()
+	ft := FTOptions{Beta: 50}
+	plain, err := TwoStage(prob, multiStartOptions(7), ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []place.SearchOptions{
+		{Starts: 1},
+		{Starts: 1, Workers: 8},
+		{Workers: 2},
+	} {
+		o := multiStartOptions(7)
+		o.Search = s
+		res, err := TwoStage(prob, o, ft)
+		if err != nil {
+			t.Fatalf("%+v: %v", s, err)
+		}
+		if !reflect.DeepEqual(res, plain) {
+			t.Fatalf("%+v: diverged from plain single-start run", s)
+		}
+	}
+}
+
+// TestMultiStartSeedOverride pins that Search.Seed replaces the base
+// seed of the whole start family.
+func TestMultiStartSeedOverride(t *testing.T) {
+	prob := pcrProblem()
+	ft := FTOptions{Beta: 50}
+
+	a := multiStartOptions(3)
+	a.Search = place.SearchOptions{Starts: 2, Seed: 99}
+	ra, err := TwoStage(prob, a, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := multiStartOptions(99) // same family spelled via the base seed
+	b.Search = place.SearchOptions{Starts: 2}
+	rb, err := TwoStage(prob, b, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatal("Search.Seed=99 should equal base Seed=99 for the same start count")
+	}
+}

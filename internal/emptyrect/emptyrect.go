@@ -41,59 +41,136 @@ func AppendMaximal(dst []geom.Rect, g *grid.Grid) []geom.Rect {
 
 // Miner enumerates maximal empty rectangles with reusable scan
 // buffers, so hot loops (the incremental FTI kernel re-mines MERs on
-// every annealing move) run allocation-free. The zero value is ready
-// to use; a Miner must not be shared between goroutines.
+// every annealing move) run allocation-free. The rows of the grid are
+// consumed through the bit-packed word API, never per-cell reads.
+//
+// A Miner is also incremental: it keeps a word snapshot of the last
+// grid it mined plus per-row caches (the up histogram after each row
+// and the rectangles whose top edge lies on each row). When asked to
+// mine again it diffs the new grid against the snapshot, replays the
+// cached emissions for every row strictly below the first dirtied row,
+// and resumes the staircase scan one row earlier (the dirtied row also
+// invalidates the blocked-above test of the row beneath it). A move
+// that perturbs one module therefore re-scans only the rows it
+// touched. Output is identical — same rectangles, same order — to a
+// from-scratch mine of the same grid.
+//
+// The zero value is ready to use; a Miner must not be shared between
+// goroutines.
 type Miner struct {
 	up        []int // free-run length ending at the current row
 	occPrefix []int // prefix of occupied cells in the row above
 	stack     []minerBar
+
+	snapW, snapH int           // dimensions the caches describe; 0 = none
+	snap         []uint64      // word copy of the last grid mined
+	upAt         []int         // h×w: up histogram after processing each row
+	emitted      [][]geom.Rect // emitted[y]: MERs whose top edge is row y
 }
 
 type minerBar struct{ start, h int }
+
+// Reset drops the incremental caches, forcing the next AppendMaximal
+// to mine from scratch. Mining stays correct without ever calling
+// Reset — the diff finds every change — but callers that know the next
+// grid is unrelated can drop the snapshot early.
+func (mn *Miner) Reset() { mn.snapW, mn.snapH = 0, 0 }
 
 // AppendMaximal appends every maximal empty rectangle of g to dst and
 // returns the extended slice. Unlike the package-level function, the
 // appended rectangles are in unspecified order — callers that need
 // determinism across runs must sort, but set-valued consumers (the
-// relocatability tests) should skip that cost.
+// relocatability tests) should skip that cost. (In the current
+// implementation the order is in fact reproducible for a given grid —
+// row-major by top edge — whether the mine ran incrementally or from
+// scratch; only the sorted contract is guaranteed.)
 func (mn *Miner) AppendMaximal(dst []geom.Rect, g *grid.Grid) []geom.Rect {
-	w, h := g.W(), g.H()
-	if cap(mn.up) < w {
-		mn.up = make([]int, w)
-		mn.occPrefix = make([]int, w+1)
-		mn.stack = make([]minerBar, 0, w+1)
-	}
-	up := mn.up[:w]
-	for i := range up {
-		up[i] = 0
-	}
-	occPrefix := mn.occPrefix[:w+1]
+	w, h, wpr := g.W(), g.H(), g.WordsPerRow()
+	words := g.Words()
 	out := dst
 
-	for y := 0; y < h; y++ {
-		row := g.Row(y)
-		for x, occ := range row {
-			if occ {
-				up[x] = 0
-			} else {
-				up[x]++
+	// Diff against the snapshot: y0 is the first row to (re)scan.
+	y0 := 0
+	if w == mn.snapW && h == mn.snapH {
+		dirty := -1
+		for i, wd := range words {
+			if wd != mn.snap[i] {
+				dirty = i / wpr
+				break
+			}
+		}
+		if dirty < 0 {
+			for y := 0; y < h; y++ {
+				out = append(out, mn.emitted[y]...)
+			}
+			return out
+		}
+		// Row dirty-1 saw row dirty in its blocked-above test, so its
+		// emissions are stale too; everything below is reusable.
+		y0 = dirty - 1
+		if y0 < 0 {
+			y0 = 0
+		}
+	} else {
+		mn.sizeCaches(w, h, wpr)
+	}
+
+	up := mn.up[:w]
+	if y0 == 0 {
+		for i := range up {
+			up[i] = 0
+		}
+	} else {
+		copy(up, mn.upAt[(y0-1)*w:y0*w])
+	}
+	for y := 0; y < y0; y++ {
+		out = append(out, mn.emitted[y]...)
+	}
+	occPrefix := mn.occPrefix[:w+1]
+
+	for y := y0; y < h; y++ {
+		row := words[y*wpr : (y+1)*wpr]
+		for wi, word := range row {
+			base := wi * wordBits
+			n := w - base
+			if n > wordBits {
+				n = wordBits
+			}
+			if word == 0 {
+				for c := 0; c < n; c++ {
+					up[base+c]++
+				}
+				continue
+			}
+			for c := 0; c < n; c++ {
+				if word&(1<<uint(c)) != 0 {
+					up[base+c] = 0
+				} else {
+					up[base+c]++
+				}
 			}
 		}
 		// Occupancy prefix sums for the row above: a candidate with top
 		// edge at row y is maximal only if it cannot grow into row y+1.
 		topRow := y == h-1
 		if !topRow {
-			above := g.Row(y + 1)
+			above := words[(y+1)*wpr : (y+2)*wpr]
 			s := 0
 			occPrefix[0] = 0
-			for x, occ := range above {
-				if occ {
-					s++
+			for wi, word := range above {
+				base := wi * wordBits
+				n := w - base
+				if n > wordBits {
+					n = wordBits
 				}
-				occPrefix[x+1] = s
+				for c := 0; c < n; c++ {
+					s += int(word>>uint(c)) & 1
+					occPrefix[base+c+1] = s
+				}
 			}
 		}
 
+		em := mn.emitted[y][:0]
 		stack := mn.stack[:0]
 		for x := 0; x <= w; x++ {
 			cur := -1 // sentinel flushes the stack at the right edge
@@ -106,7 +183,7 @@ func (mn *Miner) AppendMaximal(dst []geom.Rect, g *grid.Grid) []geom.Rect {
 				stack = stack[:len(stack)-1]
 				// Maximal only if blocked above (inclusive span b.start..x-1).
 				if b.h > 0 && (topRow || occPrefix[x]-occPrefix[b.start] > 0) {
-					out = append(out, geom.Rect{X: b.start, Y: y - b.h + 1, W: x - b.start, H: b.h})
+					em = append(em, geom.Rect{X: b.start, Y: y - b.h + 1, W: x - b.start, H: b.h})
 				}
 				start = b.start
 			}
@@ -115,8 +192,42 @@ func (mn *Miner) AppendMaximal(dst []geom.Rect, g *grid.Grid) []geom.Rect {
 			}
 		}
 		mn.stack = stack[:0]
+		mn.emitted[y] = em
+		out = append(out, em...)
+		copy(mn.upAt[y*w:(y+1)*w], up)
 	}
+
+	mn.snap = mn.snap[:wpr*h]
+	copy(mn.snap, words)
+	mn.snapW, mn.snapH = w, h
 	return out
+}
+
+// wordBits mirrors the grid package's word size; RowWords documents
+// the bit layout (bit x%64 of word x/64 is cell x).
+const wordBits = 64
+
+// sizeCaches (re)shapes the scan buffers and incremental caches for a
+// w×h grid and invalidates the snapshot.
+func (mn *Miner) sizeCaches(w, h, wpr int) {
+	if cap(mn.up) < w {
+		mn.up = make([]int, w)
+		mn.occPrefix = make([]int, w+1)
+		mn.stack = make([]minerBar, 0, w+1)
+	}
+	if cap(mn.snap) < wpr*h {
+		mn.snap = make([]uint64, wpr*h)
+	}
+	if cap(mn.upAt) < w*h {
+		mn.upAt = make([]int, w*h)
+	}
+	if cap(mn.emitted) < h {
+		em := make([][]geom.Rect, h)
+		copy(em, mn.emitted)
+		mn.emitted = em
+	}
+	mn.emitted = mn.emitted[:h]
+	mn.snapW, mn.snapH = 0, 0
 }
 
 // MaximalBrute is an exhaustive oracle used by the test suite and by

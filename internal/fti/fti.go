@@ -140,11 +140,20 @@ func newModuleEval(array geom.Rect) *moduleEval {
 // that defeat relocation to dst and reports whether any cell of mi is
 // relocatable.
 func (e *moduleEval) eval(p *place.Placement, mi int, dst []int32) ([]int32, bool) {
+	return e.evalWith(p, mi, dst, &e.miner)
+}
+
+// evalWith is eval with an explicit miner, so callers that evaluate
+// many modules repeatedly (the incremental FTI kernel) can keep one
+// miner per module: the miner's grid snapshot then diffs against the
+// same module's previous configuration and re-mines only the rows the
+// last move dirtied.
+func (e *moduleEval) evalWith(p *place.Placement, mi int, dst []int32, mn *emptyrect.Miner) ([]int32, bool) {
 	m := p.Modules[mi]
 	// Occupancy during M's time span with M removed. Any module whose
 	// span overlaps M's is an obstacle somewhere during M's operation.
 	p.FillOccupancyDuring(e.g, e.array, m.Span, mi)
-	e.mers = e.miner.AppendMaximal(e.mers[:0], e.g)
+	e.mers = mn.AppendMaximal(e.mers[:0], e.g)
 	cells := p.Rect(mi).Intersect(e.array)
 	anyRelocatable := false
 	for y := cells.Y; y < cells.MaxY(); y++ {

@@ -3,6 +3,7 @@ package fti
 import (
 	"fmt"
 
+	"dmfb/internal/emptyrect"
 	"dmfb/internal/geom"
 	"dmfb/internal/place"
 )
@@ -67,32 +68,149 @@ type Incremental struct {
 
 	// Per-module memo of the pure analysis function. Values are
 	// immutable once stored; uncovered[mi] and savedUncov alias them.
-	memo   []map[memoKey]memoVal
+	memo   []*memoTable
 	memoOK []bool // adjacency degree fits the key; coordinates checked per key
+	keyBuf [maxKeyWords]uint64
 
 	scratch *moduleEval
+	// miners[mi] is module mi's empty-rectangle miner. Each keeps a
+	// snapshot of the grid it last mined — module mi's occupancy matrix
+	// — so a memo-missing re-evaluation re-mines only the rows the move
+	// actually dirtied instead of the whole array.
+	miners []emptyrect.Miner
 
 	evals int64 // per-module evaluations performed
 	hits  int64 // per-module evaluations avoided by the caches
 }
 
-// memoKey captures every input of one module's relocatability
-// analysis: the array and the packed configuration of the module and
-// its span-overlap neighbours (footprints and spans are immutable).
-type memoKey struct {
-	aXY, aWH uint64
-	cfg      [12]uint64
-}
-
+// A memo key captures every input of one module's relocatability
+// analysis as a short run of uint64 words: word 0 packs the array
+// rectangle, word 1 the module's own configuration, and one further
+// word per span-overlap neighbour (footprints and spans are
+// immutable, so positions and orientations are the whole story). The
+// run length is fixed per module at 2+degree, bounded by maxKeyWords.
 type memoVal struct {
 	uncovered []int32
 	reloc     bool
 }
 
+// maxKeyWords bounds the memo key length: one array word, one own
+// configuration, up to 12 neighbours.
+const maxKeyWords = 14
+
 // memoCapPerModule bounds each module's memo; when exceeded the table
 // is dropped and rebuilt (exactness is unaffected — it is a cache of a
 // pure function).
 const memoCapPerModule = 4096
+
+// memoTable is an open-addressed, linear-probing hash table
+// specialised for the memo: keys are compared word-for-word in place
+// and hashed with a two-round multiply-xor mix, which profiles far
+// cheaper on the annealer's hot path than the runtime map's generic
+// treatment of a large fixed-size struct key (no 112-byte copies, no
+// AES hashing of padding slots past the module's actual degree).
+// Entries are never deleted, so probe chains have no tombstones.
+type memoTable struct {
+	keyWords int      // words per key: 2 + adjacency degree
+	mask     uint64   // len(hashes)-1; size is a power of two
+	n        int      // live entries
+	hashes   []uint64 // 0 marks an empty slot (hashKey never returns 0)
+	keys     []uint64 // slot i holds keys[i*keyWords : (i+1)*keyWords]
+	vals     []memoVal
+}
+
+func newMemoTable(keyWords int) *memoTable {
+	const initSlots = 32
+	return &memoTable{
+		keyWords: keyWords,
+		mask:     initSlots - 1,
+		hashes:   make([]uint64, initSlots),
+		keys:     make([]uint64, initSlots*keyWords),
+		vals:     make([]memoVal, initSlots),
+	}
+}
+
+// hashKey mixes the key words splitmix64-style; the result is never 0
+// so 0 can mark empty slots.
+func hashKey(key []uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, w := range key {
+		h ^= w
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 29
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+func equalKey(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *memoTable) lookup(key []uint64, h uint64) (memoVal, bool) {
+	i := h & t.mask
+	for {
+		hv := t.hashes[i]
+		if hv == 0 {
+			return memoVal{}, false
+		}
+		if hv == h && equalKey(t.keys[int(i)*t.keyWords:(int(i)+1)*t.keyWords], key) {
+			return t.vals[i], true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// insert adds a key known to be absent, growing at 3/4 load.
+func (t *memoTable) insert(key []uint64, h uint64, v memoVal) {
+	if 4*(t.n+1) > 3*len(t.hashes) {
+		t.grow()
+	}
+	i := h & t.mask
+	for t.hashes[i] != 0 {
+		i = (i + 1) & t.mask
+	}
+	t.hashes[i] = h
+	copy(t.keys[int(i)*t.keyWords:(int(i)+1)*t.keyWords], key)
+	t.vals[i] = v
+	t.n++
+}
+
+// grow doubles the table, re-slotting entries by their stored hashes.
+func (t *memoTable) grow() {
+	oldHashes, oldKeys, oldVals := t.hashes, t.keys, t.vals
+	slots := 2 * len(oldHashes)
+	t.mask = uint64(slots - 1)
+	t.hashes = make([]uint64, slots)
+	t.keys = make([]uint64, slots*t.keyWords)
+	t.vals = make([]memoVal, slots)
+	for j, h := range oldHashes {
+		if h == 0 {
+			continue
+		}
+		i := h & t.mask
+		for t.hashes[i] != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.hashes[i] = h
+		copy(t.keys[int(i)*t.keyWords:(int(i)+1)*t.keyWords], oldKeys[j*t.keyWords:(j+1)*t.keyWords])
+		t.vals[i] = oldVals[j]
+	}
+}
+
+// reset drops every entry, keeping the allocated capacity.
+func (t *memoTable) reset() {
+	clear(t.hashes)
+	clear(t.vals) // release the []int32 values to the GC
+	t.n = 0
+}
 
 // packCfg encodes module i's position and orientation. Bit 63 marks
 // the slot as used so an empty slot can never collide with a real
@@ -109,24 +227,35 @@ func packCfg(p *place.Placement, i int) (uint64, bool) {
 	return 1<<63 | uint64(x)<<32 | uint64(y)<<1 | rot, true
 }
 
-// memoKeyFor builds module mi's memo key; ok is false when the
-// configuration cannot be encoded (oversized coordinates).
-func (inc *Incremental) memoKeyFor(mi int) (memoKey, bool) {
-	var k memoKey
-	k.aXY = uint64(uint32(inc.array.X))<<32 | uint64(uint32(inc.array.Y))
-	k.aWH = uint64(uint32(inc.array.W))<<32 | uint64(uint32(inc.array.H))
+// fits16 reports whether v can be stored in 16 bits without aliasing
+// another value; arrays are placement bounding boxes (possibly margin-
+// widened), so this never fails in practice.
+func fits16(v int) bool { return v >= -1<<15 && v < 1<<15 }
+
+// memoKeyFor builds module mi's memo key into the shared key buffer;
+// ok is false when the configuration cannot be encoded (oversized
+// coordinates). The returned slice aliases inc.keyBuf and is only
+// valid until the next call.
+func (inc *Incremental) memoKeyFor(mi int) ([]uint64, bool) {
+	a := inc.array
+	if !fits16(a.X) || !fits16(a.Y) || !fits16(a.W) || !fits16(a.H) {
+		return nil, false
+	}
+	key := inc.keyBuf[:len(inc.adj[mi])+2]
+	key[0] = uint64(uint16(a.X))<<48 | uint64(uint16(a.Y))<<32 |
+		uint64(uint16(a.W))<<16 | uint64(uint16(a.H))
 	c, ok := packCfg(inc.p, mi)
 	if !ok {
-		return k, false
+		return nil, false
 	}
-	k.cfg[0] = c
+	key[1] = c
 	for t, j := range inc.adj[mi] {
 		if c, ok = packCfg(inc.p, j); !ok {
-			return k, false
+			return nil, false
 		}
-		k.cfg[t+1] = c
+		key[t+2] = c
 	}
-	return k, true
+	return key, true
 }
 
 // evalModule returns module mi's analysis for the current array and
@@ -135,21 +264,23 @@ func (inc *Incremental) memoKeyFor(mi int) (memoKey, bool) {
 func (inc *Incremental) evalModule(mi int) ([]int32, bool) {
 	if inc.memoOK[mi] {
 		if key, ok := inc.memoKeyFor(mi); ok {
-			if v, hit := inc.memo[mi][key]; hit {
+			t := inc.memo[mi]
+			h := hashKey(key)
+			if v, hit := t.lookup(key, h); hit {
 				inc.hits++
 				return v.uncovered, v.reloc
 			}
 			inc.evals++
-			u, r := inc.scratch.eval(inc.p, mi, nil)
-			if len(inc.memo[mi]) >= memoCapPerModule {
-				inc.memo[mi] = make(map[memoKey]memoVal)
+			u, r := inc.scratch.evalWith(inc.p, mi, nil, &inc.miners[mi])
+			if t.n >= memoCapPerModule {
+				t.reset()
 			}
-			inc.memo[mi][key] = memoVal{u, r}
+			t.insert(key, h, memoVal{u, r})
 			return u, r
 		}
 	}
 	inc.evals++
-	return inc.scratch.eval(inc.p, mi, nil)
+	return inc.scratch.evalWith(inc.p, mi, nil, &inc.miners[mi])
 }
 
 // NewIncremental builds the incremental evaluator for p on its current
@@ -160,14 +291,14 @@ func NewIncremental(p *place.Placement) *Incremental {
 		adj:       place.ConflictAdjacency(p.Modules),
 		uncovered: make([][]int32, len(p.Modules)),
 		reloc:     make([]bool, len(p.Modules)),
-		memo:      make([]map[memoKey]memoVal, len(p.Modules)),
+		memo:      make([]*memoTable, len(p.Modules)),
 		memoOK:    make([]bool, len(p.Modules)),
+		miners:    make([]emptyrect.Miner, len(p.Modules)),
 	}
-	var zero memoKey
 	for i := range p.Modules {
-		if len(inc.adj[i])+1 <= len(zero.cfg) {
+		if kw := len(inc.adj[i]) + 2; kw <= maxKeyWords {
 			inc.memoOK[i] = true
-			inc.memo[i] = make(map[memoKey]memoVal)
+			inc.memo[i] = newMemoTable(kw)
 		}
 	}
 	inc.rebuild(p.BoundingBox())

@@ -1,0 +1,64 @@
+package grid
+
+import (
+	"testing"
+
+	"dmfb/internal/geom"
+)
+
+// FuzzRowWords differentially fuzzes the bit-packed word API against
+// the BoolGrid oracle: arbitrary bytes decode into a grid (built
+// through SetRect spans so the word-masking paths run, not just Set),
+// and every row read through RowWords must agree cell for cell with
+// the oracle, as must RectFree and the popcount. Widths reach past 64
+// so the multi-word masks are exercised.
+func FuzzRowWords(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{64, 2, 10, 0, 30, 1, 63, 1, 2, 0})
+	f.Add([]byte{65, 3, 0, 0, 65, 1, 64, 2, 1, 1})
+	f.Add([]byte{100, 4, 90, 3, 20, 0, 0, 2, 50, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := func(i int) int {
+			if i < len(data) {
+				return int(data[i])
+			}
+			return 0
+		}
+		w := 1 + b(0)%100
+		h := 1 + b(1)%8
+		g := New(w, h)
+		o := NewBool(w, h)
+		// Each subsequent byte pair paints a horizontal span.
+		for i := 2; i+1 < len(data); i += 2 {
+			x := b(i) % (w + 2)
+			y := b(i+1) % h
+			span := 1 + b(i)%17
+			occ := b(i+1)%4 != 0
+			r := geom.Rect{X: x - 1, Y: y, W: span, H: 1 + b(i+1)%2}
+			g.SetRect(r, occ)
+			o.SetRect(r, occ)
+		}
+		for y := 0; y < h; y++ {
+			words := g.RowWords(y)
+			row := o.Row(y)
+			for x := 0; x < w; x++ {
+				got := words[x/64]&(1<<(uint(x)%64)) != 0
+				if got != row[x] {
+					t.Fatalf("%dx%d cell (%d,%d): words %v, oracle %v\n%s", w, h, x, y, got, row[x], g)
+				}
+			}
+			if pad := uint(w) % 64; pad != 0 {
+				if last := words[len(words)-1]; last&(^uint64(0)<<pad) != 0 {
+					t.Fatalf("%dx%d row %d: padding bits set", w, h, y)
+				}
+			}
+		}
+		if g.PopCount() != o.CountOccupied() {
+			t.Fatalf("%dx%d: PopCount %d, oracle %d", w, h, g.PopCount(), o.CountOccupied())
+		}
+		probe := geom.Rect{X: b(2) % w, Y: b(3) % h, W: 1 + b(4)%70, H: 1 + b(5)%4}
+		if got, want := g.RectFree(probe), o.RectFree(probe); got != want {
+			t.Fatalf("%dx%d: RectFree(%v) = %v, oracle %v\n%s", w, h, probe, got, want, g)
+		}
+	})
+}

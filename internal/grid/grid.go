@@ -3,22 +3,41 @@
 // currently operating modules, plus any cell marked faulty) are 1s and
 // free cells are 0s, exactly as in the encoding step of the paper's
 // fast fault-tolerance-index algorithm (Section 5.3).
+//
+// The matrix is bit-packed: each row is a run of 64-cell words, so
+// the hot geometric predicates — RectFree, SetRect, CountOccupied —
+// are word operations (mask tests, popcounts) instead of per-cell
+// byte loads. Scanline consumers (the maximal-empty-rectangle miner)
+// read rows through RowWords; BoolGrid retains the historical []bool
+// implementation as a differential-testing oracle.
 package grid
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"dmfb/internal/geom"
 )
 
-// Grid is a W×H boolean occupancy matrix. The zero value is unusable;
-// construct with New. Cells outside the grid are treated as occupied
-// by the query helpers, which is the natural boundary condition for
-// empty-rectangle mining and droplet routing.
+// wordBits is the cell capacity of one occupancy word.
+const wordBits = 64
+
+// WordsPerRow returns the number of uint64 words needed to hold one
+// row of w cells.
+func WordsPerRow(w int) int { return (w + wordBits - 1) / wordBits }
+
+// Grid is a W×H occupancy matrix, bit-packed one row per run of
+// 64-cell words. The zero value is unusable; construct with New.
+// Cells outside the grid are treated as occupied by the query
+// helpers, which is the natural boundary condition for
+// empty-rectangle mining and droplet routing. Bits of the last word
+// of a row beyond the grid width are always zero (free), an invariant
+// every mutator preserves so word-level readers need no edge masking.
 type Grid struct {
 	w, h  int
-	cells []bool // row-major: index = y*w + x
+	wpr   int      // words per row
+	words []uint64 // row-major: row y = words[y*wpr : (y+1)*wpr]
 }
 
 // New returns an empty (all-free) grid of the given dimensions.
@@ -28,10 +47,11 @@ func New(w, h int) *Grid {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("grid: invalid dimensions %dx%d", w, h))
 	}
-	return &Grid{w: w, h: h, cells: make([]bool, w*h)}
+	wpr := WordsPerRow(w)
+	return &Grid{w: w, h: h, wpr: wpr, words: make([]uint64, wpr*h)}
 }
 
-// FromRect returns a grid the size of bounds with the given rects
+// FromRects returns a grid the size of bounds with the given rects
 // marked occupied (rects are clipped to the grid).
 func FromRects(w, h int, rs ...geom.Rect) *Grid {
 	g := New(w, h)
@@ -64,18 +84,43 @@ func (g *Grid) Occupied(p geom.Point) bool {
 	if !g.In(p) {
 		return true
 	}
-	return g.cells[p.Y*g.w+p.X]
+	return g.words[p.Y*g.wpr+p.X/wordBits]&(1<<(uint(p.X)%wordBits)) != 0
 }
 
 // Free reports whether cell p is inside the grid and unoccupied.
 func (g *Grid) Free(p geom.Point) bool { return !g.Occupied(p) }
 
-// Row returns row y of the occupancy matrix as a shared slice (do not
-// mutate; it aliases the grid's storage). It panics if y is out of
-// range. Scanline algorithms iterate this instead of per-cell
-// Occupied calls.
+// WordsPerRow returns the number of words each row occupies in Words.
+func (g *Grid) WordsPerRow() int { return g.wpr }
+
+// Words returns the whole occupancy matrix as a shared word slice (do
+// not mutate; it aliases the grid's storage): row y occupies
+// Words()[y*WordsPerRow() : (y+1)*WordsPerRow()], bit x%64 of word
+// x/64 is cell (x, y). Bits past the grid width are always zero.
+func (g *Grid) Words() []uint64 { return g.words }
+
+// RowWords returns row y of the occupancy matrix as a shared word
+// slice (do not mutate; it aliases the grid's storage). Bit x%64 of
+// word x/64 is cell (x, y); bits past the grid width are always zero.
+// It panics if y is out of range. Scanline algorithms iterate this
+// instead of per-cell Occupied calls.
+func (g *Grid) RowWords(y int) []uint64 {
+	return g.words[y*g.wpr : (y+1)*g.wpr]
+}
+
+// Row returns row y of the occupancy matrix as a freshly allocated
+// []bool. It panics if y is out of range.
+//
+// Deprecated: Row is the pre-bit-packing read surface, kept as a
+// compatibility shim; it allocates on every call. Hot paths should
+// read RowWords (or Words) instead.
 func (g *Grid) Row(y int) []bool {
-	return g.cells[y*g.w : (y+1)*g.w]
+	row := g.RowWords(y)
+	out := make([]bool, g.w)
+	for x := range out {
+		out[x] = row[x/wordBits]&(1<<(uint(x)%wordBits)) != 0
+	}
+	return out
 }
 
 // Resize reshapes the grid to w×h and marks every cell free, reusing
@@ -85,16 +130,15 @@ func (g *Grid) Resize(w, h int) {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("grid: invalid dimensions %dx%d", w, h))
 	}
-	n := w * h
-	if cap(g.cells) < n {
-		g.cells = make([]bool, n)
+	wpr := WordsPerRow(w)
+	n := wpr * h
+	if cap(g.words) < n {
+		g.words = make([]uint64, n)
 	} else {
-		g.cells = g.cells[:n]
-		for i := range g.cells {
-			g.cells[i] = false
-		}
+		g.words = g.words[:n]
+		clear(g.words)
 	}
-	g.w, g.h = w, h
+	g.w, g.h, g.wpr = w, h, wpr
 }
 
 // Set marks cell p occupied (true) or free (false). Out-of-bounds
@@ -103,16 +147,60 @@ func (g *Grid) Set(p geom.Point, occupied bool) {
 	if !g.In(p) {
 		return
 	}
-	g.cells[p.Y*g.w+p.X] = occupied
+	bit := uint64(1) << (uint(p.X) % wordBits)
+	if occupied {
+		g.words[p.Y*g.wpr+p.X/wordBits] |= bit
+	} else {
+		g.words[p.Y*g.wpr+p.X/wordBits] &^= bit
+	}
+}
+
+// rowMask returns the masks covering columns [x0, x1) of a row: one
+// mask per word from word x0/64 through word (x1-1)/64. first and
+// last are the partial masks of the boundary words; full words in
+// between are all-ones. When the span fits one word, first == last ==
+// the single mask and wFirst == wLast.
+func rowMask(x0, x1 int) (wFirst, wLast int, first, last uint64) {
+	wFirst = x0 / wordBits
+	wLast = (x1 - 1) / wordBits
+	first = ^uint64(0) << (uint(x0) % wordBits)
+	last = ^uint64(0) >> (uint(wordBits-1-(x1-1)%wordBits) % wordBits)
+	if wFirst == wLast {
+		first &= last
+		last = first
+	}
+	return wFirst, wLast, first, last
 }
 
 // SetRect marks every cell of r (clipped to the grid) occupied or free.
 func (g *Grid) SetRect(r geom.Rect, occupied bool) {
 	c := r.Intersect(g.Bounds())
+	if c.Empty() {
+		return
+	}
+	wFirst, wLast, first, last := rowMask(c.X, c.MaxX())
 	for y := c.Y; y < c.MaxY(); y++ {
-		row := y * g.w
-		for x := c.X; x < c.MaxX(); x++ {
-			g.cells[row+x] = occupied
+		row := g.words[y*g.wpr : (y+1)*g.wpr : (y+1)*g.wpr]
+		if occupied {
+			if wFirst == wLast {
+				row[wFirst] |= first
+				continue
+			}
+			row[wFirst] |= first
+			for w := wFirst + 1; w < wLast; w++ {
+				row[w] = ^uint64(0)
+			}
+			row[wLast] |= last
+		} else {
+			if wFirst == wLast {
+				row[wFirst] &^= first
+				continue
+			}
+			row[wFirst] &^= first
+			for w := wFirst + 1; w < wLast; w++ {
+				row[w] = 0
+			}
+			row[wLast] &^= last
 		}
 	}
 }
@@ -126,10 +214,20 @@ func (g *Grid) RectFree(r geom.Rect) bool {
 	if !g.Bounds().ContainsRect(r) {
 		return false
 	}
+	wFirst, wLast, first, last := rowMask(r.X, r.MaxX())
 	for y := r.Y; y < r.MaxY(); y++ {
-		row := y * g.w
-		for x := r.X; x < r.MaxX(); x++ {
-			if g.cells[row+x] {
+		row := g.words[y*g.wpr : (y+1)*g.wpr : (y+1)*g.wpr]
+		if wFirst == wLast {
+			if row[wFirst]&first != 0 {
+				return false
+			}
+			continue
+		}
+		if row[wFirst]&first != 0 || row[wLast]&last != 0 {
+			return false
+		}
+		for w := wFirst + 1; w < wLast; w++ {
+			if row[w] != 0 {
 				return false
 			}
 		}
@@ -138,12 +236,14 @@ func (g *Grid) RectFree(r geom.Rect) bool {
 }
 
 // CountOccupied returns the number of occupied cells.
-func (g *Grid) CountOccupied() int {
+func (g *Grid) CountOccupied() int { return g.PopCount() }
+
+// PopCount returns the number of occupied cells as the popcount of
+// the word matrix (padding bits are zero by invariant).
+func (g *Grid) PopCount() int {
 	n := 0
-	for _, c := range g.cells {
-		if c {
-			n++
-		}
+	for _, w := range g.words {
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
@@ -153,16 +253,14 @@ func (g *Grid) CountFree() int { return g.Cells() - g.CountOccupied() }
 
 // Clone returns a deep copy of the grid.
 func (g *Grid) Clone() *Grid {
-	c := &Grid{w: g.w, h: g.h, cells: make([]bool, len(g.cells))}
-	copy(c.cells, g.cells)
+	c := &Grid{w: g.w, h: g.h, wpr: g.wpr, words: make([]uint64, len(g.words))}
+	copy(c.words, g.words)
 	return c
 }
 
 // Clear marks every cell free.
 func (g *Grid) Clear() {
-	for i := range g.cells {
-		g.cells[i] = false
-	}
+	clear(g.words)
 }
 
 // Equal reports whether the two grids have identical dimensions and
@@ -171,8 +269,8 @@ func (g *Grid) Equal(o *Grid) bool {
 	if g.w != o.w || g.h != o.h {
 		return false
 	}
-	for i := range g.cells {
-		if g.cells[i] != o.cells[i] {
+	for i := range g.words {
+		if g.words[i] != o.words[i] {
 			return false
 		}
 	}
@@ -184,8 +282,9 @@ func (g *Grid) Equal(o *Grid) bool {
 func (g *Grid) String() string {
 	var b strings.Builder
 	for y := g.h - 1; y >= 0; y-- {
+		row := g.RowWords(y)
 		for x := 0; x < g.w; x++ {
-			if g.cells[y*g.w+x] {
+			if row[x/wordBits]&(1<<(uint(x)%wordBits)) != 0 {
 				b.WriteByte('#')
 			} else {
 				b.WriteByte('.')

@@ -62,12 +62,15 @@ type Input struct {
 //   - Placer options are canonicalized first (zero fields take the
 //     paper's defaults, so an explicit default and a zero hash
 //     identically); Observer/Metrics never participate.
+//   - Multi-start search participates through Starts and the seed
+//     override only; Workers is a concurrency cap that never changes
+//     the result, so it must never split (or alias) a key.
 //   - FT options participate only when the placer is "twostage".
-//   - The encoding is versioned ("pcache/v1"): change the encoding,
+//   - The encoding is versioned ("pcache/v2"): change the encoding,
 //     bump the version, and every old key misses rather than aliasing.
 func Fingerprint(in Input) Key {
 	h := sha256.New()
-	fmt.Fprintln(h, "dmfb pcache/v1")
+	fmt.Fprintln(h, "dmfb pcache/v2")
 	fmt.Fprintf(h, "placer %s\n", in.Placer)
 
 	if s := in.Schedule; s != nil {
@@ -117,4 +120,7 @@ func writeOptions(w io.Writer, o core.Options) {
 	fmt.Fprintf(w, "opts seed=%d t0=%g alpha=%g iters=%d psingle=%g overlap=%g wt0=%g patience=%d\n",
 		o.Seed, o.T0, o.Alpha, o.ItersPerModule, o.PSingle,
 		o.OverlapPenalty, o.WindowT0, o.WindowPatience)
+	// o.Search is already Normalized by Canonicalized: Starts ≥ 1 and
+	// Workers cleared, so the worker count can never split a key.
+	fmt.Fprintf(w, "search starts=%d seed=%d\n", o.Search.Starts, o.Search.Seed)
 }

@@ -15,10 +15,10 @@ import (
 // Golden fingerprints for the paper's two reference assays. These pin
 // the canonical encoding: if either changes, every cache entry in the
 // wild silently misses, so a change here must be deliberate (and must
-// bump the "pcache/v1" version string).
+// bump the "pcache/v2" version string).
 const (
-	goldenPCRKey     = Key("78b5e3d6a4dc9e4301734de8eab53a434af94a8113706a2cd6f639050a8a2154")
-	goldenInvitroKey = Key("ed601123e37aa809782d24cc0ce630d5214300389320eb8b47ce31a3a8a77c3c")
+	goldenPCRKey     = Key("e63b0f1bb33a86bbc5e12c5907f6edbf43015b5829d9b078bf836731fcec533e")
+	goldenInvitroKey = Key("76949f143f3104c24b5119f8276d2ed3fc95a86f54419ad4f96442ceb835446d")
 )
 
 func pcrInput(t *testing.T) Input {
@@ -77,6 +77,20 @@ func TestFingerprintCanonicalization(t *testing.T) {
 		t.Errorf("attaching an Observer changed the key")
 	}
 
+	// Workers only caps concurrency — the multi-start winner is
+	// byte-identical at any worker count, so Workers must never split
+	// a key; "no search options" and "one start" mean the same run.
+	workers := base
+	workers.Options.Search.Workers = 7
+	if got := Fingerprint(workers); got != key {
+		t.Errorf("Search.Workers changed the key")
+	}
+	oneStart := base
+	oneStart.Options.Search.Starts = 1
+	if got := Fingerprint(oneStart); got != key {
+		t.Errorf("Search.Starts=1 changed the key of a single-start run")
+	}
+
 	// FT options are irrelevant to single-stage placers...
 	ft := base
 	ft.FT = core.FTOptions{Beta: 99}
@@ -108,6 +122,8 @@ func TestFingerprintMutations(t *testing.T) {
 		{"overlap", func(in *Input) { in.Options.OverlapPenalty = 50 }},
 		{"window_t0", func(in *Input) { in.Options.WindowT0 = 77 }},
 		{"patience", func(in *Input) { in.Options.WindowPatience = 3 }},
+		{"starts", func(in *Input) { in.Options.Search.Starts = 8 }},
+		{"search_seed", func(in *Input) { in.Options.Search.Seed = 5 }},
 		{"array_w", func(in *Input) { in.Problem.MaxW++ }},
 		{"array_h", func(in *Input) { in.Problem.MaxH++ }},
 		{"obstacle", func(in *Input) {

@@ -56,6 +56,44 @@ func ConflictPairs(mods []Module) [][2]int {
 	return out
 }
 
+// SearchOptions configures multi-start annealing search: how many
+// independent starts to run, how wide to fan them out, and the base
+// seed the per-start seeds derive from. The struct is shared by every
+// layer that exposes the search knobs — the core placers, the facade,
+// the CLI flag group, and the compile endpoint — so the options mean
+// the same thing everywhere.
+//
+// Determinism contract: for a fixed Starts and base seed, the winning
+// placement is byte-identical at any Workers value. Start 0 runs the
+// base seed unchanged (so Starts ≤ 1 reproduces a plain single-start
+// run exactly), start i ≥ 1 runs a splitmix64-derived stream seed, and
+// the best result is selected by lowest final cost with ties broken by
+// lowest start index. Workers only bounds concurrency.
+type SearchOptions struct {
+	// Starts is the number of independent annealing starts; 0 and 1
+	// both mean a single start.
+	Starts int
+	// Workers caps how many starts run concurrently; 0 means one per
+	// available CPU. Workers never affects the result, only wall-clock
+	// time, and is therefore excluded from placement-cache keys.
+	Workers int
+	// Seed, when non-zero, overrides the placer's base seed for the
+	// multi-start derivation (useful to vary the start family without
+	// touching the single-start seed).
+	Seed int64
+}
+
+// Normalized returns the options with the "single start" encodings
+// collapsed (Starts < 1 becomes 1) and the result-neutral Workers
+// field cleared — the form placement caches fingerprint.
+func (s SearchOptions) Normalized() SearchOptions {
+	if s.Starts < 1 {
+		s.Starts = 1
+	}
+	s.Workers = 0
+	return s
+}
+
 // Placement assigns each module an origin and an orientation.
 // Positions refer to a core area anchored at (0,0); the fabricated
 // array is the bounding box of the placed modules.

@@ -47,6 +47,7 @@ import (
 	"dmfb/internal/obs"
 	"dmfb/internal/pcache"
 	"dmfb/internal/pipeline"
+	"dmfb/internal/place"
 	"dmfb/internal/sim"
 	"dmfb/internal/telemetry"
 )
@@ -198,6 +199,12 @@ type CompileRequest struct {
 	Seed           int64 `json:"seed,omitempty"`
 	ItersPerModule int   `json:"iters_per_module,omitempty"`
 	WindowPatience int   `json:"window_patience,omitempty"`
+	// Multi-start search: Starts independent annealing starts with
+	// derived seeds, best result wins. Starts participates in the
+	// placement-cache key; AnnealWorkers only caps concurrency and
+	// never changes the result (or the key).
+	Starts        int `json:"starts,omitempty"`
+	AnnealWorkers int `json:"anneal_workers,omitempty"`
 	// Beta weights the fault-tolerance term of the twostage placer.
 	Beta float64 `json:"beta,omitempty"`
 
@@ -410,6 +417,7 @@ func (s *Server) buildRequest(kind string, sr *SimulateRequest) (pipeline.Reques
 				Seed:           sr.Seed,
 				ItersPerModule: sr.ItersPerModule,
 				WindowPatience: sr.WindowPatience,
+				Search:         place.SearchOptions{Starts: sr.Starts, Workers: sr.AnnealWorkers},
 			},
 			FT: core.FTOptions{Beta: sr.Beta},
 		},

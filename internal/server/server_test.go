@@ -109,6 +109,54 @@ func TestCompileTwoStageAndInvitro(t *testing.T) {
 	}
 }
 
+// TestCompileMultiStart: "starts" splits the cache key (more starts is
+// a different search, possibly a different winner) while
+// "anneal_workers" is a concurrency cap that must neither split the
+// key nor change the response bytes.
+func TestCompileMultiStart(t *testing.T) {
+	s := New(Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, single := post(t, ts, "/v1/compile",
+		`{"assay":"pcr","placer":"twostage","seed":1,"beta":30,"iters_per_module":60,"window_patience":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-start compile: %d %s", resp.StatusCode, single)
+	}
+	var base CompileResponse
+	if err := json.Unmarshal(single, &base); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, multi := post(t, ts, "/v1/compile",
+		`{"assay":"pcr","placer":"twostage","seed":1,"beta":30,"iters_per_module":60,"window_patience":4,"starts":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("multi-start compile: %d %s", resp.StatusCode, multi)
+	}
+	if h := resp.Header.Get("X-Dmfb-Cache"); h != "miss" {
+		t.Errorf("starts=3 compile X-Dmfb-Cache = %q, want miss (starts must split the key)", h)
+	}
+	var best CompileResponse
+	if err := json.Unmarshal(multi, &best); err != nil {
+		t.Fatal(err)
+	}
+	if best.CacheKey == base.CacheKey {
+		t.Error("starts=3 compile produced the same cache key as the single-start compile")
+	}
+
+	resp, capped := post(t, ts, "/v1/compile",
+		`{"assay":"pcr","placer":"twostage","seed":1,"beta":30,"iters_per_module":60,"window_patience":4,"starts":3,"anneal_workers":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("capped multi-start compile: %d %s", resp.StatusCode, capped)
+	}
+	if h := resp.Header.Get("X-Dmfb-Cache"); h != "hit" {
+		t.Errorf("anneal_workers=1 repeat X-Dmfb-Cache = %q, want hit (workers must not split the key)", h)
+	}
+	if !bytes.Equal(multi, capped) {
+		t.Error("anneal_workers changed the compile response bytes")
+	}
+}
+
 func TestSimulateDeterministic(t *testing.T) {
 	s := New(Options{Workers: 2})
 	ts := httptest.NewServer(s.Handler())

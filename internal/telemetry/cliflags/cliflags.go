@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"dmfb/internal/obs"
+	"dmfb/internal/place"
 	"dmfb/internal/reconfig"
 	"dmfb/internal/router"
 	"dmfb/internal/telemetry"
@@ -59,6 +60,28 @@ func RegisterOn(fs *flag.FlagSet) *Config {
 	fs.StringVar(&c.ProfileDir, "profile", "", "write cpu.pprof and heap.pprof to `dir` on exit")
 	fs.StringVar(&c.OpsAddr, "ops", "", "serve live /metrics, /healthz, /progress and /debug/pprof on `addr` (\":0\" picks a free port)")
 	return c
+}
+
+// SearchFlags installs the shared multi-start annealing group on the
+// default flag set: -starts (independent annealing starts, best
+// result wins) and -anneal-workers (concurrency cap). Every tool that
+// anneals placements registers the same two flags, so the search
+// surface reads identically across dmfb-place, dmfb-fti and
+// dmfb-bench. The base seed stays the tool's own -seed flag. Call
+// before flag.Parse; assign the result to PlacerOptions.Search.
+func SearchFlags() *place.SearchOptions {
+	return SearchFlagsOn(flag.CommandLine)
+}
+
+// SearchFlagsOn installs the multi-start search flags on an explicit
+// flag set.
+func SearchFlagsOn(fs *flag.FlagSet) *place.SearchOptions {
+	s := &place.SearchOptions{}
+	fs.IntVar(&s.Starts, "starts", 1,
+		"run `n` independent annealing starts with derived seeds and keep the best result (deterministic at any worker count)")
+	fs.IntVar(&s.Workers, "anneal-workers", 0,
+		"cap concurrent annealing starts at `n` (0 = one per CPU; affects wall-clock only, never results)")
+	return s
 }
 
 // Main is the shared entry point of the dmfb CLIs: it registers the

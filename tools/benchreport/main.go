@@ -11,6 +11,11 @@
 // and exp.json is the output of `dmfb-bench -json`. The report derives
 // the stage-2 ns-per-iteration speedup from the Stage2IterClone /
 // Stage2IterMove pair; the repository's acceptance bar is ≥5×.
+// -multistart folds in the deterministic parallel multi-start search
+// measurements (refused unless the winners are byte-identical across
+// worker counts), and -prev refuses the report outright when the
+// stage-2 kernel or the seeded fig8 experiment regresses against a
+// previous report.
 package main
 
 import (
@@ -66,6 +71,26 @@ type report struct {
 	SurvivalLadder float64 `json:"survival_ladder,omitempty"`
 	SurvivalGain   float64 `json:"survival_gain,omitempty"`
 
+	// Multi-start annealing: the same N-start derived-seed twostage
+	// search run with a 1-worker cap and with one worker per CPU
+	// (dmfb-bench -exp multistart). The winners must be byte-identical
+	// — the report is refused otherwise — and the wall-clock ratio is
+	// the multi-start speedup. The single-start run's FTI is the
+	// target; to-target is the parallel run's wall-clock when its
+	// winner meets the target (0 = not reached). On fewer than 4 CPUs
+	// the speedup is ~1 by construction, so the ≥2x refusal only
+	// applies when the recording machine has 4 or more.
+	MultistartStarts          int     `json:"multistart_starts,omitempty"`
+	MultistartCPUs            int     `json:"multistart_cpus,omitempty"`
+	MultistartSingleMS        float64 `json:"multistart_single_ms,omitempty"`
+	MultistartSerialMS        float64 `json:"multistart_serial_ms,omitempty"`
+	MultistartParallelMS      float64 `json:"multistart_parallel_ms,omitempty"`
+	MultistartSpeedup         float64 `json:"multistart_speedup,omitempty"`
+	MultistartWinnerIdentical bool    `json:"multistart_winner_identical,omitempty"`
+	MultistartTargetFTI       float64 `json:"multistart_target_fti,omitempty"`
+	MultistartWinnerFTI       float64 `json:"multistart_winner_fti,omitempty"`
+	ToTargetFTIMS             float64 `json:"wallclock_to_target_fti_ms,omitempty"`
+
 	// Server throughput: dmfb-server -replay against its own listener
 	// (mixed PCR/in-vitro compile requests through the placement
 	// cache). The report is refused unless the hit rate matches the
@@ -114,6 +139,40 @@ func readCampaign(path string) campaignRun {
 	return c
 }
 
+// expRun is the slice of one dmfb-bench -json experiment record the
+// report needs for measurement extraction.
+type expRun struct {
+	Experiment   string `json:"experiment"`
+	Measurements []struct {
+		Name     string  `json:"name"`
+		Measured float64 `json:"measured"`
+	} `json:"measurements"`
+}
+
+func readExpRuns(path string, raw []byte) []expRun {
+	var runs []expRun
+	if err := json.Unmarshal(raw, &runs); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return runs
+}
+
+// measure returns the named measurement of the named experiment, or
+// (0, false) when either is absent.
+func measure(runs []expRun, exp, name string) (float64, bool) {
+	for _, r := range runs {
+		if r.Experiment != exp {
+			continue
+		}
+		for _, m := range r.Measurements {
+			if m.Name == name {
+				return m.Measured, true
+			}
+		}
+	}
+	return 0, false
+}
+
 // benchLine matches one line of `go test -bench -benchmem` output, e.g.
 //
 //	BenchmarkStage2IterMove-8   300000   743.2 ns/op   49 B/op   0 allocs/op
@@ -128,6 +187,8 @@ func main() {
 	assayL1 := flag.String("assay-l1", "", "`file` holding dmfb-campaign -mode assay -recovery l1 -json output (optional)")
 	assayLadder := flag.String("assay-ladder", "", "`file` holding dmfb-campaign -mode assay -recovery ladder -json output (optional)")
 	serveJSON := flag.String("serve", "", "`file` holding dmfb-server -replay -json output (optional)")
+	multistartJSON := flag.String("multistart", "", "`file` holding dmfb-bench -exp multistart -json output (optional)")
+	prev := flag.String("prev", "", "previous report `file`; refuse stage-2 ns/op or fig8 regressions against it (skipped with a warning when unreadable)")
 	out := flag.String("out", "BENCH_place.json", "output `file`")
 	flag.Parse()
 	if *goOut == "" {
@@ -239,6 +300,43 @@ func main() {
 		rep.SurvivalGain = round2(sl.SurvivalRate - s1.SurvivalRate)
 	}
 
+	if *multistartJSON != "" {
+		raw, err := os.ReadFile(*multistartJSON)
+		if err != nil {
+			fatal(err)
+		}
+		runs := readExpRuns(*multistartJSON, raw)
+		get := func(name string) float64 {
+			v, ok := measure(runs, "multistart", name)
+			if !ok {
+				fatal(fmt.Errorf("%s: multistart experiment has no %q measurement", *multistartJSON, name))
+			}
+			return v
+		}
+		identical := get("winner_identical") == 1
+		if !identical {
+			fatal(fmt.Errorf("multi-start winners differ across worker counts — determinism broken"))
+		}
+		rep.MultistartStarts = int(get("starts"))
+		rep.MultistartCPUs = int(get("cpus"))
+		rep.MultistartSingleMS = round2(get("single_start_ms"))
+		rep.MultistartSerialMS = round2(get("serial_ms"))
+		rep.MultistartParallelMS = round2(get("parallel_ms"))
+		rep.MultistartSpeedup = round2(get("multistart_speedup"))
+		rep.MultistartWinnerIdentical = identical
+		rep.MultistartTargetFTI = get("target_fti")
+		rep.MultistartWinnerFTI = get("winner_fti")
+		rep.ToTargetFTIMS = round2(get("to_target_fti_ms"))
+		if rep.MultistartCPUs >= 4 && rep.MultistartSpeedup < 2 {
+			fatal(fmt.Errorf("multi-start speedup %.2fx on %d CPUs, want >= 2x",
+				rep.MultistartSpeedup, rep.MultistartCPUs))
+		}
+		if rep.MultistartWinnerFTI < rep.MultistartTargetFTI {
+			fatal(fmt.Errorf("multi-start winner FTI %.4f below single-start target %.4f — best-of selection regressed",
+				rep.MultistartWinnerFTI, rep.MultistartTargetFTI))
+		}
+	}
+
 	if *serveJSON != "" {
 		raw, err := os.ReadFile(*serveJSON)
 		if err != nil {
@@ -266,6 +364,10 @@ func main() {
 		rep.ServeCacheHitRate = sr.CacheHitRate
 	}
 
+	if *prev != "" {
+		checkRegression(*prev, rep)
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -280,6 +382,10 @@ func main() {
 	if rep.CampaignSpeedup > 0 {
 		fmt.Printf(", campaign %d-worker speedup %.2fx", rep.CampaignWorkers, rep.CampaignSpeedup)
 	}
+	if rep.MultistartStarts > 0 {
+		fmt.Printf(", %d-start multi-start speedup %.2fx on %d CPU(s)",
+			rep.MultistartStarts, rep.MultistartSpeedup, rep.MultistartCPUs)
+	}
 	if rep.RecoveryTrials > 0 {
 		fmt.Printf(", assay survival %.4f (l1) -> %.4f (ladder)", rep.SurvivalL1, rep.SurvivalLadder)
 	}
@@ -287,6 +393,44 @@ func main() {
 		fmt.Printf(", serve %.1f req/s at %.2f hit rate", rep.ServeRPS, rep.ServeCacheHitRate)
 	}
 	fmt.Println(")")
+}
+
+// checkRegression refuses the new report when it regresses against
+// the previous one: the stage-2 move kernel may not slow down by more
+// than 10% (timer-noise allowance — cross-machine comparisons are the
+// caller's responsibility), and the seeded fig8 experiment may not
+// lose FTI or gain area at all, since it is deterministic. A missing
+// or unreadable previous report skips the gate with a warning so a
+// fresh checkout can still assemble its first report.
+func checkRegression(path string, rep report) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: no previous report (%v); skipping regression gate\n", err)
+		return
+	}
+	var old report
+	if err := json.Unmarshal(raw, &old); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if old.Stage2MoveNs > 0 && rep.Stage2MoveNs > old.Stage2MoveNs*1.10 {
+		fatal(fmt.Errorf("stage-2 move kernel regressed: %.1f ns/op vs previous %.1f ns/op (+%.0f%%)",
+			rep.Stage2MoveNs, old.Stage2MoveNs, 100*(rep.Stage2MoveNs/old.Stage2MoveNs-1)))
+	}
+	if len(old.Experiments) == 0 || len(rep.Experiments) == 0 {
+		return
+	}
+	oldRuns := readExpRuns(path, old.Experiments)
+	newRuns := readExpRuns("experiments", rep.Experiments)
+	if oldFTI, ok := measure(oldRuns, "fig8", "twostage_fti"); ok {
+		if newFTI, ok := measure(newRuns, "fig8", "twostage_fti"); ok && newFTI < oldFTI {
+			fatal(fmt.Errorf("fig8 FTI regressed: %.4f vs previous %.4f", newFTI, oldFTI))
+		}
+	}
+	if oldArea, ok := measure(oldRuns, "fig8", "twostage_area"); ok {
+		if newArea, ok := measure(newRuns, "fig8", "twostage_area"); ok && newArea > oldArea {
+			fatal(fmt.Errorf("fig8 area regressed: %.0f cells vs previous %.0f cells", newArea, oldArea))
+		}
+	}
 }
 
 func round2(v float64) float64 {
