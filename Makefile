@@ -6,7 +6,7 @@ RECOVERY_TRIALS ?= 512
 SERVE_REQUESTS ?= 100
 MULTISTART_STARTS ?= 4
 
-.PHONY: all build test race vet fmtcheck errcheck fuzz bench benchquick serve-smoke dispatch-smoke ci clean
+.PHONY: all build test race vet fmtcheck errcheck rowguard fuzz bench benchquick serve-smoke dispatch-smoke yield-smoke ci clean
 
 all: build
 
@@ -40,6 +40,16 @@ errcheck:
 		echo "ignored error returns (handle or propagate):"; echo "$$out"; exit 1; \
 	fi
 
+# rowguard keeps callers off the deprecated grid.Row(y) []bool shim:
+# it allocates per call where RowWords is free. Only internal/grid
+# itself (the shim and its tests) may reference it.
+rowguard:
+	@out="$$(grep -rn '\.Row(' --include='*.go' \
+		--exclude-dir=grid cmd internal tools *.go 2>/dev/null || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "deprecated grid.Row(y) callers (use RowWords):"; echo "$$out"; exit 1; \
+	fi
+
 # fuzz smoke-runs every native fuzz target for FUZZTIME each (go only
 # accepts one -fuzz pattern per invocation). Seed corpora live in the
 # packages' testdata/fuzz directories and also replay under plain
@@ -51,6 +61,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzRowWords$$' -fuzztime $(FUZZTIME) ./internal/grid/
 	$(GO) test -run '^$$' -fuzz '^FuzzLadder$$' -fuzztime $(FUZZTIME) ./internal/recovery/
 	$(GO) test -run '^$$' -fuzz '^FuzzChunkMerge$$' -fuzztime $(FUZZTIME) ./internal/campaign/
+	$(GO) test -run '^$$' -fuzz '^FuzzDefectMap$$' -fuzztime $(FUZZTIME) ./internal/defect/
 
 # bench measures the annealing inner loop (clone-and-recompute vs the
 # incremental move kernel), one end-to-end fault-tolerant PCR
@@ -64,10 +75,15 @@ fuzz:
 # the same MULTISTART_STARTS-start derived-seed search serially and in
 # parallel: benchreport refuses the report unless the winners are
 # byte-identical, and records the wall-clock speedup plus the
-# time-to-target-FTI. -prev gates the fresh report against the
-# committed one: a stage-2 ns/op regression beyond timer noise or any
-# fig8 FTI/area regression refuses the report. Assembles
-# BENCH_place.json at the repo root.
+# time-to-target-FTI. The yieldsweep experiment runs the seeded
+# 512-trial clustered-defect yield campaign at spare budgets 0, 2 and
+# 4 (benchreport refuses the report unless the yield-vs-area curve
+# has at least three points with strictly increasing area and the
+# max-spares yield is no worse than the spare-free one). -prev gates
+# the fresh report against the committed one: a stage-2 ns/op
+# regression beyond timer noise, any fig8 FTI/area regression, or a
+# yield drop at any spare budget at the pinned defect density refuses
+# the report. Assembles BENCH_place.json at the repo root.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkStage|BenchmarkActiveDuring' \
 		-benchtime 200000x -benchmem ./internal/core/ ./internal/place/ \
@@ -85,15 +101,17 @@ bench:
 		-trials $(RECOVERY_TRIALS) -seed 5 -quiet -json bench_assay_ladder.json
 	$(GO) run ./cmd/dmfb-server -addr 127.0.0.1:0 -replay $(SERVE_REQUESTS) \
 		-json bench_serve.json
+	$(GO) run ./cmd/dmfb-bench -exp yieldsweep -json bench_yield.json
 	$(GO) run ./tools/benchreport -go bench_go.out -exp bench_exp.json \
 		-campaign1 bench_campaign1.json -campaignN bench_campaignN.json \
 		-assay-l1 bench_assay_l1.json -assay-ladder bench_assay_ladder.json \
 		-serve bench_serve.json -multistart bench_multistart.json \
+		-yield bench_yield.json \
 		-prev BENCH_place.json \
 		-out BENCH_place.json
 	rm -f bench_go.out bench_exp.json bench_campaign1.json bench_campaignN.json \
 		bench_assay_l1.json bench_assay_ladder.json bench_serve.json \
-		bench_multistart.json
+		bench_multistart.json bench_yield.json
 
 benchquick:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
@@ -121,7 +139,24 @@ dispatch-smoke:
 	sh tools/dispatch_smoke.sh $$tmp; \
 	rc=$$?; rm -rf $$tmp; exit $$rc
 
-ci: vet build test race fmtcheck errcheck
+# yield-smoke runs a small clustered-defect yield campaign with a
+# 2-line spare budget at 1 and 4 workers and byte-compares the
+# deterministic summaries, then exercises the design-time
+# local-reconfiguration (-ladder) path. Fast enough for CI.
+yield-smoke:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/dmfb-campaign ./cmd/dmfb-campaign && \
+	$$tmp/dmfb-campaign -mode yield -defect-model clustered -defect-prob 0.03 \
+		-spares 2 -trials 128 -seed 11 -workers 1 -quiet -summary $$tmp/w1.json && \
+	$$tmp/dmfb-campaign -mode yield -defect-model clustered -defect-prob 0.03 \
+		-spares 2 -trials 128 -seed 11 -workers 4 -quiet -summary $$tmp/w4.json && \
+	cmp $$tmp/w1.json $$tmp/w4.json && \
+	$$tmp/dmfb-campaign -mode yield -defect-model clustered -defect-prob 0.03 \
+		-ladder -trials 16 -seed 11 -quiet && \
+	echo "yield-smoke: ok (clustered summaries byte-identical at 1 and 4 workers)"; \
+	rc=$$?; rm -rf $$tmp; exit $$rc
+
+ci: vet build test race fmtcheck errcheck rowguard
 
 clean:
 	$(GO) clean ./...

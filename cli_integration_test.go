@@ -202,6 +202,80 @@ func TestCLICampaign(t *testing.T) {
 	run(t, tool, false, "-resume", "-trials", "10")
 }
 
+// TestCLICampaignYield drives the defect-map yield surface end to
+// end: bad flag combinations exit with a usage hint, and a clustered
+// run with spare insertion stays byte-identical across worker counts.
+func TestCLICampaignYield(t *testing.T) {
+	bin := buildCLI(t)
+	tool := filepath.Join(bin, "dmfb-campaign")
+	dir := t.TempDir()
+
+	// Flag validation: each bad combination must fail before any work
+	// starts and point the user at the yield usage line.
+	bad := [][]string{
+		{"-mode", "yield", "-defect-prob", "0", "-trials", "10"},
+		{"-mode", "yield", "-defect-prob", "1", "-trials", "10"},
+		{"-mode", "yield", "-defect-model", "bogus", "-trials", "10"},
+		{"-mode", "yield", "-defect-model", "file", "-trials", "10"},
+		{"-mode", "yield", "-defect-file", "nope.map", "-trials", "10"},
+		{"-mode", "yield", "-defect-model", "clustered", "-cluster-size", "999", "-trials", "10"},
+	}
+	for _, args := range bad {
+		if out := run(t, tool, false, args...); !strings.Contains(out, "usage:") {
+			t.Errorf("%v: no usage hint in rejection:\n%s", args, out)
+		}
+	}
+
+	// A malformed defect map file is rejected with the map format hint.
+	badMap := filepath.Join(dir, "bad.map")
+	if err := os.WriteFile(badMap, []byte("..?.\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, tool, false, "-mode", "yield", "-defect-model", "file",
+		"-defect-file", badMap, "-trials", "10")
+	if !strings.Contains(out, "usage:") {
+		t.Errorf("bad map file: no usage hint:\n%s", out)
+	}
+
+	// Clustered defects with a 2-line spare budget: worker counts must
+	// not change the summary bytes.
+	var sums []string
+	for _, w := range []string{"1", "4"} {
+		jsonPath := filepath.Join(dir, "yield-w"+w+".json")
+		out := run(t, tool, true, "-mode", "yield", "-defect-model", "clustered",
+			"-defect-prob", "0.03", "-spares", "2", "-trials", "96", "-seed", "11",
+			"-workers", w, "-quiet", "-json", jsonPath)
+		if !strings.Contains(out, "yield-clustered-q0.03-s2") {
+			t.Errorf("campaign name missing the defect model and spares:\n%s", out)
+		}
+		var got struct {
+			Summary json.RawMessage `json:"summary"`
+		}
+		data, err := os.ReadFile(jsonPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("campaign JSON invalid: %v\n%s", err, data)
+		}
+		sums = append(sums, string(got.Summary))
+	}
+	if sums[0] != sums[1] {
+		t.Errorf("clustered yield summaries differ across worker counts:\n%s\nvs\n%s", sums[0], sums[1])
+	}
+
+	// File model: a fixed map makes every trial identical.
+	goodMap := filepath.Join(dir, "die.map")
+	if err := os.WriteFile(goodMap, []byte("..........\n....X.....\n..........\n..........\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = run(t, tool, true, "-mode", "yield", "-defect-model", "file",
+		"-defect-file", goodMap, "-trials", "16", "-quiet")
+	if !strings.Contains(out, "yield-file") {
+		t.Errorf("file-model campaign not named yield-file:\n%s", out)
+	}
+}
+
 func TestCLIErrorPaths(t *testing.T) {
 	bin := buildCLI(t)
 	if out := run(t, filepath.Join(bin, "dmfb-synth"), false, "-assay", "warp"); !strings.Contains(out, "unknown assay") {

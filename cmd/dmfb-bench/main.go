@@ -7,7 +7,8 @@
 //
 //	dmfb-bench                 # all experiments
 //	dmfb-bench -exp table2     # one experiment:
-//	                           # table1 fig5 fig6 baseline fig7 fti fig8 table2 reconfig montecarlo
+//	                           # table1 fig5 fig6 baseline fig7 fti fig8 table2
+//	                           # reconfig montecarlo multistart yieldsweep
 //	dmfb-bench -exp table1 -json results.json
 //	dmfb-bench -trace trace.jsonl -metrics metrics.json -profile prof/
 package main
@@ -23,6 +24,8 @@ import (
 	"time"
 
 	"dmfb"
+	"dmfb/internal/campaign"
+	"dmfb/internal/dispatch"
 	"dmfb/internal/pipeline"
 	"dmfb/internal/telemetry"
 	"dmfb/internal/telemetry/cliflags"
@@ -75,6 +78,7 @@ func run(exp, jsonOut string) int {
 		{"reconfig", reconfigExp},
 		{"montecarlo", monteCarlo},
 		{"multistart", multistart},
+		{"yieldsweep", yieldsweep},
 	}
 	var results []expResult
 	found := false
@@ -425,6 +429,51 @@ func multistart() []measurement {
 		{Name: "winner_fti", Measured: dmfb.Round4(winner)},
 		{Name: "to_target_fti_ms", Measured: toTarget, Unit: "ms"},
 	}
+}
+
+// yieldsweep measures the yield-vs-area trade-off of space redundancy
+// (extension; the headline curve of the yield companion paper): the
+// PCR placement with 0, 2 and 4 interstitial spare lines under a
+// pinned clustered-defect model, 512 deterministic trials per point.
+// More spares cost die area but give every module a local relocation
+// target, so yield must not fall as the budget grows — benchreport
+// gates on exactly that.
+func yieldsweep() []measurement {
+	const (
+		q       = 0.02
+		cluster = 4.0
+		radius  = 2
+		trials  = 512
+		cseed   = 7
+	)
+	fmt.Printf("Yield vs area under space redundancy (clustered defects, q=%g, %d trials/point)\n", q, trials)
+	ms := []measurement{
+		{Name: "defect_prob", Measured: q},
+		{Name: "cluster_size", Measured: cluster},
+		{Name: "trials", Measured: trials},
+	}
+	for _, spares := range []int{0, 2, 4} {
+		sp := dispatch.Spec{
+			Mode: "yield", Trials: trials, Seed: cseed, PlaceSeed: *seed,
+			DefectModel: "clustered", Q: q, ClusterSize: cluster, ClusterRadius: radius,
+			Spares: spares,
+		}.Normalized()
+		built := must(sp.Build(context.Background(), dispatch.BuildOptions{
+			Tool: "dmfb-bench", Tracer: ts.Tracer, Metrics: ts.Metrics,
+		}))
+		rep := must(campaign.Run(context.Background(), campaign.Config{
+			Name: sp.Name(), Trials: built.Trials, Seed: sp.Seed,
+			Fingerprint: sp.Fingerprint(), Metrics: ts.Metrics, Tracer: ts.Tracer,
+		}, built.Fn))
+		area := built.ArrayW * built.ArrayH
+		fmt.Printf("  spares=%d: %dx%d array (%d cells), yield %.4f [%.4f, %.4f]\n",
+			spares, built.ArrayW, built.ArrayH, area,
+			rep.Summary.SurvivalRate, rep.Summary.Wilson95Lo, rep.Summary.Wilson95Hi)
+		ms = append(ms,
+			measurement{Name: fmt.Sprintf("spares%d_yield", spares), Measured: rep.Summary.SurvivalRate},
+			measurement{Name: fmt.Sprintf("spares%d_area_cells", spares), Measured: float64(area), Unit: "cells"})
+	}
+	return ms
 }
 
 // monteCarlo validates FTI as a survivability predictor (extension).

@@ -7,6 +7,7 @@
 //	dmfb-place -placer sa                        # Figure 7 (area-only SA)
 //	dmfb-place -placer twostage -beta 30         # Figure 8 (fault-tolerant)
 //	dmfb-place -placer greedy                    # Section 6.1 baseline
+//	dmfb-place -placer sa -spares 2              # space redundancy for yield
 //	dmfb-place -schedule schedule.json -o placement.json -svg out.svg
 //	dmfb-place -trace trace.jsonl -metrics metrics.json -profile prof/
 package main
@@ -31,6 +32,7 @@ func main() {
 		out       = flag.String("o", "", "write the placement as JSON")
 		svg       = flag.String("svg", "", "write the placement as SVG")
 		coverage  = flag.Bool("coverage", false, "print the C-coverage map")
+		spares    = flag.Int("spares", 0, "interstitial spare lines to thread through the placement (space redundancy)")
 		search    = cliflags.SearchFlags()
 	)
 	os.Exit(cliflags.Main("dmfb-place", func(ts *cliflags.Session) int {
@@ -46,6 +48,7 @@ func main() {
 				Placer:  *placer,
 				Options: dmfb.PlacerOptions{Seed: *seed, Search: *search},
 				FT:      dmfb.FTOptions{Beta: *beta},
+				Spares:  *spares,
 			},
 			FTI:     &pipeline.FTISpec{},
 			Tracer:  ts.Tracer,

@@ -303,6 +303,9 @@ func reportCheckpoint(w io.Writer, path string) error {
 		fmt.Fprintf(w, "values: mean %.3f, median %.1f, p95 %.1f, p99 %.1f, max %.1f\n",
 			vs.Mean, vs.Median, vs.P95, vs.P99, vs.Max)
 	}
+	if strings.HasPrefix(info.Campaign, "yield") && info.Done > 0 {
+		reportYieldBuckets(w, info.Results)
+	}
 	if info.Errors > 0 {
 		fmt.Fprintf(w, "errors: %d\n", info.Errors)
 		msgs := make([]string, 0, len(info.ErrorCounts))
@@ -316,4 +319,44 @@ func reportCheckpoint(w io.Writer, path string) error {
 	}
 	fmt.Fprintln(w)
 	return nil
+}
+
+// yieldBuckets are the defect-count-per-die bands of the yield
+// breakdown. A yield trial records the die's defect count as its
+// value, so bucketing by value is bucketing by defect density on a
+// fixed-size array.
+var yieldBuckets = []struct {
+	label  string
+	lo, hi float64 // inclusive bounds on defects per die
+}{
+	{"0 defects", 0, 0},
+	{"1 defect", 1, 1},
+	{"2 defects", 2, 2},
+	{"3-4 defects", 3, 4},
+	{"5-8 defects", 5, 8},
+	{"9+ defects", 9, 1e18},
+}
+
+// reportYieldBuckets prints the survival rate of each defect-density
+// band of a yield campaign, with a Wilson 95% interval per band — the
+// yield-vs-density checkpoints of the space-redundancy analysis.
+func reportYieldBuckets(w io.Writer, results []campaign.TrialResult) {
+	fmt.Fprintf(w, "yield by defects per die (Wilson 95%%):\n")
+	for _, b := range yieldBuckets {
+		trials, survived := 0, 0
+		for _, r := range results {
+			if r.Value >= b.lo && r.Value <= b.hi {
+				trials++
+				if r.Survived {
+					survived++
+				}
+			}
+		}
+		if trials == 0 {
+			continue
+		}
+		lo, hi := stats.Wilson95(survived, trials)
+		fmt.Fprintf(w, "  %-12s %6d trials  yield %.4f  [%.4f, %.4f]\n",
+			b.label, trials, float64(survived)/float64(trials), lo, hi)
+	}
 }

@@ -123,6 +123,54 @@ func TestReportCheckpoint(t *testing.T) {
 	}
 }
 
+// yieldCheckpoint is a yield campaign: the recorded value is the
+// die's defect count, so the report buckets survival by density.
+const yieldCheckpoint = `{"v":1,"campaign":"yield-clustered-q0.03","seed":3,"trials":8}
+{"trial":0,"survived":true,"value":0}
+{"trial":1,"survived":true,"value":0}
+{"trial":2,"survived":true,"value":1}
+{"trial":3,"survived":false,"value":1}
+{"trial":4,"survived":false,"value":3}
+{"trial":5,"survived":false,"value":4}
+{"trial":6,"survived":false,"value":12}
+{"trial":7,"survived":true,"value":2}
+`
+
+func TestReportYieldBuckets(t *testing.T) {
+	ckpt := writeFile(t, "y.jsonl", yieldCheckpoint)
+	var buf strings.Builder
+	if code := run(&buf, []string{"-checkpoint", ckpt}); code != 0 {
+		t.Fatalf("run = %d", code)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"yield by defects per die (Wilson 95%):",
+		"0 defects",
+		"yield 1.0000", // both 0-defect dies survived
+		"1 defect",
+		"yield 0.5000", // one of two 1-defect dies survived
+		"3-4 defects",
+		"yield 0.0000",
+		"9+ defects",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("yield report missing %q:\n%s", want, out)
+		}
+	}
+	// The 5-8 band has no trials and must be omitted.
+	if strings.Contains(out, "5-8 defects") {
+		t.Errorf("empty density band printed:\n%s", out)
+	}
+	// Non-yield campaigns must not grow a density breakdown.
+	buf.Reset()
+	if code := run(&buf, []string{"-checkpoint", writeFile(t, "a.jsonl", sampleCheckpoint)}); code != 0 {
+		t.Fatalf("run = %d", code)
+	}
+	if strings.Contains(buf.String(), "yield by defects per die") {
+		t.Errorf("assay checkpoint grew a yield breakdown:\n%s", buf.String())
+	}
+}
+
 func TestReportNoInputs(t *testing.T) {
 	var buf strings.Builder
 	if code := run(&buf, nil); code != 2 {

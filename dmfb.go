@@ -35,6 +35,7 @@ import (
 	"dmfb/internal/assay"
 	"dmfb/internal/campaign"
 	"dmfb/internal/core"
+	"dmfb/internal/defect"
 	"dmfb/internal/faultsim"
 	"dmfb/internal/fluidics"
 	"dmfb/internal/format"
@@ -515,6 +516,47 @@ func MultiFaultTrial(p *Placement, k int, withFull bool, opts PlacerOptions) Tri
 func YieldTrial(p *Placement, defectProb float64, withFull bool, opts PlacerOptions) TrialFunc {
 	return faultsim.YieldTrial(p, defectProb, withFull, opts)
 }
+
+// DefectParams describes a fabrication defect-map model (uniform,
+// clustered or an explicit map file) for yield campaigns.
+type DefectParams = defect.Params
+
+// DefectGenerator draws one fabricated die's defect map per trial.
+type DefectGenerator = defect.Generator
+
+// DefectYieldTrial is the yield campaign workload on p under any
+// defect-map model (see DefectParams.Generator).
+func DefectYieldTrial(p *Placement, gen DefectGenerator, withFull bool, opts PlacerOptions) TrialFunc {
+	return faultsim.DefectYieldTrial(p, gen, withFull, opts)
+}
+
+// LadderYieldTrial is the design-time local-reconfiguration yield
+// workload: a die survives when the full recovery ladder absorbs its
+// whole defect map before the assay starts.
+func LadderYieldTrial(s *Schedule, p *Placement, gen DefectGenerator, anneal PlacerOptions) TrialFunc {
+	return faultsim.LadderYieldTrial(s, p, gen, anneal)
+}
+
+// DesignReconfigure decides at design time whether a fabricated die
+// with the given defect map can run the assay without re-synthesis, by
+// replaying the recovery ladder over the defects before the assay
+// starts.
+func DesignReconfigure(s *Schedule, p *Placement, array Rect, defects []Point,
+	opts defect.ReconfigureOptions) defect.Review {
+	return defect.Reconfigure(s, p, array, defects, opts)
+}
+
+// InsertSpares threads cols spare columns and rows spare rows through
+// the interior of a placement's bounding box — the space-redundancy
+// transform for yield enhancement. SpareSplit divides a single budget
+// between columns and rows the way every CLI and service does.
+func InsertSpares(p *Placement, cols, rows int) *Placement {
+	return place.InsertSpares(p, cols, rows)
+}
+
+// SpareSplit splits a spare-line budget between columns and rows,
+// columns first.
+func SpareSplit(budget int) (cols, rows int) { return place.SpareSplit(budget) }
 
 // RenderPlacement draws a placement as ASCII art.
 func RenderPlacement(p *Placement) string { return render.PlacementASCII(p) }

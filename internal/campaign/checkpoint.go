@@ -135,6 +135,10 @@ type CheckpointInfo struct {
 	Errors   int
 	// Values holds each recorded trial's value in trial-index order.
 	Values []float64
+	// Results holds the full recorded outcomes in trial-index order,
+	// so reporters can pair each trial's value with its survival (the
+	// yield-by-defect-count buckets of dmfb-report).
+	Results []TrialResult
 	// ErrorCounts maps error text to occurrence count.
 	ErrorCounts map[string]int
 }
@@ -190,6 +194,7 @@ func ReadCheckpoint(path string) (*CheckpointInfo, error) {
 			info.ErrorCounts[line.Err]++
 		}
 		info.Values = append(info.Values, line.Value)
+		info.Results = append(info.Results, line)
 	}
 	return info, nil
 }

@@ -1,0 +1,111 @@
+package defect
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dmfb/internal/geom"
+)
+
+// MaxMapDim bounds the width and height of a parsed defect map. Real
+// arrays are tens of cells on a side; the bound keeps a hostile map
+// file from allocating unbounded memory.
+const MaxMapDim = 512
+
+// Fixed is an explicit defect map: the cells of a W×H die that are
+// known dead, in die-local coordinates. It is the generator behind the
+// "file" model — Generate anchors the map at the array origin and
+// ignores the RNG entirely, so every trial sees the same die.
+type Fixed struct {
+	// W, H are the die dimensions the map was drawn for.
+	W, H int
+	// Cells are the defective cells in die-local coordinates, sorted
+	// in scan order and deduplicated.
+	Cells []geom.Point
+}
+
+// Name implements Generator.
+func (f Fixed) Name() string { return ModelFile }
+
+// Generate implements Generator: the map anchored at the array
+// origin, clipped to the array. The RNG is untouched.
+func (f Fixed) Generate(array geom.Rect, _ *rand.Rand) []geom.Point {
+	var out []geom.Point
+	for _, c := range f.Cells {
+		pt := geom.Point{X: array.X + c.X, Y: array.Y + c.Y}
+		if array.Contains(pt) {
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// ParseMap parses the textual defect-map format:
+//
+//	# lines starting with '#' are comments, blank lines are skipped
+//	..........
+//	..X....X..
+//	..........
+//
+// '.' (or '0') is a good cell, 'X' (or 'x', '1') a defective one. The
+// first map line fixes the width; every following line must match it.
+// Rows are given top-to-bottom and stored with row 0 first, matching
+// the renderer's orientation everywhere else in the repo.
+func ParseMap(text string) (Fixed, error) {
+	var f Fixed
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if f.H == 0 {
+			f.W = len(trimmed)
+			if f.W > MaxMapDim {
+				return Fixed{}, fmt.Errorf("defect: map row of %d cells exceeds the %d-cell limit", f.W, MaxMapDim)
+			}
+		} else if len(trimmed) != f.W {
+			return Fixed{}, fmt.Errorf("defect: map line %d is %d cells wide, want %d", ln+1, len(trimmed), f.W)
+		}
+		y := f.H
+		for x, ch := range trimmed {
+			switch ch {
+			case '.', '0':
+			case 'X', 'x', '1':
+				f.Cells = append(f.Cells, geom.Point{X: x, Y: y})
+			default:
+				return Fixed{}, fmt.Errorf("defect: map line %d has invalid cell %q (want . 0 X x 1)", ln+1, string(ch))
+			}
+		}
+		f.H++
+		if f.H > MaxMapDim {
+			return Fixed{}, fmt.Errorf("defect: map of %d rows exceeds the %d-row limit", f.H, MaxMapDim)
+		}
+	}
+	if f.H == 0 {
+		return Fixed{}, fmt.Errorf("defect: map has no rows")
+	}
+	return f, nil
+}
+
+// FormatMap renders the map in the canonical ParseMap format ('.' and
+// 'X', one row per line). ParseMap(FormatMap(f)) reproduces f exactly.
+func FormatMap(f Fixed) string {
+	dead := make(map[geom.Point]bool, len(f.Cells))
+	for _, c := range f.Cells {
+		dead[c] = true
+	}
+	var b strings.Builder
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			if dead[geom.Point{X: x, Y: y}] {
+				b.WriteByte('X')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package defect
+
+import (
+	"testing"
+)
+
+// FuzzDefectMap fuzzes the textual defect-map parser: arbitrary text
+// either fails to parse, or yields a map whose cells are in-bounds,
+// strictly scan-ordered (hence deduplicated), and that survives a
+// FormatMap/ParseMap round trip exactly — the canonicalization the
+// file model's fingerprint stability depends on.
+func FuzzDefectMap(f *testing.F) {
+	f.Add("")
+	f.Add("....\n.XX.\n....\n")
+	f.Add("# comment\nX.\n.x\n")
+	f.Add("0101\n1010\n")
+	f.Add("...\n..\n") // ragged
+	f.Add(".?.\n")     // invalid cell
+	f.Add("..X.\r\n....\r\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		m, err := ParseMap(text)
+		if err != nil {
+			return
+		}
+		if m.W < 1 || m.W > MaxMapDim || m.H < 1 || m.H > MaxMapDim {
+			t.Fatalf("parsed dimensions %dx%d out of bounds", m.W, m.H)
+		}
+		for i, c := range m.Cells {
+			if c.X < 0 || c.X >= m.W || c.Y < 0 || c.Y >= m.H {
+				t.Fatalf("cell %v outside %dx%d map", c, m.W, m.H)
+			}
+			if i > 0 {
+				prev := m.Cells[i-1]
+				if c.Y < prev.Y || (c.Y == prev.Y && c.X <= prev.X) {
+					t.Fatalf("cells not in strict scan order: %v after %v", c, prev)
+				}
+			}
+		}
+		back, err := ParseMap(FormatMap(m))
+		if err != nil {
+			t.Fatalf("canonical render does not re-parse: %v", err)
+		}
+		if back.W != m.W || back.H != m.H || len(back.Cells) != len(m.Cells) {
+			t.Fatalf("round trip changed the map: %dx%d/%d cells vs %dx%d/%d cells",
+				back.W, back.H, len(back.Cells), m.W, m.H, len(m.Cells))
+		}
+		for i := range m.Cells {
+			if back.Cells[i] != m.Cells[i] {
+				t.Fatalf("round trip changed cell %d: %v vs %v", i, back.Cells[i], m.Cells[i])
+			}
+		}
+	})
+}

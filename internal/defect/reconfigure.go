@@ -1,0 +1,112 @@
+package defect
+
+import (
+	"dmfb/internal/core"
+	"dmfb/internal/geom"
+	"dmfb/internal/modlib"
+	"dmfb/internal/place"
+	"dmfb/internal/recovery"
+	"dmfb/internal/schedule"
+)
+
+// ReconfigureOptions configures the design-time survivability pass.
+type ReconfigureOptions struct {
+	// MaxLevel caps the recovery ladder rung the pass may climb. Zero
+	// means LevelDefragment; anything above is clamped to it, because
+	// L4 (abandoning operations) is re-synthesis territory — a die
+	// that needs it is not survivable as designed.
+	MaxLevel recovery.Level
+	// Anneal configures the L3 defragmentation anneal; set Seed from
+	// campaign.DeriveSeed inside campaign trials.
+	Anneal core.Options
+	// StretchLimit caps the total makespan increase (schedule seconds)
+	// L2 downgrades may introduce. Zero means unlimited.
+	StretchLimit int
+	// Library is the device catalogue searched for L2 downgrades
+	// (modlib.Table1 when nil).
+	Library *modlib.Library
+}
+
+// Review is the verdict of the design-time pass on one defect map.
+type Review struct {
+	// Survivable reports whether every defect was absorbed without
+	// abandoning operations — the die works as designed, possibly on a
+	// stretched schedule.
+	Survivable bool
+	// Levels is the ladder rung that absorbed each defect, in input
+	// order (LevelNone for defects on cells no module uses). On a
+	// non-survivable die it stops at the defect that failed.
+	Levels []recovery.Level
+	// Deepest is the deepest rung any defect forced.
+	Deepest recovery.Level
+	// StretchSec is the total makespan change from L2 downgrades.
+	StretchSec int
+	// Failed is the first unsurvivable defect (meaningful only when
+	// Survivable is false).
+	Failed geom.Point
+	// Placement and Sched are the reconfigured design: where each
+	// module ended up and the (possibly stretched) schedule. They
+	// equal the inputs when the map needed no reconfiguration.
+	Placement *place.Placement
+	Sched     *schedule.Schedule
+}
+
+// Reconfigure decides at design time whether a fabricated die with the
+// given defect map can run the assay without re-synthesis, by
+// replaying the recovery ladder over the defects before the assay
+// starts (Now = 0): L1 relocates every module off a defect by partial
+// reconfiguration, L2 re-hosts modules that fit nowhere on smaller
+// same-kind devices with a local schedule stretch, and L3 re-places
+// the whole module set around the accumulated defects with a short
+// seeded anneal. A map survives exactly when every defect yields to
+// one of those three rungs — the "local reconfiguration" of the yield
+// companion paper, reusing the run-time machinery unchanged.
+//
+// Defects are processed in the given order; pass the canonical scan
+// order (what every Generator returns) for deterministic results. The
+// array must be anchored at the origin (the L3 anneal core area), as
+// every placement produced by the pipeline is.
+func Reconfigure(s *schedule.Schedule, p *place.Placement, array geom.Rect,
+	defects []geom.Point, opts ReconfigureOptions) Review {
+	if opts.MaxLevel == recovery.LevelNone || opts.MaxLevel > recovery.LevelDefragment {
+		opts.MaxLevel = recovery.LevelDefragment
+	}
+	ladder := recovery.New(recovery.Options{
+		MaxLevel:     opts.MaxLevel,
+		Library:      opts.Library,
+		Anneal:       opts.Anneal,
+		StretchLimit: opts.StretchLimit,
+	})
+	rev := Review{Survivable: true, Placement: p, Sched: s}
+	var known []geom.Point
+	for _, d := range defects {
+		known = append(known, d)
+		if len(rev.Placement.ModulesAt(d)) == 0 {
+			// A defect on a cell no module ever uses costs nothing now,
+			// but stays in the obstacle set for every later defect.
+			rev.Levels = append(rev.Levels, recovery.LevelNone)
+			continue
+		}
+		plan, _ := ladder.Recover(recovery.State{
+			Sched:     rev.Sched,
+			Placement: rev.Placement,
+			Array:     array,
+			Now:       0,
+			Fault:     d,
+			Faults:    known,
+		})
+		if plan == nil {
+			rev.Survivable = false
+			rev.Failed = d
+			return rev
+		}
+		rev.Levels = append(rev.Levels, plan.Level)
+		if plan.Level > rev.Deepest {
+			rev.Deepest = plan.Level
+		}
+		rev.StretchSec += plan.StretchSec
+		rev.Placement = plan.Placement
+		rev.Sched = plan.Sched
+	}
+	return rev
+}

@@ -7,6 +7,7 @@ import (
 
 	"dmfb/internal/campaign"
 	"dmfb/internal/core"
+	"dmfb/internal/defect"
 	"dmfb/internal/faultsim"
 	"dmfb/internal/fti"
 	"dmfb/internal/pipeline"
@@ -32,8 +33,28 @@ type Spec struct {
 	Seed   int64 `json:"seed"`
 	// K is the faults per trial (multi and assay modes).
 	K int `json:"k,omitempty"`
-	// Q is the per-cell defect probability (yield mode).
+	// Q is the mean per-cell defect probability (yield mode).
 	Q float64 `json:"q,omitempty"`
+	// DefectModel selects the yield-mode defect map generator:
+	// uniform | clustered | file (uniform when empty).
+	DefectModel string `json:"defect_model,omitempty"`
+	// ClusterSize and ClusterRadius parameterise the clustered model
+	// (mean defects per cluster; Chebyshev scatter radius in cells).
+	ClusterSize   float64 `json:"cluster_size,omitempty"`
+	ClusterRadius int     `json:"cluster_radius,omitempty"`
+	// DefectMap is the serialized defect map for the file model, in
+	// defect.ParseMap format. The content travels in the spec — not a
+	// filename — so remote workers need no shared filesystem.
+	DefectMap string `json:"defect_map,omitempty"`
+	// Spares threads that many interstitial spare lines through the
+	// placement before trials (space redundancy; place.SpareSplit
+	// divides the budget between columns and rows).
+	Spares int `json:"spares,omitempty"`
+	// Ladder switches yield mode from the partial-reconfiguration
+	// recovery loop to the design-time local-reconfiguration pass
+	// (defect.Reconfigure): a die survives when the full recovery
+	// ladder absorbs its whole defect map before the assay starts.
+	Ladder bool `json:"ladder,omitempty"`
 	// Full enables the full re-placement fallback (multi and yield).
 	Full bool `json:"full,omitempty"`
 	// Recovery is the assay-mode fault response: l1 | ladder | off.
@@ -56,6 +77,15 @@ func (sp Spec) Normalized() Spec {
 	}
 	if sp.Q == 0 {
 		sp.Q = 0.01
+	}
+	if sp.DefectModel == "" {
+		sp.DefectModel = defect.ModelUniform
+	}
+	if sp.ClusterSize == 0 {
+		sp.ClusterSize = 4
+	}
+	if sp.ClusterRadius == 0 {
+		sp.ClusterRadius = 2
 	}
 	if sp.Recovery == "" {
 		sp.Recovery = "l1"
@@ -89,10 +119,31 @@ func (sp Spec) Validate(remote bool) error {
 	if sp.Q <= 0 || sp.Q >= 1 {
 		return fmt.Errorf("dispatch: defect probability q=%g outside (0,1)", sp.Q)
 	}
+	if sp.Mode == "yield" {
+		if err := sp.DefectParams().Validate(); err != nil {
+			return fmt.Errorf("dispatch: %w", err)
+		}
+	}
+	if sp.Spares < 0 || sp.Spares > 8 {
+		return fmt.Errorf("dispatch: spare budget %d outside [0,8]", sp.Spares)
+	}
 	if _, err := sim.ParseRecoveryMode(sp.Recovery); err != nil {
 		return err
 	}
 	return nil
+}
+
+// DefectParams assembles the yield-mode defect model description from
+// the spec's flat fields.
+func (sp Spec) DefectParams() defect.Params {
+	sp = sp.Normalized()
+	return defect.Params{
+		Model:         sp.DefectModel,
+		Prob:          sp.Q,
+		ClusterSize:   sp.ClusterSize,
+		ClusterRadius: sp.ClusterRadius,
+		Map:           sp.DefectMap,
+	}
 }
 
 // Name returns the campaign's summary name, identical to what
@@ -103,7 +154,22 @@ func (sp Spec) Name() string {
 	case "multi":
 		return fmt.Sprintf("multi-k%d", sp.K)
 	case "yield":
-		return fmt.Sprintf("yield-q%g", sp.Q)
+		var name string
+		switch sp.DefectModel {
+		case defect.ModelClustered:
+			name = fmt.Sprintf("yield-clustered-q%g", sp.Q)
+		case defect.ModelFile:
+			name = "yield-file"
+		default:
+			name = fmt.Sprintf("yield-q%g", sp.Q)
+		}
+		if sp.Spares > 0 {
+			name += fmt.Sprintf("-s%d", sp.Spares)
+		}
+		if sp.Ladder {
+			name += "-ladder"
+		}
+		return name
 	case "assay":
 		rm, err := sim.ParseRecoveryMode(sp.Recovery)
 		if err != nil {
@@ -122,8 +188,16 @@ func (sp Spec) Name() string {
 // builder cache and the checkpoint resume guard both key on it.
 func (sp Spec) Fingerprint() string {
 	sp = sp.Normalized()
-	return campaign.ConfigFingerprint("dmfb-campaign",
-		sp.Mode, sp.K, sp.Q, sp.Full, sp.Recovery, sp.Transient, sp.PlaceSeed)
+	parts := []any{"dmfb-campaign",
+		sp.Mode, sp.K, sp.Q, sp.Full, sp.Recovery, sp.Transient, sp.PlaceSeed}
+	// The defect model and space-redundancy extensions only fold in
+	// when set, so pre-existing uniform campaigns keep their recorded
+	// fingerprints (and their resumable checkpoints).
+	if sp.DefectModel != defect.ModelUniform || sp.Spares != 0 || sp.Ladder {
+		parts = append(parts, sp.DefectParams().FingerprintParts()...)
+		parts = append(parts, sp.Spares, sp.Ladder)
+	}
+	return campaign.ConfigFingerprint(parts...)
 }
 
 // Built is a spec turned runnable: the trial function over the
@@ -166,6 +240,7 @@ func (sp Spec) Build(ctx context.Context, opts BuildOptions) (*Built, error) {
 		Place: &pipeline.PlaceSpec{
 			Placer:  "sa",
 			Options: core.Options{Seed: sp.PlaceSeed, ItersPerModule: 120, WindowPatience: 4},
+			Spares:  sp.Spares,
 		},
 		Tracer:  opts.Tracer,
 		Metrics: opts.Metrics,
@@ -191,7 +266,15 @@ func (sp Spec) Build(ctx context.Context, opts BuildOptions) (*Built, error) {
 	case "multi":
 		b.Fn = faultsim.MultiFaultTrial(p, sp.K, sp.Full, heavy)
 	case "yield":
-		b.Fn = faultsim.YieldTrial(p, sp.Q, sp.Full, heavy)
+		gen, err := sp.DefectParams().Generator()
+		if err != nil {
+			return nil, err
+		}
+		if sp.Ladder {
+			b.Fn = faultsim.LadderYieldTrial(res.Schedule, p, gen, heavy)
+		} else {
+			b.Fn = faultsim.DefectYieldTrial(p, gen, sp.Full, heavy)
+		}
 	case "exhaustive":
 		b.Fn = faultsim.ExhaustiveTrial(p)
 		b.Trials = array.Cells()

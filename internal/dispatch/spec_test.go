@@ -1,0 +1,112 @@
+package dispatch
+
+import (
+	"strings"
+	"testing"
+
+	"dmfb/internal/campaign"
+	"dmfb/internal/defect"
+)
+
+func TestSpecNameYieldVariants(t *testing.T) {
+	cases := []struct {
+		sp   Spec
+		want string
+	}{
+		{Spec{Mode: "yield", Q: 0.02}, "yield-q0.02"},
+		{Spec{Mode: "yield", Q: 0.02, DefectModel: defect.ModelClustered}, "yield-clustered-q0.02"},
+		{Spec{Mode: "yield", DefectModel: defect.ModelFile, DefectMap: "X.\n..\n"}, "yield-file"},
+		{Spec{Mode: "yield", Q: 0.02, Spares: 2}, "yield-q0.02-s2"},
+		{Spec{Mode: "yield", Q: 0.02, Ladder: true}, "yield-q0.02-ladder"},
+		{Spec{Mode: "yield", Q: 0.02, DefectModel: defect.ModelClustered, Spares: 4, Ladder: true},
+			"yield-clustered-q0.02-s4-ladder"},
+	}
+	for _, c := range cases {
+		if got := c.sp.Name(); got != c.want {
+			t.Errorf("Name(%+v) = %q, want %q", c.sp, got, c.want)
+		}
+	}
+}
+
+func TestSpecValidateDefectExtensions(t *testing.T) {
+	cases := []struct {
+		name string
+		sp   Spec
+		want string // substring of the error; "" means valid
+	}{
+		{"clustered ok", Spec{Mode: "yield", Trials: 8, Q: 0.02, DefectModel: defect.ModelClustered}, ""},
+		{"file ok", Spec{Mode: "yield", Trials: 8, DefectModel: defect.ModelFile, DefectMap: "..X.\n....\n"}, ""},
+		{"unknown model", Spec{Mode: "yield", Trials: 8, DefectModel: "salt"}, "unknown model"},
+		{"file without map", Spec{Mode: "yield", Trials: 8, DefectModel: defect.ModelFile}, "map"},
+		{"bad cluster size", Spec{Mode: "yield", Trials: 8, DefectModel: defect.ModelClustered, ClusterSize: 999}, "cluster"},
+		{"spares too big", Spec{Mode: "yield", Trials: 8, Q: 0.02, Spares: 9}, "spare budget"},
+		{"spares negative", Spec{Mode: "yield", Trials: 8, Q: 0.02, Spares: -1}, "spare budget"},
+		{"spares on multi ok", Spec{Mode: "multi", Trials: 8, Spares: 2}, ""},
+		// Non-yield modes never touch the defect params, so a stale
+		// defect field cannot invalidate them.
+		{"multi ignores defect model", Spec{Mode: "multi", Trials: 8, DefectModel: "salt"}, ""},
+	}
+	for _, c := range cases {
+		err := c.sp.Validate(false)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestSpecFingerprintLegacyStability pins the fingerprint of a plain
+// uniform yield spec to the pre-defect-model formula: recorded
+// checkpoints from before the generalization must still resume.
+func TestSpecFingerprintLegacyStability(t *testing.T) {
+	sp := Spec{Mode: "yield", Trials: 512, Q: 0.05, Full: true}.Normalized()
+	legacy := campaign.ConfigFingerprint("dmfb-campaign",
+		sp.Mode, sp.K, sp.Q, sp.Full, sp.Recovery, sp.Transient, sp.PlaceSeed)
+	if got := sp.Fingerprint(); got != legacy {
+		t.Errorf("uniform yield fingerprint %s drifted from legacy %s", got, legacy)
+	}
+	// Same for the other modes, which never carry defect extensions.
+	for _, mode := range []string{"single", "multi", "assay", "exhaustive"} {
+		sp := Spec{Mode: mode, Trials: 16}.Normalized()
+		legacy := campaign.ConfigFingerprint("dmfb-campaign",
+			sp.Mode, sp.K, sp.Q, sp.Full, sp.Recovery, sp.Transient, sp.PlaceSeed)
+		if got := sp.Fingerprint(); got != legacy {
+			t.Errorf("%s fingerprint %s drifted from legacy %s", mode, got, legacy)
+		}
+	}
+}
+
+func TestSpecFingerprintDistinguishesDefectExtensions(t *testing.T) {
+	base := Spec{Mode: "yield", Trials: 64, Q: 0.02}
+	variants := []Spec{
+		base,
+		{Mode: "yield", Trials: 64, Q: 0.02, DefectModel: defect.ModelClustered},
+		{Mode: "yield", Trials: 64, Q: 0.02, DefectModel: defect.ModelClustered, ClusterSize: 8},
+		{Mode: "yield", Trials: 64, Q: 0.02, DefectModel: defect.ModelClustered, ClusterRadius: 4},
+		{Mode: "yield", Trials: 64, DefectModel: defect.ModelFile, DefectMap: "X.\n..\n"},
+		{Mode: "yield", Trials: 64, DefectModel: defect.ModelFile, DefectMap: ".X\n..\n"},
+		{Mode: "yield", Trials: 64, Q: 0.02, Spares: 2},
+		{Mode: "yield", Trials: 64, Q: 0.02, Spares: 4},
+		{Mode: "yield", Trials: 64, Q: 0.02, Ladder: true},
+	}
+	seen := map[string]Spec{}
+	for _, sp := range variants {
+		fp := sp.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("specs %+v and %+v share fingerprint %s", prev, sp, fp)
+		}
+		seen[fp] = sp
+	}
+	// Trials and Seed stay outside the fingerprint (the checkpoint
+	// header pins them), even with extensions present.
+	a := Spec{Mode: "yield", Trials: 64, Q: 0.02, Spares: 2, Seed: 1}
+	b := Spec{Mode: "yield", Trials: 128, Q: 0.02, Spares: 2, Seed: 9}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("trials/seed leaked into the extended fingerprint")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"dmfb/internal/campaign"
 	"dmfb/internal/core"
+	"dmfb/internal/defect"
 	"dmfb/internal/geom"
 	"dmfb/internal/place"
 	"dmfb/internal/reconfig"
@@ -103,22 +104,26 @@ func MultiFaultTrial(p *place.Placement, k int, withFull bool, opts core.Options
 	}
 }
 
-// YieldTrial returns the trial function of the defect-density yield
-// campaign on p: every array cell fails independently with probability
-// defectProb and the chip is usable if the configuration absorbs all
-// its defects, with full re-placement as a fallback when withFull is
-// set. Value is the number of defects on the die.
+// YieldTrial returns the trial function of the uniform defect-density
+// yield campaign on p: every array cell fails independently with
+// probability defectProb and the chip is usable if the configuration
+// absorbs all its defects, with full re-placement as a fallback when
+// withFull is set. Value is the number of defects on the die. It is
+// DefectYieldTrial under the uniform model, draw-for-draw identical to
+// its historical per-cell scan-order stream.
 func YieldTrial(p *place.Placement, defectProb float64, withFull bool, opts core.Options) campaign.TrialFunc {
+	return DefectYieldTrial(p, defect.Uniform{Prob: defectProb}, withFull, opts)
+}
+
+// DefectYieldTrial generalizes YieldTrial to any defect model: each
+// trial draws one die's defect map from gen on the trial's private
+// RNG stream and attempts to absorb the defects one at a time by
+// partial reconfiguration, with full re-placement as a fallback when
+// withFull is set. Value is the number of defects on the die.
+func DefectYieldTrial(p *place.Placement, gen defect.Generator, withFull bool, opts core.Options) campaign.TrialFunc {
 	array := p.BoundingBox()
 	return func(ctx context.Context, t campaign.Trial) campaign.Outcome {
-		var defects []geom.Point
-		for y := 0; y < array.H; y++ {
-			for x := 0; x < array.W; x++ {
-				if t.RNG.Float64() < defectProb {
-					defects = append(defects, geom.Point{X: array.X + x, Y: array.Y + y})
-				}
-			}
-		}
+		defects := gen.Generate(array, t.RNG)
 		n := float64(len(defects))
 		cur := p.Clone()
 		var dead []geom.Point
@@ -142,6 +147,27 @@ func YieldTrial(p *place.Placement, defectProb float64, withFull bool, opts core
 			return campaign.Outcome{Value: n}
 		}
 		return campaign.Outcome{Survived: true, Value: n}
+	}
+}
+
+// LadderYieldTrial returns the trial function of the design-time
+// local-reconfiguration yield campaign: each trial draws one die's
+// defect map from gen and asks defect.Reconfigure whether the full
+// recovery ladder (L1 relocate, L2 downgrade, L3 defragment) absorbs
+// every defect before the assay starts. Survived means the die runs
+// the schedule as designed, possibly stretched; Value is the number
+// of defects on the die.
+func LadderYieldTrial(s *schedule.Schedule, p *place.Placement, gen defect.Generator, anneal core.Options) campaign.TrialFunc {
+	array := p.BoundingBox()
+	return func(ctx context.Context, t campaign.Trial) campaign.Outcome {
+		if err := ctx.Err(); err != nil {
+			return campaign.Outcome{Err: err}
+		}
+		defects := gen.Generate(array, t.RNG)
+		o := anneal
+		o.Seed = campaign.DeriveSeed(t.Seed, 0)
+		rev := defect.Reconfigure(s, p, array, defects, defect.ReconfigureOptions{Anneal: o})
+		return campaign.Outcome{Survived: rev.Survivable, Value: float64(len(defects))}
 	}
 }
 

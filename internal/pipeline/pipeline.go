@@ -96,6 +96,13 @@ type PlaceSpec struct {
 	Options core.Options
 	// FT configures stage 2 of the "twostage" placer.
 	FT core.FTOptions
+	// Spares threads that many interstitial spare lines through the
+	// finished placement (place.InsertSpares, columns first — see
+	// place.SpareSplit), the space-redundancy transform for yield
+	// enhancement. Applied downstream of the placement cache: it is a
+	// deterministic arithmetic transform, so requests differing only
+	// in Spares share one cache entry and one anneal.
+	Spares int
 }
 
 // FTISpec requests fault-tolerance analysis of the placement.
@@ -381,7 +388,11 @@ func (req *Request) runPlace(res *Result) error {
 			FT:       spec.FT,
 		})
 		if e, ok := req.Cache.Get(res.CacheKey); ok {
-			return req.adoptCached(res, e)
+			if err := req.adoptCached(res, e); err != nil {
+				return err
+			}
+			spec.applySpares(res)
+			return nil
 		}
 	}
 
@@ -424,7 +435,18 @@ func (req *Request) runPlace(res *Result) error {
 			return &StageError{StagePlace, err}
 		}
 	}
+	spec.applySpares(res)
 	return nil
+}
+
+// applySpares applies the space-redundancy transform after the cache
+// (both the hit and the fill path cache the spare-free placement).
+func (spec *PlaceSpec) applySpares(res *Result) {
+	if spec.Spares <= 0 || res.Placement == nil {
+		return
+	}
+	cols, rows := place.SpareSplit(spec.Spares)
+	res.Placement = place.InsertSpares(res.Placement, cols, rows)
 }
 
 // adoptCached reconstructs the placement stage's result from a cache

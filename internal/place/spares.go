@@ -1,0 +1,67 @@
+package place
+
+// InsertSpares returns a copy of p with cols spare columns and rows
+// spare rows threaded through the interior of its bounding box — the
+// space-redundancy transform of the yield companion paper: fabricate
+// a slightly larger array whose extra cells sit between the modules,
+// so every module has a local relocation target when a fabrication
+// defect lands on it.
+//
+// Cut lines are spread evenly across the bounding box; at each cut,
+// every module whose origin lies at or beyond it shifts away by one
+// cell, opening a free line. A module straddling a cut keeps its
+// position (modules are never split), so the spare line threads
+// around it — interstitial where possible, edge slack otherwise. The
+// transform is pure arithmetic: deterministic, never invalidates a
+// placement (module pairs only move apart or stay put), and preserves
+// module order, sizes and spans, so schedule bindings are untouched.
+func InsertSpares(p *Placement, cols, rows int) *Placement {
+	c := p.Clone()
+	bb := p.BoundingBox()
+	if cols > 0 && bb.W > 1 {
+		// Highest cut first: shifts at a lower cut then move the
+		// already-shifted modules again, compounding correctly.
+		for i := cols; i >= 1; i-- {
+			cut := bb.X + clampInterior(i*bb.W/(cols+1), bb.W)
+			for m := range c.Pos {
+				if c.Pos[m].X >= cut {
+					c.Pos[m].X++
+				}
+			}
+		}
+	}
+	if rows > 0 && bb.H > 1 {
+		for i := rows; i >= 1; i-- {
+			cut := bb.Y + clampInterior(i*bb.H/(rows+1), bb.H)
+			for m := range c.Pos {
+				if c.Pos[m].Y >= cut {
+					c.Pos[m].Y++
+				}
+			}
+		}
+	}
+	return c
+}
+
+// clampInterior clamps a cut offset to the interior (0, extent) so a
+// cut always lands between two cells of the original box.
+func clampInterior(off, extent int) int {
+	if off < 1 {
+		return 1
+	}
+	if off > extent-1 {
+		return extent - 1
+	}
+	return off
+}
+
+// SpareSplit splits a single spare-line budget between columns and
+// rows, columns first — the convention every layer (campaign spec,
+// compile endpoint, CLI flags) uses so one knob means the same
+// placement everywhere.
+func SpareSplit(budget int) (cols, rows int) {
+	if budget <= 0 {
+		return 0, 0
+	}
+	return (budget + 1) / 2, budget / 2
+}

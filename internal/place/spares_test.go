@@ -1,0 +1,113 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmfb/internal/geom"
+)
+
+// densePlacement packs n always-on square modules in a grid, leaving
+// no free interior space — the hardest case for a transform that must
+// never create overlaps.
+func densePlacement(t *testing.T, n, side int) *Placement {
+	t.Helper()
+	mods := make([]Module, n)
+	for i := range mods {
+		mods[i] = Module{ID: i, Size: geom.Size{W: side, H: side}, Span: geom.Interval{Start: 0, End: 10}}
+	}
+	p := New(mods)
+	cols := 3
+	for i := range mods {
+		p.Pos[i] = geom.Point{X: (i % cols) * side, Y: (i / cols) * side}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestInsertSparesPreservesValidity(t *testing.T) {
+	p := densePlacement(t, 9, 2)
+	for cols := 0; cols <= 4; cols++ {
+		for rows := 0; rows <= 4; rows++ {
+			c := InsertSpares(p, cols, rows)
+			if err := c.Validate(); err != nil {
+				t.Fatalf("cols=%d rows=%d: invalid after spares: %v", cols, rows, err)
+			}
+			bb, orig := c.BoundingBox(), p.BoundingBox()
+			if bb.W > orig.W+cols || bb.H > orig.H+rows {
+				t.Fatalf("cols=%d rows=%d: bounding box %v grew past %v plus the budget", cols, rows, bb, orig)
+			}
+			if cols > 0 && rows > 0 && bb.W <= orig.W && bb.H <= orig.H {
+				t.Fatalf("cols=%d rows=%d: bounding box %v did not grow from %v", cols, rows, bb, orig)
+			}
+		}
+	}
+}
+
+func TestInsertSparesLeavesInputUntouched(t *testing.T) {
+	p := densePlacement(t, 4, 2)
+	before := append([]geom.Point(nil), p.Pos...)
+	InsertSpares(p, 2, 2)
+	for i := range before {
+		if p.Pos[i] != before[i] {
+			t.Fatalf("module %d moved in the input placement", i)
+		}
+	}
+}
+
+func TestInsertSparesOpensSpareCells(t *testing.T) {
+	p := densePlacement(t, 9, 2)
+	c := InsertSpares(p, 1, 1)
+	free := c.BoundingBox().Cells()
+	for _, m := range c.Modules {
+		free -= m.Size.W * m.Size.H
+	}
+	orig := p.BoundingBox().Cells()
+	used := 0
+	for _, m := range p.Modules {
+		used += m.Size.W * m.Size.H
+	}
+	if free <= orig-used {
+		t.Errorf("spare insertion opened no extra cells: %d free vs %d before", free, orig-used)
+	}
+}
+
+func TestInsertSparesRandomizedNeverOverlaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		mods := make([]Module, n)
+		for i := range mods {
+			mods[i] = Module{ID: i,
+				Size: geom.Size{W: 1 + rng.Intn(4), H: 1 + rng.Intn(4)},
+				Span: geom.Interval{Start: 0, End: 10}}
+		}
+		p := New(mods)
+		// Place by stacking along x so any sizes are valid.
+		x := 0
+		for i := range mods {
+			p.Pos[i] = geom.Point{X: x, Y: rng.Intn(3)}
+			x += mods[i].Size.W
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		cols, rows := rng.Intn(4), rng.Intn(4)
+		if c := InsertSpares(p, cols, rows); c.Validate() != nil {
+			t.Fatalf("trial %d cols=%d rows=%d: %v", trial, cols, rows, c.Validate())
+		}
+	}
+}
+
+func TestSpareSplit(t *testing.T) {
+	cases := []struct{ budget, cols, rows int }{
+		{-1, 0, 0}, {0, 0, 0}, {1, 1, 0}, {2, 1, 1}, {3, 2, 1}, {4, 2, 2}, {5, 3, 2},
+	}
+	for _, c := range cases {
+		if cols, rows := SpareSplit(c.budget); cols != c.cols || rows != c.rows {
+			t.Errorf("SpareSplit(%d) = %d,%d, want %d,%d", c.budget, cols, rows, c.cols, c.rows)
+		}
+	}
+}

@@ -207,6 +207,11 @@ type CompileRequest struct {
 	AnnealWorkers int `json:"anneal_workers,omitempty"`
 	// Beta weights the fault-tolerance term of the twostage placer.
 	Beta float64 `json:"beta,omitempty"`
+	// Spares threads that many interstitial spare lines through the
+	// finished placement (space redundancy for yield enhancement).
+	// Applied downstream of the placement cache, so requests differing
+	// only in Spares share one cache entry.
+	Spares int `json:"spares,omitempty"`
 
 	// Verify runs exhaustive single-fault injection; MonteCarlo runs
 	// that many random single-fault trials seeded by FTISeed.
@@ -419,7 +424,8 @@ func (s *Server) buildRequest(kind string, sr *SimulateRequest) (pipeline.Reques
 				WindowPatience: sr.WindowPatience,
 				Search:         place.SearchOptions{Starts: sr.Starts, Workers: sr.AnnealWorkers},
 			},
-			FT: core.FTOptions{Beta: sr.Beta},
+			FT:     core.FTOptions{Beta: sr.Beta},
+			Spares: sr.Spares,
 		},
 		FTI: &pipeline.FTISpec{
 			Verify:     sr.Verify,

@@ -25,6 +25,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -91,6 +92,18 @@ type report struct {
 	MultistartWinnerFTI       float64 `json:"multistart_winner_fti,omitempty"`
 	ToTargetFTIMS             float64 `json:"wallclock_to_target_fti_ms,omitempty"`
 
+	// Yield vs area under space redundancy: the pinned clustered-defect
+	// yield campaign run at increasing spare-line budgets (dmfb-bench
+	// -exp yieldsweep). The curve needs at least 3 points, area must
+	// grow with the spare budget (spares are real cells), and yield at
+	// the largest budget may not fall below the spare-free yield —
+	// otherwise space redundancy stopped paying for its area and the
+	// report is refused. -prev refuses any per-point yield drop at the
+	// same pinned defect density.
+	YieldDefectProb float64      `json:"yield_defect_prob,omitempty"`
+	YieldTrials     int          `json:"yield_trials,omitempty"`
+	YieldCurve      []yieldPoint `json:"yield_curve,omitempty"`
+
 	// Server throughput: dmfb-server -replay against its own listener
 	// (mixed PCR/in-vitro compile requests through the placement
 	// cache). The report is refused unless the hit rate matches the
@@ -100,6 +113,13 @@ type report struct {
 	ServeRPS          float64 `json:"serve_rps,omitempty"`
 	ServeCacheHits    int     `json:"serve_cache_hits,omitempty"`
 	ServeCacheHitRate float64 `json:"serve_cache_hit_rate,omitempty"`
+}
+
+// yieldPoint is one spare-budget point of the yield-vs-area curve.
+type yieldPoint struct {
+	Spares    int     `json:"spares"`
+	AreaCells float64 `json:"area_cells"`
+	Yield     float64 `json:"yield"`
 }
 
 // campaignRun is the slice of dmfb-campaign -json output the report
@@ -173,6 +193,57 @@ func measure(runs []expRun, exp, name string) (float64, bool) {
 	return 0, false
 }
 
+// sparesMeasure matches the per-point yieldsweep measurement names,
+// e.g. "spares2_yield" and "spares2_area_cells".
+var sparesMeasure = regexp.MustCompile(`^spares(\d+)_(yield|area_cells)$`)
+
+// yieldCurve assembles the yield-vs-area points from the yieldsweep
+// experiment's measurements, sorted by spare budget. A point missing
+// either its yield or its area refuses the report.
+func yieldCurve(runs []expRun, path string) []yieldPoint {
+	type acc struct {
+		yield, area float64
+		hasY, hasA  bool
+	}
+	pts := make(map[int]*acc)
+	for _, r := range runs {
+		if r.Experiment != "yieldsweep" {
+			continue
+		}
+		for _, m := range r.Measurements {
+			sub := sparesMeasure.FindStringSubmatch(m.Name)
+			if sub == nil {
+				continue
+			}
+			n, _ := strconv.Atoi(sub[1])
+			a := pts[n]
+			if a == nil {
+				a = &acc{}
+				pts[n] = a
+			}
+			if sub[2] == "yield" {
+				a.yield, a.hasY = m.Measured, true
+			} else {
+				a.area, a.hasA = m.Measured, true
+			}
+		}
+	}
+	budgets := make([]int, 0, len(pts))
+	for n := range pts {
+		budgets = append(budgets, n)
+	}
+	sort.Ints(budgets)
+	var curve []yieldPoint
+	for _, n := range budgets {
+		a := pts[n]
+		if !a.hasY || !a.hasA {
+			fatal(fmt.Errorf("%s: yieldsweep point spares=%d is missing its yield or area measurement", path, n))
+		}
+		curve = append(curve, yieldPoint{Spares: n, AreaCells: a.area, Yield: a.yield})
+	}
+	return curve
+}
+
 // benchLine matches one line of `go test -bench -benchmem` output, e.g.
 //
 //	BenchmarkStage2IterMove-8   300000   743.2 ns/op   49 B/op   0 allocs/op
@@ -187,6 +258,7 @@ func main() {
 	assayL1 := flag.String("assay-l1", "", "`file` holding dmfb-campaign -mode assay -recovery l1 -json output (optional)")
 	assayLadder := flag.String("assay-ladder", "", "`file` holding dmfb-campaign -mode assay -recovery ladder -json output (optional)")
 	serveJSON := flag.String("serve", "", "`file` holding dmfb-server -replay -json output (optional)")
+	yieldJSON := flag.String("yield", "", "`file` holding dmfb-bench -exp yieldsweep -json output (optional)")
 	multistartJSON := flag.String("multistart", "", "`file` holding dmfb-bench -exp multistart -json output (optional)")
 	prev := flag.String("prev", "", "previous report `file`; refuse stage-2 ns/op or fig8 regressions against it (skipped with a warning when unreadable)")
 	out := flag.String("out", "BENCH_place.json", "output `file`")
@@ -337,6 +409,37 @@ func main() {
 		}
 	}
 
+	if *yieldJSON != "" {
+		raw, err := os.ReadFile(*yieldJSON)
+		if err != nil {
+			fatal(err)
+		}
+		runs := readExpRuns(*yieldJSON, raw)
+		prob, ok := measure(runs, "yieldsweep", "defect_prob")
+		if !ok {
+			fatal(fmt.Errorf("%s: yieldsweep experiment has no defect_prob measurement", *yieldJSON))
+		}
+		trials, _ := measure(runs, "yieldsweep", "trials")
+		rep.YieldDefectProb = prob
+		rep.YieldTrials = int(trials)
+		rep.YieldCurve = yieldCurve(runs, *yieldJSON)
+		if len(rep.YieldCurve) < 3 {
+			fatal(fmt.Errorf("yield curve has %d spare-budget points, want >= 3", len(rep.YieldCurve)))
+		}
+		for i := 1; i < len(rep.YieldCurve); i++ {
+			a, b := rep.YieldCurve[i-1], rep.YieldCurve[i]
+			if b.AreaCells <= a.AreaCells {
+				fatal(fmt.Errorf("yield curve area not increasing: spares=%d at %.0f cells vs spares=%d at %.0f — spare lines are not real cells",
+					b.Spares, b.AreaCells, a.Spares, a.AreaCells))
+			}
+		}
+		first, last := rep.YieldCurve[0], rep.YieldCurve[len(rep.YieldCurve)-1]
+		if last.Yield < first.Yield {
+			fatal(fmt.Errorf("yield fell from %.4f (spares=%d) to %.4f (spares=%d) — space redundancy no longer pays for its area",
+				first.Yield, first.Spares, last.Yield, last.Spares))
+		}
+	}
+
 	if *serveJSON != "" {
 		raw, err := os.ReadFile(*serveJSON)
 		if err != nil {
@@ -392,6 +495,11 @@ func main() {
 	if rep.ServeRequests > 0 {
 		fmt.Printf(", serve %.1f req/s at %.2f hit rate", rep.ServeRPS, rep.ServeCacheHitRate)
 	}
+	if len(rep.YieldCurve) > 0 {
+		first, last := rep.YieldCurve[0], rep.YieldCurve[len(rep.YieldCurve)-1]
+		fmt.Printf(", yield %.4f -> %.4f over spares %d -> %d at q=%g",
+			first.Yield, last.Yield, first.Spares, last.Spares, rep.YieldDefectProb)
+	}
 	fmt.Println(")")
 }
 
@@ -415,6 +523,20 @@ func checkRegression(path string, rep report) {
 	if old.Stage2MoveNs > 0 && rep.Stage2MoveNs > old.Stage2MoveNs*1.10 {
 		fatal(fmt.Errorf("stage-2 move kernel regressed: %.1f ns/op vs previous %.1f ns/op (+%.0f%%)",
 			rep.Stage2MoveNs, old.Stage2MoveNs, 100*(rep.Stage2MoveNs/old.Stage2MoveNs-1)))
+	}
+	// The yield campaigns are seeded and deterministic, so at the same
+	// pinned defect density any per-point yield drop is a real placement
+	// or recovery regression, not noise.
+	if len(old.YieldCurve) > 0 && len(rep.YieldCurve) > 0 &&
+		old.YieldDefectProb == rep.YieldDefectProb {
+		for _, op := range old.YieldCurve {
+			for _, np := range rep.YieldCurve {
+				if np.Spares == op.Spares && np.Yield < op.Yield {
+					fatal(fmt.Errorf("yield at spares=%d q=%g regressed: %.4f vs previous %.4f",
+						np.Spares, rep.YieldDefectProb, np.Yield, op.Yield))
+				}
+			}
+		}
 	}
 	if len(old.Experiments) == 0 || len(rep.Experiments) == 0 {
 		return
